@@ -1,0 +1,63 @@
+"""A1 (ablation, ours): OPC UA client-capacity sweep.
+
+The paper fixes one client capacity and reports 4 clients. This
+ablation sweeps the capacity and characterizes the tradeoff the
+grouping optimization navigates: fewer clients (less cluster overhead)
+vs. bounded per-client load. It also validates FFD against the
+information-theoretic lower bound across the sweep.
+"""
+
+import pytest
+
+from conftest import print_comparison
+from repro.codegen import (group_machines, grouping_stats,
+                           lower_bound_clients)
+
+CAPACITIES = (40, 80, 120, 160, 240, 320, 480, 640)
+
+
+def test_capacity_sweep(benchmark, topology):
+    machines = topology.machines
+
+    def sweep():
+        return {capacity: group_machines(machines, capacity)
+                for capacity in CAPACITIES}
+
+    results = benchmark(sweep)
+    rows = []
+    for capacity, groups in results.items():
+        stats = grouping_stats(groups)
+        note = "paper's operating point" if capacity == 120 else ""
+        rows.append((f"capacity={capacity}",
+                     "4 @120" if capacity == 120 else "-",
+                     f"{stats['clients']} clients "
+                     f"(util {stats['mean_utilization']:.0%})", note))
+    print_comparison("A1 — client count vs capacity", rows)
+
+    counts = [len(results[c]) for c in CAPACITIES]
+    assert counts == sorted(counts, reverse=True)  # monotone
+    assert len(results[120]) == 4  # the published point
+
+
+def test_ffd_close_to_lower_bound(topology):
+    machines = topology.machines
+    for capacity in CAPACITIES:
+        ffd = len(group_machines(machines, capacity))
+        bound = lower_bound_clients(machines, capacity)
+        assert bound <= ffd <= bound + 2, capacity
+
+
+def test_oversized_machines_isolated(topology):
+    machines = topology.machines
+    for capacity in CAPACITIES:
+        for group in group_machines(machines, capacity):
+            if group.oversized:
+                assert len(group.machines) == 1
+                assert group.machines[0].point_count > capacity
+
+
+def test_capacity_one_point_per_client_extremes(topology):
+    machines = topology.machines
+    assert len(group_machines(machines, 10 ** 6)) == 1
+    per_machine = group_machines(machines, 1)
+    assert len(per_machine) == len(machines)

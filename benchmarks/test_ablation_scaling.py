@@ -1,0 +1,92 @@
+"""A2 (ablation, ours): how the pipeline scales with factory size.
+
+The ICE lab has 564 data points; a production plant can be far larger.
+This ablation replicates conveyor-class machines to grow the model and
+measures front-end (parse+resolve) and generation cost, asserting
+near-linear scaling — the property that makes the approach viable
+beyond the case study.
+"""
+
+import time
+
+import pytest
+
+from conftest import print_comparison
+from repro.codegen import generate_configuration
+from repro.icelab.model_gen import icelab_sources
+from repro.machines.catalog import DriverSpec, MachineSpec
+from repro.machines.specs import ICE_LAB_SPECS
+from repro.isa95.levels import VariableSpec
+from repro.machines.catalog import simple_service
+from repro.sysml import load_model
+
+
+def replicated_specs(extra_cells: int) -> list[MachineSpec]:
+    """The ICE lab plus N extra PLC-class workcells (30 points each)."""
+    specs = list(ICE_LAB_SPECS)
+    for index in range(extra_cells):
+        specs.append(MachineSpec(
+            name=f"cellPlc{index}",
+            display_name=f"Extra cell PLC {index}",
+            type_name=f"ExtraPLC{index}",
+            workcell=f"extraCell{index:02d}",
+            driver=DriverSpec(
+                protocol="OPCUADriver", is_generic=True,
+                parameters={"endpoint":
+                            f"opc.tcp://10.200.{index}.1:4840"}),
+            categories={"IO": [VariableSpec(f"x{i}", "Real")
+                               for i in range(25)]},
+            services=[simple_service(f"op{i}") for i in range(5)],
+        ))
+    return specs
+
+
+@pytest.mark.parametrize("extra_cells", [0, 10, 20])
+def test_pipeline_scales(extra_cells, benchmark):
+    specs = replicated_specs(extra_cells)
+    sources = icelab_sources(specs)
+
+    def flow():
+        model = load_model(*sources)
+        return generate_configuration(model)
+
+    result = benchmark.pedantic(flow, rounds=2, iterations=1)
+    assert result.opcua_server_count == 6 + extra_cells
+
+
+def test_scaling_is_near_linear():
+    """Doubling the model should not much more than double the time."""
+    timings = {}
+    for extra_cells in (0, 16):
+        specs = replicated_specs(extra_cells)
+        sources = icelab_sources(specs)
+        started = time.perf_counter()
+        model = load_model(*sources)
+        generate_configuration(model)
+        timings[extra_cells] = time.perf_counter() - started
+    points_small = 564
+    points_large = 564 + 16 * 30
+    growth = timings[16] / timings[0]
+    size_growth = points_large / points_small
+    rows = [
+        ("factory points", points_small, points_large),
+        ("wall time growth", f"~{size_growth:.2f}x ideal",
+         f"{growth:.2f}x"),
+    ]
+    print_comparison("A2 — scaling", rows)
+    # super-linear blowup (quadratic would be ~3.4x here) must not occur
+    assert growth < size_growth * 2.5
+
+
+def test_generation_dominated_by_model_size(topology):
+    """More machines -> proportionally more config bytes."""
+    from repro.icelab.model_gen import load_icelab_model
+    small = generate_configuration(
+        load_icelab_model(replicated_specs(0)))
+    large = generate_configuration(
+        load_icelab_model(replicated_specs(8)))
+    assert large.config_size_bytes > small.config_size_bytes
+    per_point_small = small.config_size_bytes / 564
+    per_point_large = large.config_size_bytes / (564 + 8 * 30)
+    # cost per data point stays flat (within 2x)
+    assert 0.5 <= per_point_large / per_point_small <= 2.0

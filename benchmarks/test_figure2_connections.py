@@ -1,0 +1,73 @@
+"""F2: Figure 2 — machine <-> driver communication-channel structure.
+
+The paper's Figure 2 shows the EMCO milling machine: MachineData and
+MachineServices with ports on the machine side, DriverVariables and
+DriverMethods with ports on the driver side, and two interfaces joining
+them. We measure exactly that structure on the loaded model and assert
+its invariants (mirrored port counts, everything connected, bindings on
+both sides).
+"""
+
+import pytest
+
+from conftest import print_comparison
+from repro.diagrams import (connections_ascii, connections_dot,
+                            measure_connections)
+
+
+@pytest.fixture(scope="module")
+def emco_figure(model):
+    return measure_connections(model, "emco", "emcoDriverInstance")
+
+
+def test_figure2_emco(benchmark, model, emco_figure):
+    figure = benchmark(measure_connections, model, "emco",
+                       "emcoDriverInstance")
+    print_comparison("Figure 2 — EMCO machine/driver channel", [
+        ("machine data ports", 34, figure.machine_data_ports,
+         "= machine variables"),
+        ("machine service ports", 19, figure.machine_service_ports,
+         "= machine services"),
+        ("driver variable ports", 34, figure.driver_variable_ports),
+        ("driver method ports", 19, figure.driver_method_ports),
+        ("total ports", 106, figure.total_ports,
+         "Table I EMCO 'Ports Inst.' cell"),
+        ("interfaces (data/services)", "2 kinds",
+         f"{figure.data_connectors}+{figure.service_connectors} conn"),
+    ])
+    assert figure.total_ports == 106
+    assert figure.balanced
+    print("\n" + connections_ascii(figure))
+
+
+def test_figure2_every_point_connected(emco_figure):
+    # one connection per variable and per service
+    assert emco_figure.data_connectors == 34
+    assert emco_figure.service_connectors == 19
+
+
+def test_figure2_bindings_on_both_sides(emco_figure):
+    # each of the 34 variables is bound to its port on the machine AND
+    # on the driver side
+    assert emco_figure.bindings == 2 * 34
+
+
+def test_figure2_holds_for_all_machines(model, topology):
+    """The channel structure is uniform across the whole lab."""
+    rows = []
+    for machine in topology.machines:
+        figure = measure_connections(model, machine.name,
+                                     f"{machine.name}DriverInstance")
+        rows.append((machine.name, "balanced",
+                     "balanced" if figure.balanced else "BROKEN",
+                     f"{figure.total_ports} ports"))
+        assert figure.balanced, machine.name
+        assert figure.machine_data_ports == len(machine.variables)
+        assert figure.machine_service_ports == len(machine.services)
+    print_comparison("Figure 2 — all machines", rows)
+
+
+def test_figure2_dot_renders(emco_figure):
+    dot = connections_dot(emco_figure)
+    assert "digraph connections" in dot
+    assert "DriverVariables" in dot

@@ -1,0 +1,131 @@
+"""Configure *your own* factory from a machine catalog.
+
+The ICE Laboratory is just one instance: this example builds a
+different plant — a small bottling line — purely from
+:class:`~repro.machines.catalog.MachineSpec` records, lets the library
+generate the SysML v2 model, and runs the identical pipeline end to end
+(deployment and functional check included). Nothing here is specific to
+the paper's lab: this is the reusable API a downstream user would call.
+
+Run with:  python examples/custom_factory.py
+"""
+
+from repro.isa95.levels import VariableSpec
+from repro.machines.catalog import DriverSpec, MachineSpec, simple_service
+from repro.pipeline import run_factory
+from repro.som import ProductionProcess
+
+FILLER = MachineSpec(
+    name="filler",
+    display_name="Rotary Bottle Filler",
+    type_name="RotaryFiller",
+    workcell="fillingCell",
+    driver=DriverSpec(protocol="OPCUADriver", is_generic=True,
+                      parameters={"endpoint": "opc.tcp://10.1.0.11:4840"}),
+    categories={
+        "Filling": [
+            VariableSpec("fill_level", "Real", unit="ml"),
+            VariableSpec("flow_rate", "Real", unit="ml/s"),
+            VariableSpec("bottles_filled", "Integer"),
+            VariableSpec("valve_open", "Boolean"),
+        ],
+        "Status": [
+            VariableSpec("state", "String"),
+            VariableSpec("alarm", "Boolean"),
+        ],
+    },
+    services=[
+        simple_service("start_filling"),
+        simple_service("stop_filling"),
+        simple_service("set_target_volume", inputs=[("ml", "Real")]),
+    ],
+)
+
+CAPPER = MachineSpec(
+    name="capper",
+    display_name="Capping Station",
+    type_name="CappingStation",
+    workcell="fillingCell",
+    driver=DriverSpec(protocol="OPCUADriver", is_generic=True,
+                      parameters={"endpoint": "opc.tcp://10.1.0.12:4840"}),
+    categories={
+        "Capping": [
+            VariableSpec("torque", "Real", unit="Nm"),
+            VariableSpec("caps_applied", "Integer"),
+            VariableSpec("cap_feeder_level", "Real", unit="%"),
+        ],
+    },
+    services=[
+        simple_service("apply_cap"),
+        simple_service("set_torque", inputs=[("nm", "Real")]),
+    ],
+)
+
+LABELER = MachineSpec(
+    name="labeler",
+    display_name="Label Applicator",
+    type_name="LabelApplicator",
+    workcell="packagingCell",
+    driver=DriverSpec(protocol="OPCUADriver", is_generic=True,
+                      parameters={"endpoint": "opc.tcp://10.1.0.21:4840"}),
+    categories={
+        "Labeling": [
+            VariableSpec("labels_applied", "Integer"),
+            VariableSpec("label_roll_remaining", "Real", unit="%"),
+            VariableSpec("alignment_offset", "Real", unit="mm"),
+        ],
+    },
+    services=[
+        simple_service("apply_label"),
+        simple_service("load_design", inputs=[("design", "String")]),
+    ],
+)
+
+
+def main() -> None:
+    specs = [FILLER, CAPPER, LABELER]
+    print("running the full pipeline on a 3-machine bottling plant...\n")
+    result = run_factory(specs, namespace="bottling", smoke_steps=4)
+
+    print("== generated configuration ==")
+    for key, value in result.generation.summary().items():
+        print(f"  {key:>20}: {value}")
+
+    print("\n== deployment ==")
+    smoke = result.smoke
+    print(f"  pods running: {smoke.pods_running} "
+          f"(failed {smoke.pods_failed})")
+    print(f"  variables flowing: {smoke.variables_flowing}"
+          f"/{smoke.variables_total}")
+    print(f"  factory {'OPERATIONAL' if smoke.all_ok else 'BROKEN'}")
+
+    print("\n== run a bottling recipe over the broker ==")
+    recipe = (ProductionProcess("bottle-500ml")
+              .add_step("filler", "set_target_volume", 500.0)
+              .add_step("filler", "start_filling")
+              .add_step("filler", "stop_filling")
+              .add_step("capper", "set_torque", 2.2)
+              .add_step("capper", "apply_cap")
+              .add_step("labeler", "load_design", "spring-water")
+              .add_step("labeler", "apply_label"))
+    outcome = result.orchestrator.execute(recipe)
+    for step in outcome.steps:
+        print(f"  {step.step.qualified_name:<28} "
+              f"{'ok' if step.ok else 'FAILED'} {step.outputs}")
+    print(f"recipe {'completed' if outcome.ok else 'failed'} "
+          f"({outcome.completed_steps}/{len(recipe)} steps)")
+
+    print("\n== what the database saw ==")
+    store = result.world.store
+    print(f"  series: {store.series_count}, "
+          f"points: {store.stats()['points']}")
+    latest = store.latest("machine_data",
+                          tags={"machine": "filler",
+                                "variable": "bottles_filled"})
+    print(f"  latest filler.bottles_filled = {latest.value!r}")
+
+    result.shutdown()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+"""Working with SysML v2 models directly: parse, query, print, interchange.
+
+Shows the front-end API on the paper's running example (the EMCO milling
+workcell): navigation, specialization queries, instance elaboration with
+binding propagation, the pretty-printer, and the JSON interchange
+format.
+
+Run with:  python examples/model_inspection.py
+"""
+
+import json
+
+from repro.icelab import icelab_model
+from repro.sysml import (elaborate, model_to_dict, print_element,
+                         propagate_bindings, specializations_of,
+                         usages_typed_by)
+
+
+def main() -> None:
+    model = icelab_model()
+
+    print("== navigate by qualified name ==")
+    emco_driver_def = model.find("EMCOMillingMachineLib::EMCODriver")
+    print(f"found: {emco_driver_def.qualified_name} "
+          f"(abstract={emco_driver_def.is_abstract})")
+    print(f"specializes: "
+          f"{[t.qualified_name for t in emco_driver_def.all_supertypes()]}")
+
+    print("\n== who specializes the abstract Driver? ==")
+    driver_def = model.find("ISA95::Driver")
+    names = sorted({d.name for d in specializations_of(model, driver_def)})
+    print(", ".join(names))
+
+    print("\n== which usages instantiate Machine? ==")
+    machine_def = model.find("ISA95::Machine")
+    machines = [u.name for u in usages_typed_by(model, machine_def)
+                if u.owner is not None and u.owner.name
+                and u.owner.name.startswith("workCell")]
+    print(machines)
+
+    print("\n== elaborate the emco driver instance ==")
+    driver_instance = next(e for e in model.owned_elements
+                           if e.name == "emcoDriverInstance")
+    tree = elaborate(driver_instance)
+    propagated = propagate_bindings(tree)
+    print(f"instance tree: {sum(1 for _ in tree.walk())} nodes, "
+          f"{propagated} values propagated over binds")
+    params = tree.child("driverParameters")
+    for attribute in params.children:
+        print(f"  parameter {attribute.name} = {attribute.value!r}")
+
+    print("\n== pretty-print one definition ==")
+    print(print_element(model.find(
+        "EMCOMillingMachineLib::EMCODriver::EMCODriverParameters")))
+
+    print("== JSON interchange (excerpt) ==")
+    data = model_to_dict(model)
+    emco_lib = next(e for e in data["ownedElements"]
+                    if e.get("name") == "EMCOMillingMachineLib")
+    print(json.dumps(emco_lib, indent=2)[:800])
+    print("...")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+"""Scheduling a batch of production jobs over the deployed factory.
+
+Demonstrates the SOM promise end-to-end: production processes are plain
+sequences of machine services, so a batch of jobs can be *scheduled*
+(machines execute one service at a time, process order preserved) and
+then dispatched through the message broker to the deployed stack.
+
+Run with:  python examples/production_scheduling.py
+"""
+
+from repro.icelab import run_icelab
+from repro.som import ProductionProcess, Scheduler
+
+
+def make_jobs() -> list[ProductionProcess]:
+    """Three part-machining jobs plus a logistics job, all contending
+    for the warehouse, the AGVs and the mill."""
+    job_a = (ProductionProcess("part-A")
+             .add_step("warehouse", "fetch_tray", 1)
+             .add_step("kairos1", "move_to", 2.0, 1.0)
+             .add_step("kairos1", "pick", "blank-A")
+             .add_step("emco", "load_program", "part_a.nc")
+             .add_step("emco", "start_program")
+             .add_step("qcPc", "inspect", "part-A"))
+    job_b = (ProductionProcess("part-B")
+             .add_step("warehouse", "fetch_tray", 2)
+             .add_step("kairos1", "pick", "blank-B")
+             .add_step("emco", "load_program", "part_b.nc")
+             .add_step("emco", "start_program")
+             .add_step("qcPc", "inspect", "part-B"))
+    job_c = (ProductionProcess("assembly")
+             .add_step("warehouse", "fetch_tray", 3)
+             .add_step("kairos2", "pick", "housing")
+             .add_step("ur5", "load_program", "assemble")
+             .add_step("ur5", "play")
+             .add_step("siemensPlc", "start_cycle")
+             .add_step("fiam", "start_tightening"))
+    job_d = (ProductionProcess("logistics")
+             .add_step("conveyor", "register_pallet", 42)
+             .add_step("conveyor", "route_pallet", 42, 6)
+             .add_step("kairos2", "dock"))
+    return [job_a, job_b, job_c, job_d]
+
+
+def main() -> None:
+    print("deploying the ICE lab...")
+    result = run_icelab(smoke_steps=2, seed=11)
+
+    jobs = make_jobs()
+    # milling takes longer than a pick or a routing command
+    scheduler = Scheduler(durations={
+        "emco.start_program": 4.0,
+        "ur5.play": 3.0,
+        "qcPc.inspect": 2.0,
+    })
+
+    print("\n== schedule ==")
+    schedule = scheduler.schedule(jobs)
+    print(schedule.render())
+    assert schedule.validate() == []
+
+    print("\n== dispatch over the broker ==")
+    outcome = scheduler.execute(jobs, result.orchestrator)
+    print(f"executed {outcome['executed']} steps "
+          f"({outcome['failed']} failed), "
+          f"makespan {outcome['makespan']:g} slots")
+
+    print("\n== machine contention ==")
+    for machine in ("warehouse", "emco", "kairos1"):
+        slots = schedule.for_machine(machine)
+        print(f"  {machine}: {len(slots)} booked slots, busy "
+              f"{sum(s.end - s.start for s in slots):g} of "
+              f"{schedule.makespan:g}")
+
+    result.shutdown()
+
+
+if __name__ == "__main__":
+    main()

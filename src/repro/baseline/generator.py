@@ -1,0 +1,71 @@
+"""Configuration generation from the v1 baseline model.
+
+Functionally equivalent to step 1 of the v2 pipeline (it emits the same
+JSON shapes), so the two flows can be compared fairly. The interesting
+difference is *what it cannot check*: the v1 model carries strings where
+v2 carries resolved references, so the fault-injection comparison
+(:mod:`repro.baseline.compare`) shows configuration errors that only
+surface at deployment time under v1 but are model errors under v2.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from .model import V1Model
+
+
+@dataclass
+class V1GenerationResult:
+    machine_configs: dict[str, dict] = field(default_factory=dict)
+    server_configs: dict[str, dict] = field(default_factory=dict)
+    generation_seconds: float = 0.0
+
+    @property
+    def opcua_server_count(self) -> int:
+        return len(self.server_configs)
+
+
+def generate_v1_configuration(model: V1Model) -> V1GenerationResult:
+    """Walk the block repository by stereotype and emit machine configs."""
+    started = time.perf_counter()
+    result = V1GenerationResult()
+    driver_blocks = {b.name: b for b in model.by_stereotype("driver")}
+    for machine in model.by_stereotype("machine"):
+        driver = None
+        for child_name in machine.children:
+            driver = driver_blocks.get(child_name)
+            if driver is not None:
+                break
+        config = {
+            "machine": machine.name,
+            "driver": {
+                "name": driver.name if driver else "",
+                # stringly-typed: whatever properties exist are copied,
+                # misspellings and all
+                "parameters": {p.name: p.value
+                               for p in (driver.properties if driver
+                                         else [])},
+            },
+            "variables": [{"name": p.name, "data_type": p.type_name}
+                          for p in machine.properties],
+            "methods": [{"name": o.name,
+                         "inputs": [{"name": a.name,
+                                     "data_type": a.type_name}
+                                    for a in o.parameters],
+                         "outputs": [{"name": r.name,
+                                      "data_type": r.type_name}
+                                     for r in o.returns]}
+                        for o in machine.operations],
+        }
+        result.machine_configs[machine.name] = config
+    for workcell in model.by_stereotype("workcell"):
+        result.server_configs[workcell.name] = {
+            "server": f"{workcell.name}-opcua-server",
+            "machines": [result.machine_configs[name]
+                         for name in workcell.children
+                         if name in result.machine_configs],
+        }
+    result.generation_seconds = time.perf_counter() - started
+    return result

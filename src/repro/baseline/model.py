@@ -1,0 +1,132 @@
+"""SysML v1-style baseline model representation (the methodology of [5]).
+
+The paper positions SysML v2 against the previous, v1-based flow of
+Gaiardelli et al. The essential differences this baseline captures:
+
+* **UML profile, not KerML**: a v1 model is a flat set of stereotyped
+  *blocks* with stringly-typed properties — there is no definition/usage
+  separation, so every machine instance re-states its whole structure
+  (no reuse through specialization).
+* **No language-level rigor**: nothing prevents instantiating an
+  "abstract" block, conjugation does not exist (flow ports carry a
+  direction string), and redefinition is by name convention only — a
+  typo silently produces a new property instead of an error.
+
+The v1 generator (:mod:`repro.baseline.generator`) still produces the
+same intermediate JSON, which is exactly the paper's point: v1 *can*
+drive the pipeline, but the model is bigger, duplicated, and unchecked.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..machines.catalog import MachineSpec
+
+
+@dataclass
+class V1Property:
+    name: str
+    type_name: str
+    value: object | None = None
+
+
+@dataclass
+class V1FlowPort:
+    name: str
+    direction: str  # "in" | "out" — a plain string, never checked
+    type_name: str
+
+
+@dataclass
+class V1Operation:
+    name: str
+    parameters: list[V1Property] = field(default_factory=list)
+    returns: list[V1Property] = field(default_factory=list)
+
+
+@dataclass
+class V1Block:
+    """A stereotyped block («machine», «driver», «workcell», ...)."""
+
+    name: str
+    stereotype: str
+    is_abstract: bool = False  # advisory only; never enforced
+    properties: list[V1Property] = field(default_factory=list)
+    ports: list[V1FlowPort] = field(default_factory=list)
+    operations: list[V1Operation] = field(default_factory=list)
+    children: list[str] = field(default_factory=list)  # by name
+
+    @property
+    def element_count(self) -> int:
+        return (1 + len(self.properties) + len(self.ports)
+                + len(self.operations)
+                + sum(len(o.parameters) + len(o.returns)
+                      for o in self.operations))
+
+
+@dataclass
+class V1Model:
+    """A flat block repository, as a v1 tool would serialize it."""
+
+    blocks: dict[str, V1Block] = field(default_factory=dict)
+
+    def add(self, block: V1Block) -> V1Block:
+        # v1 tools happily overwrite duplicates; we mimic that silently
+        self.blocks[block.name] = block
+        return block
+
+    def by_stereotype(self, stereotype: str) -> list[V1Block]:
+        return [b for b in self.blocks.values()
+                if b.stereotype == stereotype]
+
+    @property
+    def element_count(self) -> int:
+        return sum(b.element_count for b in self.blocks.values())
+
+
+def build_v1_model(specs: list[MachineSpec]) -> V1Model:
+    """Model the factory the v1 way: full duplication per machine."""
+    model = V1Model()
+    workcells: dict[str, list[str]] = {}
+    for spec in specs:
+        machine_block = V1Block(name=spec.name, stereotype="machine")
+        # v1 restates every variable as a property AND a flow port on the
+        # machine, plus the mirrored port on the driver block
+        for variable in spec.variables:
+            machine_block.properties.append(
+                V1Property(variable.name, variable.data_type))
+            machine_block.ports.append(
+                V1FlowPort(f"{variable.name}_out", "out",
+                           variable.data_type))
+        for service in spec.services:
+            machine_block.operations.append(V1Operation(
+                name=service.name,
+                parameters=[V1Property(a.name, a.data_type)
+                            for a in service.inputs],
+                returns=[V1Property(a.name, a.data_type)
+                         for a in service.outputs]))
+            machine_block.ports.append(
+                V1FlowPort(f"{service.name}_call", "in", "Operation"))
+        driver_block = V1Block(name=f"{spec.name}_driver",
+                               stereotype="driver")
+        for name, value in spec.driver.parameters.items():
+            driver_block.properties.append(
+                V1Property(name, type(value).__name__, value))
+        for variable in spec.variables:
+            driver_block.ports.append(
+                V1FlowPort(f"{variable.name}_in", "in",
+                           variable.data_type))
+        for service in spec.services:
+            driver_block.ports.append(
+                V1FlowPort(f"{service.name}_serve", "out", "Operation"))
+        driver_block.properties.append(
+            V1Property("protocol", "String", spec.driver.protocol))
+        machine_block.children.append(driver_block.name)
+        model.add(machine_block)
+        model.add(driver_block)
+        workcells.setdefault(spec.workcell, []).append(spec.name)
+    for workcell_name, machine_names in workcells.items():
+        model.add(V1Block(name=workcell_name, stereotype="workcell",
+                          children=list(machine_names)))
+    return model

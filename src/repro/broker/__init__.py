@@ -1,0 +1,12 @@
+"""In-memory message broker substrate (MQTT-style topics and wildcards)."""
+
+from .broker import BrokerError, Message, MessageBroker, Subscription
+from .client import BrokerClient
+from .topics import (TopicError, join, topic_matches, validate_filter,
+                     validate_topic)
+
+__all__ = [
+    "BrokerClient", "BrokerError", "Message", "MessageBroker",
+    "Subscription", "TopicError", "join", "topic_matches",
+    "validate_filter", "validate_topic",
+]

@@ -1,0 +1,69 @@
+"""Topic names and wildcard matching for the message broker.
+
+Topics are ``/``-separated paths mirroring the ISA-95 hierarchy, e.g.
+``icelab/line1/wc02/emco/data/actualX``. Subscriptions may use MQTT-style
+wildcards: ``+`` matches exactly one level, ``#`` (final level only)
+matches any remaining suffix.
+"""
+
+from __future__ import annotations
+
+
+class TopicError(ValueError):
+    """Raised for malformed topic names or filters."""
+
+
+def validate_topic(topic: str) -> None:
+    """Publish topics must be non-empty and wildcard-free."""
+    if not topic:
+        raise TopicError("empty topic")
+    if topic.startswith("/") or topic.endswith("/"):
+        raise TopicError(f"topic may not start or end with '/': {topic!r}")
+    for level in topic.split("/"):
+        if not level:
+            raise TopicError(f"empty level in topic {topic!r}")
+        if "+" in level or "#" in level:
+            raise TopicError(
+                f"wildcards not allowed in publish topic {topic!r}")
+
+
+def validate_filter(topic_filter: str) -> None:
+    """Subscription filters allow ``+`` levels and a trailing ``#``."""
+    if not topic_filter:
+        raise TopicError("empty topic filter")
+    if topic_filter.startswith("/") or topic_filter.endswith("/"):
+        raise TopicError(
+            f"filter may not start or end with '/': {topic_filter!r}")
+    levels = topic_filter.split("/")
+    for index, level in enumerate(levels):
+        if not level:
+            raise TopicError(f"empty level in filter {topic_filter!r}")
+        if level == "#" and index != len(levels) - 1:
+            raise TopicError(
+                f"'#' only allowed as the final level: {topic_filter!r}")
+        if level not in ("+", "#") and ("+" in level or "#" in level):
+            raise TopicError(
+                f"wildcard must occupy a whole level: {topic_filter!r}")
+
+
+def topic_matches(topic_filter: str, topic: str) -> bool:
+    """Does *topic* match *topic_filter*? (both assumed validated)"""
+    filter_levels = topic_filter.split("/")
+    topic_levels = topic.split("/")
+    for index, pattern in enumerate(filter_levels):
+        if pattern == "#":
+            return True
+        if index >= len(topic_levels):
+            return False
+        if pattern == "+":
+            continue
+        if pattern != topic_levels[index]:
+            return False
+    return len(filter_levels) == len(topic_levels)
+
+
+def join(*levels: str) -> str:
+    """Compose a topic from levels, validating the result."""
+    topic = "/".join(levels)
+    validate_topic(topic)
+    return topic

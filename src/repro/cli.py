@@ -1,0 +1,233 @@
+"""Command-line interface: ``repro-factory`` / ``python -m repro``.
+
+Subcommands
+-----------
+``model``     emit the generated ICE-lab SysML v2 model (textual notation)
+``validate``  parse + validate a .sysml file (or the built-in ICE lab)
+``generate``  run the two-step configuration pipeline, optionally writing
+              all JSON/YAML files to a directory
+``deploy``    run the full Figure-1 flow on the simulated cluster and
+              print the smoke report
+``table1``    print the reproduced Table I
+``figures``   print the regenerated Figure 1 / Figure 2 renderings
+``compare``   run the SysML v1-vs-v2 baseline comparison
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_model(args) -> int:
+    from .icelab import icelab_model_text
+    text = icelab_model_text()
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(text)
+        print(f"wrote {len(text)} bytes to {args.out}")
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
+def _cmd_validate(args) -> int:
+    from .sysml import load_model, validate_model
+    from .sysml.errors import SysMLError
+    if args.file:
+        with open(args.file) as handle:
+            source = handle.read()
+        sources = [source]
+    else:
+        from .icelab import icelab_sources
+        sources = icelab_sources()
+    try:
+        model = load_model(*sources)
+    except SysMLError as exc:
+        print(f"FRONT-END ERROR: {exc}")
+        return 1
+    report = validate_model(model)
+    print(report if len(report) else "model is well-formed")
+    return 0 if report.ok else 1
+
+
+def _cmd_generate(args) -> int:
+    from .codegen import generate_configuration
+    from .icelab import icelab_model
+    result = generate_configuration(icelab_model(), capacity=args.capacity,
+                                    namespace=args.namespace)
+    for key, value in result.summary().items():
+        print(f"{key:>20}: {value}")
+    for group in result.groups:
+        flag = " (oversized)" if group.oversized else ""
+        print(f"  {group.name}: {', '.join(group.machine_names)} "
+              f"[{group.points} pts]{flag}")
+    if args.out:
+        written = result.write_to(args.out)
+        print(f"wrote {len(written)} files under {args.out}")
+    return 0
+
+
+def _cmd_deploy(args) -> int:
+    from .icelab import run_icelab
+    result = run_icelab(capacity=args.capacity,
+                        smoke_steps=args.steps)
+    smoke = result.smoke
+    print(f"pods: {smoke.pods_running} running, {smoke.pods_failed} failed,"
+          f" {smoke.pods_pending} pending")
+    print(f"variables flowing: {smoke.variables_flowing}"
+          f"/{smoke.variables_total}")
+    print(f"machines with data: {smoke.machines_with_data}"
+          f"/{smoke.machines_total}")
+    print(f"services invoked: {smoke.services_invoked} "
+          f"(failed: {smoke.services_failed})")
+    print(f"data points stored: {smoke.data_points_stored}")
+    from .som import KpiMonitor
+    monitor = KpiMonitor(result.world.store, result.topology)
+    print()
+    print(monitor.line_kpi().render())
+    print(f"RESULT: {'OK' if smoke.all_ok else 'FAILED'}")
+    result.shutdown()
+    return 0 if smoke.all_ok else 1
+
+
+def _cmd_table1(args) -> int:
+    from .codegen import generate_configuration
+    from .icelab import icelab_model
+    from .pipeline import build_table1_report
+    model = icelab_model()
+    generation = generate_configuration(model, capacity=args.capacity)
+    report = build_table1_report(model, generation.topology, generation)
+    print(report.render())
+    return 0
+
+
+def _cmd_figures(args) -> int:
+    from .codegen import generate_configuration
+    from .diagrams import (connections_ascii, connections_dot,
+                           measure_connections, overview_ascii,
+                           overview_dot)
+    from .icelab import icelab_model
+    model = icelab_model()
+    generation = generate_configuration(model)
+    print("=== Figure 1 (methodology overview) ===")
+    print(overview_ascii(generation) if not args.dot
+          else overview_dot(generation))
+    figure = measure_connections(model, "emco", "emcoDriverInstance")
+    print("=== Figure 2 (machine-driver connections, EMCO) ===")
+    print(connections_ascii(figure) if not args.dot
+          else connections_dot(figure))
+    return 0
+
+
+def _cmd_convert(args) -> int:
+    from .sysml.files import convert_model_file
+    written = convert_model_file(args.source, args.destination)
+    print(f"wrote {written}")
+    return 0
+
+
+def _cmd_handbook(args) -> int:
+    from .codegen import generate_configuration, generate_handbook
+    from .icelab import icelab_model
+    result = generate_configuration(icelab_model(), namespace="icelab")
+    text = generate_handbook(result, title="ICE Laboratory handbook")
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(text)
+        print(f"wrote {len(text)} bytes to {args.out}")
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
+def _cmd_verify(args) -> int:
+    from .icelab import run_icelab
+    from .pipeline import verify_conformance
+    result = run_icelab(smoke_steps=args.steps)
+    report = verify_conformance(result)
+    print(report.render())
+    result.shutdown()
+    return 0 if report.ok else 1
+
+
+def _cmd_compare(args) -> int:
+    from .baseline import compare_methodologies
+    from .machines.specs import ICE_LAB_SPECS
+    print(compare_methodologies(list(ICE_LAB_SPECS)).render())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-factory",
+        description="SysML v2 smart-factory configuration (DATE 2025 "
+                    "reproduction)")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    p_model = subparsers.add_parser("model", help="emit the ICE-lab model")
+    p_model.add_argument("--out", help="write to file instead of stdout")
+    p_model.set_defaults(func=_cmd_model)
+
+    p_validate = subparsers.add_parser("validate",
+                                       help="validate a model file")
+    p_validate.add_argument("file", nargs="?",
+                            help=".sysml file (default: built-in ICE lab)")
+    p_validate.set_defaults(func=_cmd_validate)
+
+    p_generate = subparsers.add_parser("generate",
+                                       help="run the generation pipeline")
+    p_generate.add_argument("--capacity", type=int, default=120,
+                            help="max points per OPC UA client")
+    p_generate.add_argument("--namespace", default="icelab")
+    p_generate.add_argument("--out", help="directory for generated files")
+    p_generate.set_defaults(func=_cmd_generate)
+
+    p_deploy = subparsers.add_parser("deploy",
+                                     help="full simulated deployment")
+    p_deploy.add_argument("--capacity", type=int, default=120)
+    p_deploy.add_argument("--steps", type=int, default=5,
+                          help="simulation steps for the smoke test")
+    p_deploy.set_defaults(func=_cmd_deploy)
+
+    p_table1 = subparsers.add_parser("table1",
+                                     help="print the reproduced Table I")
+    p_table1.add_argument("--capacity", type=int, default=120)
+    p_table1.set_defaults(func=_cmd_table1)
+
+    p_figures = subparsers.add_parser("figures",
+                                      help="print Figures 1 and 2")
+    p_figures.add_argument("--dot", action="store_true",
+                           help="emit Graphviz DOT instead of ASCII")
+    p_figures.set_defaults(func=_cmd_figures)
+
+    p_convert = subparsers.add_parser(
+        "convert", help="convert a model between .sysml and .json")
+    p_convert.add_argument("source")
+    p_convert.add_argument("destination")
+    p_convert.set_defaults(func=_cmd_convert)
+
+    p_handbook = subparsers.add_parser(
+        "handbook", help="generate the factory operator handbook")
+    p_handbook.add_argument("--out", help="write to file instead of stdout")
+    p_handbook.set_defaults(func=_cmd_handbook)
+
+    p_verify = subparsers.add_parser(
+        "verify", help="deploy, then check model-vs-deployment conformance")
+    p_verify.add_argument("--steps", type=int, default=5)
+    p_verify.set_defaults(func=_cmd_verify)
+
+    p_compare = subparsers.add_parser("compare",
+                                      help="SysML v1 vs v2 comparison")
+    p_compare.set_defaults(func=_cmd_compare)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

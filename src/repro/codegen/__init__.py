@@ -1,0 +1,23 @@
+"""Step 1+2 of the paper's pipeline: model -> JSON -> Kubernetes YAML."""
+
+from .client_config import client_config, topic_root
+from .docs_gen import generate_handbook
+from .incremental import (IncrementalResult, changed_machine_names, regenerate)
+from .grouping import (ClientGroup, DEFAULT_CLIENT_CAPACITY, GroupingError,
+                       group_machines, grouping_stats, lower_bound_clients)
+from .machine_config import (WORKCELL_SERVER_PORT, machine_config,
+                             workcell_endpoint, workcell_server_config)
+from .pipeline import (COMPONENT_IMAGES, GenerationPipeline,
+                       GenerationResult, generate_configuration)
+from .storage_config import storage_config
+
+__all__ = [
+    "COMPONENT_IMAGES", "ClientGroup", "DEFAULT_CLIENT_CAPACITY",
+    "IncrementalResult", "changed_machine_names", "generate_handbook",
+    "regenerate",
+    "GenerationPipeline", "GenerationResult", "GroupingError",
+    "WORKCELL_SERVER_PORT", "client_config", "generate_configuration",
+    "group_machines", "grouping_stats", "lower_bound_clients",
+    "machine_config", "storage_config", "topic_root", "workcell_endpoint",
+    "workcell_server_config",
+]

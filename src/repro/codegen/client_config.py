@@ -1,0 +1,66 @@
+"""Step 1b: per-group OPC UA client configuration JSON.
+
+Each client module connects the machines of its group (all hosted on
+their workcells' OPC UA servers) to the message broker: it subscribes
+to every variable and republishes on the ISA-95 topic layout, and it
+serves broker-side method invocation requests by forwarding them as UA
+calls.
+"""
+
+from __future__ import annotations
+
+from ..isa95.levels import FactoryTopology
+from ..templates.engine import k8s_name
+from .grouping import ClientGroup
+from .machine_config import workcell_endpoint
+
+
+def topic_root(topology: FactoryTopology) -> str:
+    """Base topic level for the factory, derived from the hierarchy."""
+    area = k8s_name(topology.area or "factory")
+    line = k8s_name(topology.production_lines[0]
+                    if topology.production_lines else "line")
+    return f"{area}/{line}"
+
+
+def client_config(group: ClientGroup, topology: FactoryTopology,
+                  broker_url: str = "mqtt://broker:1883") -> dict:
+    """The intermediate JSON for one OPC UA client module."""
+    root = topic_root(topology)
+    machines = []
+    for machine in group.machines:
+        base_topic = f"{root}/{k8s_name(machine.workcell)}/{machine.name}"
+        machines.append({
+            "machine": machine.name,
+            "workcell": machine.workcell,
+            "server_endpoint": workcell_endpoint(machine.workcell),
+            "data_topic": f"{base_topic}/data",
+            "service_topic": f"{base_topic}/services",
+            "subscriptions": [
+                {
+                    "variable": variable.name,
+                    "node_id": f"ns=2;s={machine.name}/data/{variable.name}",
+                    "topic": f"{base_topic}/data/{variable.name}",
+                }
+                for variable in machine.variables
+            ],
+            "methods": [
+                {
+                    "method": service.name,
+                    "node_id": (f"ns=2;s={machine.name}/services/"
+                                f"{service.name}"),
+                    "topic": f"{base_topic}/services/{service.name}",
+                    "input_count": len(service.inputs),
+                }
+                for service in machine.services
+            ],
+        })
+    return {
+        "client": group.name,
+        "capacity": group.capacity,
+        "assigned_points": group.points,
+        "oversized": group.oversized,
+        "broker": {"url": broker_url, "client_id": group.name},
+        "topic_root": root,
+        "machines": machines,
+    }

@@ -1,0 +1,129 @@
+"""Factory handbook generation.
+
+The paper notes the generated configuration "would have been manually
+written by engineers". The same holds for the plant documentation: this
+module renders a Markdown operator handbook straight from the extracted
+topology and the generation result — machine inventories, connection
+parameters, topic layout, and the deployment map — so documentation can
+never drift from the model either.
+"""
+
+from __future__ import annotations
+
+from ..isa95.levels import FactoryTopology, MachineInfo
+from .machine_config import workcell_endpoint
+from .pipeline import GenerationResult
+
+
+def machine_section(machine: MachineInfo) -> str:
+    """Markdown section for one machine."""
+    lines = [f"### {machine.name} ({machine.type_name})", ""]
+    driver = machine.driver
+    if driver is not None:
+        lines.append(f"*Driver:* `{driver.protocol}` "
+                     f"({'standardized' if driver.is_generic else 'proprietary'})")
+        if driver.parameters:
+            lines.append("")
+            lines.append("| parameter | value |")
+            lines.append("|---|---|")
+            for name, value in sorted(driver.parameters.items()):
+                lines.append(f"| `{name}` | `{value}` |")
+    lines.append("")
+    lines.append(f"*Variables ({len(machine.variables)}):*")
+    lines.append("")
+    lines.append("| variable | type | category | unit |")
+    lines.append("|---|---|---|---|")
+    for variable in machine.variables:
+        lines.append(f"| `{variable.name}` | {variable.data_type} | "
+                     f"{variable.category or '-'} | "
+                     f"{variable.unit or '-'} |")
+    lines.append("")
+    lines.append(f"*Services ({len(machine.services)}):*")
+    lines.append("")
+    lines.append("| service | inputs | outputs |")
+    lines.append("|---|---|---|")
+    for service in machine.services:
+        inputs = ", ".join(f"{a.name}: {a.data_type}"
+                           for a in service.inputs) or "-"
+        outputs = ", ".join(f"{a.name}: {a.data_type}"
+                            for a in service.outputs) or "-"
+        lines.append(f"| `{service.name}` | {inputs} | {outputs} |")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def topology_overview(topology: FactoryTopology) -> str:
+    summary = topology.summary()
+    lines = [
+        "## Plant overview", "",
+        f"- **Enterprise:** {topology.enterprise}",
+        f"- **Site:** {topology.site}",
+        f"- **Area:** {topology.area}",
+        f"- **Production lines:** "
+        f"{', '.join(topology.production_lines) or '-'}",
+        f"- **Workcells:** {summary['workcells']}  "
+        f"**Machines:** {summary['machines']}  "
+        f"**Variables:** {summary['variables']}  "
+        f"**Services:** {summary['services']}",
+        "",
+    ]
+    return "\n".join(lines)
+
+
+def deployment_section(result: GenerationResult) -> str:
+    lines = ["## Deployed software stack", "",
+             "| component | kind | covers |", "|---|---|---|"]
+    for workcell_name, config in sorted(result.server_configs.items()):
+        machines = ", ".join(m["machine"] for m in config["machines"])
+        lines.append(f"| `{config['server']}` | OPC UA server | "
+                     f"{machines} ({workcell_endpoint(workcell_name)}) |")
+    for config in result.client_configs:
+        machines = ", ".join(m["machine"] for m in config["machines"])
+        oversized = " *(dedicated)*" if config["oversized"] else ""
+        lines.append(f"| `{config['client']}` | OPC UA client | "
+                     f"{machines}{oversized} |")
+    for config in result.storage_configs:
+        machines = ", ".join(config["machines"])
+        lines.append(f"| `{config['historian']}` | historian | "
+                     f"{machines} |")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def topics_section(result: GenerationResult) -> str:
+    lines = ["## Broker topic layout", "",
+             "Data topics (retained, one per variable):", "```"]
+    for config in result.client_configs:
+        for machine in config["machines"]:
+            lines.append(f"{machine['data_topic']}/<variable>")
+    lines.append("```")
+    lines.append("")
+    lines.append("Service topics (request/reply):")
+    lines.append("```")
+    for config in result.client_configs:
+        for machine in config["machines"]:
+            lines.append(f"{machine['service_topic']}/<service>")
+    lines.append("```")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def generate_handbook(result: GenerationResult,
+                      *, title: str = "Factory handbook") -> str:
+    """The complete Markdown handbook for one generated configuration."""
+    topology = result.topology
+    parts = [f"# {title}", "",
+             "*Generated from the SysML v2 model — do not edit by hand; "
+             "regenerate instead.*", "",
+             topology_overview(topology),
+             deployment_section(result),
+             topics_section(result)]
+    for workcell in topology.workcells:
+        if not workcell.machines:
+            continue
+        parts.append(f"## Workcell {workcell.name} "
+                     f"(line {workcell.production_line})")
+        parts.append("")
+        for machine in workcell.machines:
+            parts.append(machine_section(machine))
+    return "\n".join(parts)

@@ -1,0 +1,128 @@
+"""Incremental regeneration.
+
+Given a previous generation result and an updated model, regenerate only
+the configuration files affected by the change: the touched machines'
+configs, their workcells' server configs, and any client/storage group
+whose membership or contents changed. Untouched manifests are reused
+verbatim — what a deployment pipeline needs to avoid restarting every
+pod on every model edit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..isa95.levels import FactoryTopology, MachineInfo
+from ..isa95.topology import extract_topology
+from ..sysml.diff import ModelDiff, diff_models
+from ..sysml.elements import Model
+from .pipeline import GenerationPipeline, GenerationResult
+
+
+@dataclass
+class IncrementalResult:
+    """Outcome of an incremental regeneration."""
+
+    result: GenerationResult
+    diff: ModelDiff
+    changed_machines: list[str] = field(default_factory=list)
+    regenerated_manifests: list[str] = field(default_factory=list)
+    reused_manifests: list[str] = field(default_factory=list)
+
+    @property
+    def fully_reused(self) -> bool:
+        return not self.regenerated_manifests
+
+    def summary(self) -> dict[str, object]:
+        return {
+            "model_changes": len(self.diff),
+            "changed_machines": list(self.changed_machines),
+            "regenerated": len(self.regenerated_manifests),
+            "reused": len(self.reused_manifests),
+        }
+
+
+def _machine_signature(machine: MachineInfo) -> tuple:
+    driver = machine.driver
+    return (
+        machine.name,
+        machine.workcell,
+        tuple((v.name, v.data_type, v.category) for v in machine.variables),
+        tuple((s.name,
+               tuple((a.name, a.data_type) for a in s.inputs),
+               tuple((a.name, a.data_type) for a in s.outputs))
+              for s in machine.services),
+        (driver.protocol, tuple(sorted(
+            (k, str(v)) for k, v in driver.parameters.items())))
+        if driver else None,
+    )
+
+
+def changed_machine_names(old_topology: FactoryTopology,
+                          new_topology: FactoryTopology) -> list[str]:
+    """Machines whose extracted content differs between two topologies."""
+    old_signatures = {m.name: _machine_signature(m)
+                      for m in old_topology.machines}
+    new_signatures = {m.name: _machine_signature(m)
+                      for m in new_topology.machines}
+    changed = set()
+    for name in old_signatures.keys() | new_signatures.keys():
+        if old_signatures.get(name) != new_signatures.get(name):
+            changed.add(name)
+    return sorted(changed)
+
+
+def regenerate(previous: GenerationResult, old_model: Model,
+               new_model: Model,
+               pipeline: GenerationPipeline | None = None
+               ) -> IncrementalResult:
+    """Regenerate configuration for *new_model*, reusing what it can.
+
+    The returned :class:`GenerationResult` is complete (fresh topology,
+    fresh groups); what "incremental" buys is the classification of
+    manifests into regenerated vs reused, with reused manifest text
+    taken byte-identical from *previous* so unchanged components do not
+    redeploy.
+    """
+    pipeline = pipeline or GenerationPipeline()
+    diff = diff_models(old_model, new_model)
+    new_topology = extract_topology(new_model)
+    changed = changed_machine_names(previous.topology, new_topology)
+    fresh = pipeline.run_on_topology(new_topology)
+
+    changed_set = set(changed)
+    changed_workcells = {m.workcell for m in new_topology.machines
+                         if m.name in changed_set}
+    changed_workcells |= {m.workcell for m in previous.topology.machines
+                          if m.name in changed_set}
+    # groups whose membership or member contents changed
+    changed_groups: set[str] = set()
+    previous_membership = {tuple(c["machines"] and
+                                 [m["machine"] for m in c["machines"]]):
+                           c["client"]
+                           for c in previous.client_configs}
+    for config in fresh.client_configs:
+        members = tuple(m["machine"] for m in config["machines"])
+        if previous_membership.get(members) != config["client"] or \
+                changed_set.intersection(members):
+            changed_groups.add(config["client"])
+
+    regenerated: list[str] = []
+    reused: list[str] = []
+    merged_manifests: dict[str, str] = {}
+    for filename, text in fresh.manifests.items():
+        previous_text = previous.manifests.get(filename)
+        if previous_text == text:
+            merged_manifests[filename] = previous_text
+            reused.append(filename)
+        else:
+            merged_manifests[filename] = text
+            regenerated.append(filename)
+    fresh.manifests = merged_manifests
+    return IncrementalResult(
+        result=fresh,
+        diff=diff,
+        changed_machines=changed,
+        regenerated_manifests=sorted(regenerated),
+        reused_manifests=sorted(reused),
+    )

@@ -1,0 +1,101 @@
+"""Step 1a: per-machine intermediate JSON.
+
+"The tool explores the represented ISA-95 topology of the manufacturing
+system, and generates a JSON file for each Machine. The JSON file
+contains the information needed to configure their respective OPC UA
+server and the connection parameters with the machine drivers."
+"""
+
+from __future__ import annotations
+
+from ..isa95.levels import FactoryTopology, MachineInfo
+from ..templates.engine import k8s_name
+
+#: Port every workcell OPC UA server listens on inside its pod.
+WORKCELL_SERVER_PORT = 4840
+
+
+def workcell_endpoint(workcell: str) -> str:
+    """In-cluster endpoint of a workcell's OPC UA server."""
+    return f"opc.tcp://{k8s_name(workcell)}:{WORKCELL_SERVER_PORT}"
+
+
+def machine_config(machine: MachineInfo,
+                   topology: FactoryTopology) -> dict:
+    """The intermediate JSON for one machine."""
+    driver = machine.driver
+    return {
+        "machine": machine.name,
+        "machine_type": machine.type_name,
+        "workcell": machine.workcell,
+        "hierarchy": {
+            "enterprise": topology.enterprise,
+            "site": topology.site,
+            "area": topology.area,
+            "production_line": _line_of(machine, topology),
+        },
+        "opcua_server": {
+            "endpoint": workcell_endpoint(machine.workcell),
+            "namespace_uri": f"urn:factory:{k8s_name(machine.name)}",
+            "browse_root": machine.name,
+        },
+        "driver": {
+            "name": driver.name if driver else "",
+            "protocol": driver.protocol if driver else "",
+            "is_generic": driver.is_generic if driver else False,
+            "parameters": dict(driver.parameters) if driver else {},
+        },
+        "variables": [
+            {
+                "name": variable.name,
+                "data_type": variable.data_type,
+                "category": variable.category,
+                "unit": variable.unit,
+                "node_id": f"ns=2;s={machine.name}/data/{variable.name}",
+            }
+            for variable in machine.variables
+        ],
+        "methods": [
+            {
+                "name": service.name,
+                "node_id": f"ns=2;s={machine.name}/services/{service.name}",
+                "inputs": [{"name": a.name, "data_type": a.data_type}
+                           for a in service.inputs],
+                "outputs": [{"name": a.name, "data_type": a.data_type}
+                            for a in service.outputs],
+            }
+            for service in machine.services
+        ],
+    }
+
+
+def workcell_server_config(workcell_name: str,
+                           machine_configs: list[dict]) -> dict:
+    """Aggregate machine JSONs into one OPC UA server config per workcell.
+
+    This is why the ICE-lab run yields 6 OPC UA servers: one per
+    workcell, each exposing every machine of that cell.
+    """
+    return {
+        "server": f"{k8s_name(workcell_name)}-opcua-server",
+        "workcell": workcell_name,
+        "endpoint": workcell_endpoint(workcell_name),
+        "port": WORKCELL_SERVER_PORT,
+        "machines": [
+            {
+                "machine": config["machine"],
+                "driver": config["driver"],
+                "browse_root": config["opcua_server"]["browse_root"],
+                "variables": config["variables"],
+                "methods": config["methods"],
+            }
+            for config in machine_configs
+        ],
+    }
+
+
+def _line_of(machine: MachineInfo, topology: FactoryTopology) -> str:
+    for workcell in topology.workcells:
+        if workcell.name == machine.workcell:
+            return workcell.production_line
+    return ""

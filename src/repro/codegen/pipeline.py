@@ -1,0 +1,236 @@
+"""The two-step generation pipeline (Section IV of the paper).
+
+Step 1: SysML v2 model -> ISA-95 topology -> intermediate JSON files
+        (one per machine; one OPC UA server config per workcell; one
+        client config + one storage config per machine group).
+Step 2: intermediate JSON -> Kubernetes YAML via templates.
+
+:func:`generate_configuration` runs both steps, measures the generation
+time, and reports the same quantities as the last row of Table I
+(generation time, #OPC UA servers, #clients, configuration size).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..isa95.levels import FactoryTopology
+from ..isa95.topology import extract_topology
+from ..isa95.validation import validate_topology
+from ..sysml.elements import Model
+from ..sysml.errors import ValidationError
+from ..templates.engine import k8s_name
+from ..templates.library import get_template
+from .client_config import client_config
+from .grouping import (ClientGroup, DEFAULT_CLIENT_CAPACITY, group_machines)
+from .machine_config import machine_config, workcell_server_config
+from .storage_config import storage_config
+
+#: Container images of the deployed software stack components.
+COMPONENT_IMAGES = {
+    "opcua-server": "factory/opcua-server:1.4.2",
+    "opcua-client": "factory/opcua-client:1.4.2",
+    "historian": "factory/historian:1.2.0",
+}
+
+
+@dataclass
+class GenerationResult:
+    """Everything the pipeline produced, plus metrics."""
+
+    topology: FactoryTopology
+    machine_configs: dict[str, dict] = field(default_factory=dict)
+    server_configs: dict[str, dict] = field(default_factory=dict)
+    client_configs: list[dict] = field(default_factory=list)
+    storage_configs: list[dict] = field(default_factory=list)
+    groups: list[ClientGroup] = field(default_factory=list)
+    manifests: dict[str, str] = field(default_factory=dict)
+    generation_seconds: float = 0.0
+    step1_seconds: float = 0.0
+    step2_seconds: float = 0.0
+
+    # -- Table I, last row -------------------------------------------------
+
+    @property
+    def opcua_server_count(self) -> int:
+        return len(self.server_configs)
+
+    @property
+    def opcua_client_count(self) -> int:
+        return len(self.client_configs)
+
+    @property
+    def config_size_bytes(self) -> int:
+        total = sum(len(json.dumps(c, indent=2)) for c in
+                    self._all_json_configs())
+        total += sum(len(text) for text in self.manifests.values())
+        return total
+
+    @property
+    def config_size_kb(self) -> float:
+        return self.config_size_bytes / 1024.0
+
+    def _all_json_configs(self) -> list[dict]:
+        return (list(self.machine_configs.values())
+                + list(self.server_configs.values())
+                + self.client_configs + self.storage_configs)
+
+    def summary(self) -> dict[str, object]:
+        return {
+            "generation_time_s": round(self.generation_seconds, 3),
+            "opcua_servers": self.opcua_server_count,
+            "opcua_clients": self.opcua_client_count,
+            "config_size_kb": round(self.config_size_kb, 1),
+            "machines": len(self.machine_configs),
+            "manifest_files": len(self.manifests),
+        }
+
+    # -- file output ----------------------------------------------------------
+
+    def write_to(self, directory: str | Path) -> list[Path]:
+        """Materialize every JSON and YAML file; returns written paths."""
+        base = Path(directory)
+        written: list[Path] = []
+        json_dir = base / "intermediate"
+        yaml_dir = base / "manifests"
+        json_dir.mkdir(parents=True, exist_ok=True)
+        yaml_dir.mkdir(parents=True, exist_ok=True)
+        for name, config in self.machine_configs.items():
+            written.append(_write_json(json_dir / f"machine-{name}.json",
+                                       config))
+        for name, config in self.server_configs.items():
+            written.append(_write_json(
+                json_dir / f"server-{k8s_name(name)}.json", config))
+        for config in self.client_configs:
+            written.append(_write_json(
+                json_dir / f"{config['client']}.json", config))
+        for config in self.storage_configs:
+            written.append(_write_json(
+                json_dir / f"{config['historian']}.json", config))
+        for filename, text in self.manifests.items():
+            path = yaml_dir / filename
+            path.write_text(text)
+            written.append(path)
+        return written
+
+
+def _write_json(path: Path, config: dict) -> Path:
+    path.write_text(json.dumps(config, indent=2) + "\n")
+    return path
+
+
+class GenerationPipeline:
+    """Configurable pipeline instance."""
+
+    def __init__(self, *, capacity: int = DEFAULT_CLIENT_CAPACITY,
+                 namespace: str = "factory",
+                 broker_url: str = "mqtt://broker:1883",
+                 database_url: str = "ts://factorydb:8086",
+                 validate: bool = True):
+        self.capacity = capacity
+        self.namespace = namespace
+        self.broker_url = broker_url
+        self.database_url = database_url
+        self.validate = validate
+
+    # -- entry points ---------------------------------------------------------
+
+    def run_on_model(self, model: Model) -> GenerationResult:
+        started = time.perf_counter()
+        topology = extract_topology(model)
+        result = self._run(topology, extraction_started=started)
+        return result
+
+    def run_on_topology(self, topology: FactoryTopology) -> GenerationResult:
+        return self._run(topology, extraction_started=time.perf_counter())
+
+    def _run(self, topology: FactoryTopology,
+             extraction_started: float) -> GenerationResult:
+        if self.validate:
+            report = validate_topology(topology)
+            if not report.ok:
+                raise ValidationError(
+                    "topology validation failed: "
+                    + "; ".join(str(d) for d in report.errors))
+        result = GenerationResult(topology=topology)
+        step1_started = time.perf_counter()
+        self._step1(topology, result)
+        result.step1_seconds = time.perf_counter() - step1_started
+        step2_started = time.perf_counter()
+        self._step2(result)
+        result.step2_seconds = time.perf_counter() - step2_started
+        result.generation_seconds = time.perf_counter() - extraction_started
+        return result
+
+    # -- step 1: intermediate JSON ------------------------------------------------
+
+    def _step1(self, topology: FactoryTopology,
+               result: GenerationResult) -> None:
+        for machine in topology.machines:
+            result.machine_configs[machine.name] = machine_config(
+                machine, topology)
+        for workcell in topology.workcells:
+            if not workcell.machines:
+                continue
+            configs = [result.machine_configs[m.name]
+                       for m in workcell.machines]
+            result.server_configs[workcell.name] = workcell_server_config(
+                workcell.name, configs)
+        result.groups = group_machines(topology.machines, self.capacity)
+        for group in result.groups:
+            result.client_configs.append(
+                client_config(group, topology, self.broker_url))
+            result.storage_configs.append(
+                storage_config(group, topology, self.broker_url,
+                               self.database_url))
+
+    # -- step 2: Kubernetes YAML -----------------------------------------------------
+
+    def _step2(self, result: GenerationResult) -> None:
+        for workcell_name, config in result.server_configs.items():
+            name = config["server"]
+            result.manifests[f"{name}.yaml"] = self._render(
+                "opcua-server", name, config, port=config["port"])
+        for config in result.client_configs:
+            name = config["client"]
+            result.manifests[f"{name}.yaml"] = self._render(
+                "opcua-client", name, config)
+        for config in result.storage_configs:
+            name = config["historian"]
+            result.manifests[f"{name}.yaml"] = self._render(
+                "historian", name, config)
+
+    def _render(self, kind: str, name: str, config: dict,
+                *, port: int | None = None) -> str:
+        context = {
+            "namespace": self.namespace,
+            "broker_url": self.broker_url,
+            "database_url": self.database_url,
+            "component": {
+                "name": name,
+                "kind": kind,
+                "image": COMPONENT_IMAGES[kind],
+                "replicas": 1,
+                "port": port or 0,
+                "cpu_request": "100m",
+                "memory_request": "128Mi",
+                "config_json": config,
+            },
+        }
+        return get_template(kind).render(context)
+
+
+def generate_configuration(model: Model, *,
+                           capacity: int = DEFAULT_CLIENT_CAPACITY,
+                           namespace: str = "factory",
+                           broker_url: str = "mqtt://broker:1883",
+                           database_url: str = "ts://factorydb:8086",
+                           validate: bool = True) -> GenerationResult:
+    """Run the full two-step pipeline on a resolved SysML model."""
+    pipeline = GenerationPipeline(
+        capacity=capacity, namespace=namespace, broker_url=broker_url,
+        database_url=database_url, validate=validate)
+    return pipeline.run_on_model(model)

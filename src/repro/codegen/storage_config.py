@@ -1,0 +1,34 @@
+"""Step 1c: per-group database-storage (historian) configuration JSON.
+
+"For each group of machines, the tool generates two JSON files
+containing the information to configure the OPC UA client and the
+software component storing the data in the databases." — this module is
+the second of those two files.
+"""
+
+from __future__ import annotations
+
+from ..isa95.levels import FactoryTopology
+from .client_config import topic_root
+from .grouping import ClientGroup
+
+
+def storage_config(group: ClientGroup, topology: FactoryTopology,
+                   broker_url: str = "mqtt://broker:1883",
+                   database_url: str = "ts://factorydb:8086") -> dict:
+    """The intermediate JSON for one historian component."""
+    root = topic_root(topology)
+    return {
+        "historian": f"historian-{group.index:02d}",
+        "paired_client": group.name,
+        "broker": {"url": broker_url,
+                   "client_id": f"historian-{group.index:02d}"},
+        "database": {
+            "url": database_url,
+            "measurement": "machine_data",
+            "retention_days": 365,
+        },
+        "topic_root": root,
+        "machines": [machine.name for machine in group.machines],
+        "expected_series": sum(len(m.variables) for m in group.machines),
+    }

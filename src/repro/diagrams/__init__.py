@@ -1,0 +1,8 @@
+"""Figure regeneration: methodology overview (Fig. 1) and connections (Fig. 2)."""
+
+from .connections import (ConnectionFigure, connections_ascii,
+                          connections_dot, measure_connections)
+from .overview import overview_ascii, overview_dot
+
+__all__ = ["ConnectionFigure", "connections_ascii", "connections_dot",
+           "measure_connections", "overview_ascii", "overview_dot"]

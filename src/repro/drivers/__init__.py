@@ -1,0 +1,17 @@
+"""Driver runtimes: proprietary (EMCO, UR) and generic OPC UA adapters."""
+
+from .base import DriverError, DriverRuntime, SimulatorBackedDriver
+from .emco import EMCODriver, decode_value, encode_value
+from .modbus import (ModbusDriver, RegisterBinding, build_register_map,
+                     decode_float, decode_int, decode_string, encode_float,
+                     encode_int, encode_string)
+from .opcua_driver import OpcUaGenericDriver, host_machine_server
+from .runtime import DriverFactory
+from .ur import URDriver
+
+__all__ = ["DriverError", "DriverFactory", "DriverRuntime", "EMCODriver",
+           "ModbusDriver", "RegisterBinding", "build_register_map",
+           "decode_float", "decode_int", "decode_string", "encode_float",
+           "encode_int", "encode_string",
+           "OpcUaGenericDriver", "SimulatorBackedDriver", "URDriver",
+           "decode_value", "encode_value", "host_machine_server"]

@@ -1,0 +1,105 @@
+"""EMCO proprietary driver.
+
+The EMCO Concept Mill speaks a line-oriented ASCII protocol over TCP.
+The runtime encodes every request as a frame, "transmits" it to the
+machine simulator, and decodes the reply — exercising a real
+encode/dispatch/decode path even though the socket is simulated.
+
+Frame grammar::
+
+    GET <variable>\\n            ->  VAL <variable> <repr(value)>\\n
+    CALL <method> [args...]\\n   ->  RET <method> [values...]\\n
+    error replies                ->  ERR <message>\\n
+"""
+
+from __future__ import annotations
+
+from ..machines.catalog import DriverSpec
+from ..machines.simulator import MachineSimulator, SimulationError
+from .base import DriverError, SimulatorBackedDriver
+
+
+def encode_value(value: object) -> str:
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, (int, float)):
+        return repr(value)
+    text = str(value).replace("%", "%25").replace(" ", "%20")
+    return text
+
+
+def decode_value(text: str, data_type: str) -> object:
+    if data_type == "Boolean":
+        return text == "1"
+    if data_type in ("Integer", "Natural"):
+        return int(text)
+    if data_type in ("Real", "Double"):
+        return float(text)
+    return text.replace("%20", " ").replace("%25", "%")
+
+
+class EMCODriver(SimulatorBackedDriver):
+    """Runtime for the ``EMCODriver`` protocol of the paper's Code 2."""
+
+    protocol = "EMCODriver"
+
+    def __init__(self, spec: DriverSpec, machine: MachineSimulator):
+        super().__init__(spec, machine)
+        self.frames_sent = 0
+        self.frames_received = 0
+
+    # -- wire protocol ------------------------------------------------------
+
+    def _transact(self, frame: str) -> str:
+        """Send one frame to the (simulated) machine, return the reply."""
+        self._ensure_connected()
+        self.frames_sent += 1
+        reply = self._machine_side_dispatch(frame.rstrip("\n"))
+        self.frames_received += 1
+        return reply
+
+    def _machine_side_dispatch(self, frame: str) -> str:
+        parts = frame.split(" ")
+        command = parts[0]
+        try:
+            if command == "GET" and len(parts) == 2:
+                value = self.machine.read(parts[1])
+                return f"VAL {parts[1]} {encode_value(value)}"
+            if command == "CALL" and len(parts) >= 2:
+                method = parts[1]
+                service = self.machine.service(method)
+                if len(parts) - 2 != len(service.inputs):
+                    return (f"ERR bad arity for {method}: expected "
+                            f"{len(service.inputs)}")
+                args = tuple(
+                    decode_value(raw, arg.data_type)
+                    for raw, arg in zip(parts[2:], service.inputs))
+                results = self.machine.call(method, *args)
+                rendered = " ".join(encode_value(v) for v in results)
+                return f"RET {method} {rendered}".rstrip()
+            return f"ERR unknown command {command}"
+        except (SimulationError, KeyError) as exc:
+            return f"ERR {exc}"
+
+    # -- DriverRuntime interface ------------------------------------------------
+
+    def read_variable(self, name: str) -> object:
+        reply = self._transact(f"GET {name}\n")
+        if reply.startswith("ERR"):
+            raise DriverError(reply)
+        _tag, _name, raw = reply.split(" ", 2)
+        spec = next(v for v in self.machine.spec.variables
+                    if v.name == name)
+        return decode_value(raw, spec.data_type)
+
+    def call_method(self, name: str, *args) -> tuple:
+        encoded = " ".join(encode_value(a) for a in args)
+        frame = f"CALL {name} {encoded}".rstrip() + "\n"
+        reply = self._transact(frame)
+        if reply.startswith("ERR"):
+            raise DriverError(reply)
+        parts = reply.split(" ")
+        service = self.machine.service(name)
+        raw_values = parts[2:]
+        return tuple(decode_value(raw, arg.data_type)
+                     for raw, arg in zip(raw_values, service.outputs))

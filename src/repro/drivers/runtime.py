@@ -1,0 +1,61 @@
+"""Driver factory: build the right runtime for a machine spec.
+
+For generic OPC UA machines this also hosts the machine-side server
+(once per machine) on the configured endpoint.
+"""
+
+from __future__ import annotations
+
+from ..machines.catalog import MachineSpec
+from ..machines.simulator import MachineSimulator
+from ..opcua import OpcUaServer, UaNetwork
+from .base import DriverError, DriverRuntime
+from .emco import EMCODriver
+from .modbus import ModbusDriver
+from .opcua_driver import OpcUaGenericDriver, host_machine_server
+from .ur import URDriver
+
+
+class DriverFactory:
+    """Creates driver runtimes and machine-side UA servers."""
+
+    def __init__(self, network: UaNetwork):
+        self.network = network
+        self.machine_servers: dict[str, OpcUaServer] = {}
+        self._server_simulators: dict[str, int] = {}
+
+    def create(self, spec: MachineSpec,
+               machine: MachineSimulator) -> DriverRuntime:
+        protocol = spec.driver.protocol
+        if protocol == "EMCODriver":
+            return EMCODriver(spec.driver, machine)
+        if protocol == "URDriver":
+            return URDriver(spec.driver, machine)
+        if protocol == "ModbusDriver":
+            return ModbusDriver(spec.driver, machine)
+        if protocol == "OPCUADriver":
+            self._ensure_machine_server(spec, machine)
+            return OpcUaGenericDriver(spec.driver, spec.name, self.network)
+        raise DriverError(f"no driver runtime for protocol {protocol!r}")
+
+    def _ensure_machine_server(self, spec: MachineSpec,
+                               machine: MachineSimulator) -> None:
+        if spec.name in self.machine_servers:
+            if self._server_simulators.get(spec.name) == id(machine):
+                return
+            # the physical machine was replaced (e.g. firmware update
+            # adding variables): rehost its server
+            self.machine_servers.pop(spec.name).stop()
+        endpoint = spec.driver.parameters.get("endpoint")
+        if not endpoint:
+            raise DriverError(
+                f"machine {spec.name!r} declares an OPC UA driver without "
+                f"an endpoint parameter")
+        self.machine_servers[spec.name] = host_machine_server(
+            machine, str(endpoint), self.network)
+        self._server_simulators[spec.name] = id(machine)
+
+    def shutdown(self) -> None:
+        for server in self.machine_servers.values():
+            server.stop()
+        self.machine_servers.clear()

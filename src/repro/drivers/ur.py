@@ -1,0 +1,72 @@
+"""Universal Robots proprietary driver.
+
+Models the split personality of a real UR controller: a *realtime*
+telegram interface that delivers the whole machine state as one packet
+per cycle, and a *dashboard* command channel for program control. The
+runtime decodes telegrams into variables and encodes dashboard commands
+for service calls.
+"""
+
+from __future__ import annotations
+
+from ..machines.catalog import DriverSpec
+from ..machines.simulator import MachineSimulator, SimulationError
+from .base import DriverError, SimulatorBackedDriver
+
+#: Dashboard replies, as the real controller phrases them.
+_DASHBOARD_REPLIES = {
+    "play": "Starting program",
+    "pause": "Pausing program",
+    "stop": "Stopped",
+    "load_program": "Loading program: {arg}",
+}
+
+
+class URDriver(SimulatorBackedDriver):
+    """Runtime for the ``URDriver`` protocol."""
+
+    protocol = "URDriver"
+
+    def __init__(self, spec: DriverSpec, machine: MachineSimulator):
+        super().__init__(spec, machine)
+        self.telegrams_received = 0
+        self.dashboard_commands = 0
+        self._last_telegram: dict[str, object] = {}
+
+    # -- realtime interface -----------------------------------------------------
+
+    def receive_telegram(self) -> dict[str, object]:
+        """Fetch one full state telegram (all variables at once)."""
+        self._ensure_connected()
+        self.telegrams_received += 1
+        self._last_telegram = self.machine.variables()
+        return dict(self._last_telegram)
+
+    def read_variable(self, name: str) -> object:
+        telegram = self.receive_telegram()
+        try:
+            return telegram[name]
+        except KeyError:
+            raise DriverError(
+                f"telegram contains no field {name!r}") from None
+
+    # -- dashboard interface ---------------------------------------------------------
+
+    def send_dashboard_command(self, command: str, *args: str) -> str:
+        self._ensure_connected()
+        self.dashboard_commands += 1
+        if command not in _DASHBOARD_REPLIES:
+            return f"could not understand: '{command}'"
+        try:
+            self.machine.call(command, *args)
+        except SimulationError as exc:
+            return f"error: {exc}"
+        reply = _DASHBOARD_REPLIES[command]
+        return reply.format(arg=args[0]) if args else reply
+
+    def call_method(self, name: str, *args) -> tuple:
+        reply = self.send_dashboard_command(name,
+                                            *[str(a) for a in args])
+        if reply.startswith(("could not understand", "error")):
+            raise DriverError(reply)
+        return (True,)

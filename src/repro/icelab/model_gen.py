@@ -1,0 +1,307 @@
+"""Generator of the ICE Laboratory SysML v2 model.
+
+Produces, from the machine catalog, exactly the model structure the
+paper's methodology prescribes:
+
+* one library package per machine type (Code 2 + Code 3): the driver
+  definition specializing ``MachineDriver``/``GenericDriver`` with its
+  Parameters/Variables/Methods parts and Var/Method port definitions,
+  and the machine definition specializing ``Machine`` with category
+  part defs under ``MachineData``;
+* the instantiated ISA-95 topology (Code 4): enterprise -> site -> area
+  -> production line -> workcells -> machines, every machine variable
+  as an attribute bound to a conjugated driver port, every service as
+  an action exposed through a conjugated method port;
+* one driver instance per machine (Code 5) with parameter redefinitions
+  and driver-side ports, plus ``connect`` statements joining the two
+  sides of every data point (Section III-D / Figure 2).
+
+The output is textual SysML v2, so it exercises the full front end on a
+factory-scale model.
+"""
+
+from __future__ import annotations
+
+from ..isa95.levels import VariableSpec
+from ..isa95.library import ISA95_LIBRARY_SOURCE
+from ..machines.catalog import MachineSpec
+from ..machines.specs import ICE_LAB_SPECS
+from ..sysml.elements import Model
+from ..sysml.resolver import load_model
+
+_SCALAR = {"Real": "Real", "Double": "Real", "Integer": "Integer",
+           "Natural": "Integer", "Boolean": "Boolean", "String": "String"}
+
+
+def _scalar(data_type: str) -> str:
+    return _SCALAR.get(data_type, "Real")
+
+
+def _category_def_name(category: str) -> str:
+    """'Segment01' -> 'Segment01Data'; '' -> 'GeneralData'."""
+    cleaned = "".join((part[:1].upper() + part[1:]) if part else ""
+                      for part in category.replace("/", "_").split("_"))
+    return (cleaned or "General") + "Data"
+
+
+def lib_package_name(spec: MachineSpec) -> str:
+    return f"{spec.type_name}Lib"
+
+
+def driver_def_name(spec: MachineSpec) -> str:
+    return spec.driver.protocol
+
+
+def _var_port_def(spec: MachineSpec) -> str:
+    return f"{spec.type_name}Var"
+
+
+def _method_port_def(spec: MachineSpec) -> str:
+    return f"{spec.type_name}Mthd"
+
+
+def _categories(spec: MachineSpec) -> dict[str, list[VariableSpec]]:
+    categories: dict[str, list[VariableSpec]] = {}
+    for variable in spec.variables:
+        categories.setdefault(variable.category or "General",
+                              []).append(variable)
+    return categories
+
+
+# -- library package (Codes 2 and 3) ------------------------------------------
+
+def generate_library(spec: MachineSpec) -> str:
+    """The library package for one machine type."""
+    package = lib_package_name(spec)
+    driver = driver_def_name(spec)
+    base = "GenericDriver" if spec.driver.is_generic else "MachineDriver"
+    var_port = _var_port_def(spec)
+    method_port = _method_port_def(spec)
+    lines: list[str] = []
+    lines.append(f"package {package} {{")
+    lines.append("    import ISA95::*;")
+    lines.append(f"    doc /* Library for {spec.display_name} "
+                 f"({spec.workcell}). */")
+    # driver definition (Code 2)
+    lines.append(f"    part def {driver} :> {base} {{")
+    lines.append(f"        part def {driver}Parameters :> "
+                 f"Driver::DriverParameters {{")
+    for name, value in spec.driver.parameters.items():
+        scalar = "Integer" if isinstance(value, int) and not \
+            isinstance(value, bool) else "String"
+        lines.append(f"            attribute {name} : {scalar};")
+    lines.append("        }")
+    lines.append(f"        part def {driver}Variables :> "
+                 f"Driver::DriverVariables {{")
+    lines.append(f"            port def {var_port} {{")
+    lines.append("                in attribute value : Real;")
+    lines.append("                attribute identifier : String;")
+    lines.append("            }")
+    lines.append("        }")
+    lines.append(f"        part def {driver}Methods :> "
+                 f"Driver::DriverMethods {{")
+    lines.append(f"            port def {method_port} {{")
+    lines.append("                attribute identifier : String;")
+    lines.append("                out action operation {")
+    lines.append("                    out done : Boolean;")
+    lines.append("                }")
+    lines.append("            }")
+    lines.append("        }")
+    lines.append("    }")
+    # machine definition (Code 3) with category part defs
+    lines.append(f"    part def {spec.type_name} :> Machine {{")
+    lines.append(f"        part def {spec.type_name}Data :> "
+                 f"Machine::MachineData {{")
+    for category in _categories(spec):
+        lines.append(f"            part def {_category_def_name(category)};")
+    lines.append("        }")
+    lines.append(f"        part def {spec.type_name}Services :> "
+                 f"Machine::MachineServices;")
+    lines.append("    }")
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+# -- machine instantiation (Code 4) ----------------------------------------------
+
+def generate_machine_instance(spec: MachineSpec, indent: str) -> str:
+    package = lib_package_name(spec)
+    driver = driver_def_name(spec)
+    var_port = _var_port_def(spec)
+    method_port = _method_port_def(spec)
+    pad = indent
+    lines: list[str] = []
+    lines.append(f"{pad}part {spec.name} : {package}::{spec.type_name} {{")
+    # the reference names the concrete top-level driver instance, so two
+    # machines of the same type (the RB-Kairos pair) keep distinct drivers
+    lines.append(f"{pad}    ref part {spec.name}Driver : "
+                 f"{package}::{driver} = {spec.name}DriverInstance;")
+    data_part = f"{spec.name}Data"
+    lines.append(f"{pad}    part {data_part} : {spec.type_name}Data {{")
+    for category, variables in _categories(spec).items():
+        category_def = _category_def_name(category)
+        lines.append(f"{pad}        part {_category_part_name(category)} : "
+                     f"{category_def} {{")
+        for variable in variables:
+            scalar = _scalar(variable.data_type)
+            port_name = f"{variable.name}_port"
+            lines.append(f"{pad}            attribute {variable.name} : "
+                         f"{scalar};")
+            lines.append(
+                f"{pad}            port {port_name} : "
+                f"~{package}::{driver}::{driver}Variables::{var_port};")
+            lines.append(f"{pad}            bind {port_name}.value = "
+                         f"{variable.name};")
+            lines.append(
+                f"{pad}            connect {port_name} to "
+                f"{spec.name}DriverInstance.driverVariables."
+                f"{_category_part_name(category)}.pp_{variable.name};")
+        lines.append(f"{pad}        }}")
+    lines.append(f"{pad}    }}")
+    lines.append(f"{pad}    part {spec.name}Services : "
+                 f"{spec.type_name}Services {{")
+    for service in spec.services:
+        lines.append(f"{pad}        action {service.name} {{")
+        for argument in service.inputs:
+            lines.append(f"{pad}            in {argument.name} : "
+                         f"{_scalar(argument.data_type)};")
+        for argument in service.outputs:
+            lines.append(f"{pad}            out {argument.name} : "
+                         f"{_scalar(argument.data_type)};")
+        lines.append(f"{pad}        }}")
+        port_name = f"{service.name}_mthd"
+        lines.append(
+            f"{pad}        port {port_name} : "
+            f"~{package}::{driver}::{driver}Methods::{method_port};")
+        lines.append(
+            f"{pad}        connect {port_name} to "
+            f"{spec.name}DriverInstance.driverMethods.pp_{service.name};")
+    lines.append(f"{pad}    }}")
+    lines.append(f"{pad}}}")
+    return "\n".join(lines) + "\n"
+
+
+# -- driver instantiation (Code 5) -------------------------------------------------
+
+def generate_driver_instance(spec: MachineSpec) -> str:
+    package = lib_package_name(spec)
+    driver = driver_def_name(spec)
+    var_port = _var_port_def(spec)
+    method_port = _method_port_def(spec)
+    lines: list[str] = []
+    lines.append(f"part {spec.name}DriverInstance : {package}::{driver} {{")
+    lines.append(f"    part driverParameters : {driver}Parameters {{")
+    for name, value in spec.driver.parameters.items():
+        lines.append(f"        :>> {name} = {_literal(value)};")
+    lines.append("    }")
+    lines.append(f"    part driverVariables : {driver}Variables {{")
+    for category, variables in _categories(spec).items():
+        category_def = _category_def_name(category)
+        lines.append(
+            f"        part {_category_part_name(category)} : "
+            f"{package}::{spec.type_name}::{spec.type_name}Data"
+            f"::{category_def} {{")
+        for variable in variables:
+            scalar = _scalar(variable.data_type)
+            lines.append(f"            attribute {variable.name} : "
+                         f"{scalar};")
+            lines.append(f"            port pp_{variable.name} : "
+                         f"{var_port};")
+            lines.append(f"            bind pp_{variable.name}.value = "
+                         f"{variable.name};")
+        lines.append("        }")
+    lines.append("    }")
+    lines.append(f"    part driverMethods : {driver}Methods {{")
+    for service in spec.services:
+        lines.append(f"        port pp_{service.name} : {method_port};")
+        lines.append(f"        action call_{service.name} {{")
+        for argument in service.outputs:
+            lines.append(f"            out {argument.name} : "
+                         f"{_scalar(argument.data_type)};")
+        lines.append(f"            perform pp_{service.name}.operation;")
+        lines.append("        }")
+    lines.append("    }")
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+# -- the whole factory -----------------------------------------------------------
+
+def generate_topology_source(
+        specs: list[MachineSpec], *,
+        topology_name: str = "ICETopology",
+        enterprise: str = "UniVR", site: str = "Verona",
+        area: str = "ICELab", line: str = "ICEProductionLine") -> str:
+    """The instantiated ISA-95 hierarchy with all machines (Code 4)."""
+    hierarchy = "ISA95::Topology::Enterprise"
+    workcells: dict[str, list[MachineSpec]] = {}
+    for spec in specs:
+        workcells.setdefault(spec.workcell, []).append(spec)
+    lines: list[str] = []
+    lines.append(f"part {topology_name} : ISA95::Topology {{")
+    lines.append(f"    part {enterprise} : {hierarchy} {{")
+    lines.append(f"        part {site} : {hierarchy}::Site {{")
+    lines.append(f"            part {area} : {hierarchy}::Site::Area {{")
+    lines.append(f"                part {line} : "
+                 f"{hierarchy}::Site::Area::ProductionLine {{")
+    for workcell_name in sorted(workcells):
+        lines.append(
+            f"                    part {workcell_name} : "
+            f"{hierarchy}::Site::Area::ProductionLine::Workcell {{")
+        for spec in workcells[workcell_name]:
+            lines.append(generate_machine_instance(
+                spec, " " * 24).rstrip("\n"))
+        lines.append("                    }")
+    lines.append("                }")
+    lines.append("            }")
+    lines.append("        }")
+    lines.append("    }")
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def icelab_sources(specs: list[MachineSpec] | None = None) -> list[str]:
+    """All textual sources of the ICE-lab model, in load order."""
+    specs = list(specs if specs is not None else ICE_LAB_SPECS)
+    sources = [ISA95_LIBRARY_SOURCE]
+    seen_types: set[str] = set()
+    for spec in specs:
+        if spec.type_name not in seen_types:
+            sources.append(generate_library(spec))
+            seen_types.add(spec.type_name)
+    for spec in specs:
+        sources.append(generate_driver_instance(spec))
+    sources.append(generate_topology_source(specs))
+    return sources
+
+
+def icelab_model_text(specs: list[MachineSpec] | None = None) -> str:
+    """The whole ICE-lab model as one textual-notation document."""
+    return "\n".join(icelab_sources(specs))
+
+
+def load_icelab_model(specs: list[MachineSpec] | None = None) -> Model:
+    """Generate, parse and resolve the ICE-lab model."""
+    return load_model(*icelab_sources(specs))
+
+
+# -- helpers ------------------------------------------------------------------------
+
+def _ident(category: str) -> str:
+    return category.replace("/", "_").replace("-", "_") or "General"
+
+
+def _category_part_name(category: str) -> str:
+    """Instance part name for a category, paper style: 'AxesPositions'
+    -> 'axesPositions' (Code 4 uses 'emcoAxesPosition')."""
+    ident = _ident(category)
+    return ident[0].lower() + ident[1:]
+
+
+def _literal(value: object) -> str:
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, (int, float)):
+        return repr(value)
+    escaped = str(value).replace("\\", "\\\\").replace("'", "\\'")
+    return f"'{escaped}'"

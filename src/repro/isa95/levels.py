@@ -1,0 +1,129 @@
+"""ISA-95 equipment hierarchy records.
+
+The extraction pass (:mod:`repro.isa95.topology`) turns a SysML v2 model
+into these plain records — the neutral representation the configuration
+generator consumes. They deliberately contain *only* the information the
+paper's intermediate JSON files need.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class EquipmentLevel(enum.Enum):
+    """Hierarchy levels of the ISA-95 equipment model."""
+
+    ENTERPRISE = "enterprise"
+    SITE = "site"
+    AREA = "area"
+    PRODUCTION_LINE = "production_line"
+    WORKCELL = "workcell"
+    MACHINE = "machine"
+
+    @property
+    def depth(self) -> int:
+        order = [EquipmentLevel.ENTERPRISE, EquipmentLevel.SITE,
+                 EquipmentLevel.AREA, EquipmentLevel.PRODUCTION_LINE,
+                 EquipmentLevel.WORKCELL, EquipmentLevel.MACHINE]
+        return order.index(self)
+
+
+@dataclass
+class VariableSpec:
+    """One machine data point."""
+
+    name: str
+    data_type: str = "Real"
+    category: str = ""
+    description: str = ""
+    unit: str = ""
+    initial_value: object = None
+
+
+@dataclass
+class ArgumentSpec:
+    name: str
+    data_type: str = "String"
+
+
+@dataclass
+class ServiceSpec:
+    """One machine service (command/operation)."""
+
+    name: str
+    inputs: list[ArgumentSpec] = field(default_factory=list)
+    outputs: list[ArgumentSpec] = field(default_factory=list)
+    description: str = ""
+
+
+@dataclass
+class DriverInfo:
+    """The communication endpoint of a machine."""
+
+    name: str
+    protocol: str  # driver definition name, e.g. "EMCODriver", "OPCUADriver"
+    is_generic: bool = False  # GenericDriver vs MachineDriver
+    parameters: dict[str, object] = field(default_factory=dict)
+    variable_count: int = 0
+    method_count: int = 0
+
+
+@dataclass
+class MachineInfo:
+    """A machine with its data, services and driver."""
+
+    name: str
+    type_name: str  # machine definition name, e.g. "EMCOMillingMachine"
+    workcell: str
+    variables: list[VariableSpec] = field(default_factory=list)
+    services: list[ServiceSpec] = field(default_factory=list)
+    driver: DriverInfo | None = None
+
+    @property
+    def point_count(self) -> int:
+        """Variables + services — the client-capacity unit of the paper."""
+        return len(self.variables) + len(self.services)
+
+
+@dataclass
+class WorkcellInfo:
+    name: str
+    production_line: str
+    machines: list[MachineInfo] = field(default_factory=list)
+
+
+@dataclass
+class FactoryTopology:
+    """The extracted ISA-95 view of a factory model."""
+
+    enterprise: str = ""
+    site: str = ""
+    area: str = ""
+    production_lines: list[str] = field(default_factory=list)
+    workcells: list[WorkcellInfo] = field(default_factory=list)
+
+    @property
+    def machines(self) -> list[MachineInfo]:
+        return [m for wc in self.workcells for m in wc.machines]
+
+    def workcell(self, name: str) -> WorkcellInfo:
+        for workcell in self.workcells:
+            if workcell.name == name:
+                return workcell
+        raise KeyError(f"no workcell named {name!r}")
+
+    def machine(self, name: str) -> MachineInfo:
+        for machine in self.machines:
+            if machine.name == name:
+                return machine
+        raise KeyError(f"no machine named {name!r}")
+
+    def summary(self) -> dict[str, int]:
+        return {
+            "workcells": len(self.workcells),
+            "machines": len(self.machines),
+            "variables": sum(len(m.variables) for m in self.machines),
+            "services": sum(len(m.services) for m in self.machines),
+        }

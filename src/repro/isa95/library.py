@@ -1,0 +1,84 @@
+"""The canonical ISA-95 SysML v2 base library (paper Section III-A).
+
+Every factory model produced with this package imports ``ISA95``: the
+hierarchy from :code:`Topology` down to :code:`Workcell` (Code 1 of the
+paper) plus the abstract ``Machine`` and ``Driver`` definitions with
+their ``MachineData``/``MachineServices`` and ``DriverParameters``/
+``DriverVariables``/``DriverMethods`` sub-structure (Section III-A).
+"""
+
+ISA95_LIBRARY_SOURCE = """
+package ISA95 {
+    doc /* ISA-95 (IEC 62264) base library: equipment hierarchy and the
+           Machine/Driver abstractions of the SOM modeling methodology. */
+
+    abstract part def Driver {
+        doc /* A communication protocol endpoint used by a machine. */
+        part def DriverParameters {
+            doc /* Static configuration (IP, port, ...) — attributes. */
+        }
+        part def DriverVariables {
+            doc /* Data produced by the machine, exposed through ports. */
+        }
+        part def DriverMethods {
+            doc /* Callable operations, exposed through method ports. */
+        }
+    }
+    abstract part def MachineDriver :> Driver {
+        doc /* Machine-proprietary protocol driver. */
+    }
+    abstract part def GenericDriver :> Driver {
+        doc /* Standardized protocol driver (OPC UA, Modbus, ...). */
+    }
+
+    abstract part def Machine {
+        doc /* A piece of production equipment exposing machine services. */
+        part def MachineData {
+            doc /* All data the machine produces, grouped by category. */
+        }
+        part def MachineServices {
+            doc /* The services (commands/operations) the machine offers. */
+        }
+        ref part driver : Driver;
+    }
+
+    part def Topology {
+        part def Enterprise {
+            part def Site {
+                part def Area {
+                    part def ProductionLine {
+                        attribute def ProductionLineVariables;
+                        attribute throughput : Real;
+                        attribute energyConsumption : Real;
+                        part def Workcell {
+                            ref part machines : Machine [*];
+                            part def WorkCellVariables {
+                                attribute oee : Real;
+                                attribute cycleCount : Integer;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+"""
+
+#: Qualified names of the base definitions, for extraction lookups.
+QN_TOPOLOGY = "ISA95::Topology"
+QN_ENTERPRISE = "ISA95::Topology::Enterprise"
+QN_SITE = "ISA95::Topology::Enterprise::Site"
+QN_AREA = "ISA95::Topology::Enterprise::Site::Area"
+QN_PRODUCTION_LINE = "ISA95::Topology::Enterprise::Site::Area::ProductionLine"
+QN_WORKCELL = (
+    "ISA95::Topology::Enterprise::Site::Area::ProductionLine::Workcell")
+QN_MACHINE = "ISA95::Machine"
+QN_MACHINE_DATA = "ISA95::Machine::MachineData"
+QN_MACHINE_SERVICES = "ISA95::Machine::MachineServices"
+QN_DRIVER = "ISA95::Driver"
+QN_MACHINE_DRIVER = "ISA95::MachineDriver"
+QN_GENERIC_DRIVER = "ISA95::GenericDriver"
+QN_DRIVER_PARAMETERS = "ISA95::Driver::DriverParameters"
+QN_DRIVER_VARIABLES = "ISA95::Driver::DriverVariables"
+QN_DRIVER_METHODS = "ISA95::Driver::DriverMethods"

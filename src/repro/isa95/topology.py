@@ -1,0 +1,303 @@
+"""Extraction of the ISA-95 topology from a SysML v2 model.
+
+This is the first half of the paper's generation tool: "The tool
+explores the represented ISA-95 topology of the manufacturing system".
+The extractor elaborates the instantiated factory model and classifies
+instances against the ISA95 base library definitions, producing the
+neutral :class:`~repro.isa95.levels.FactoryTopology` records.
+"""
+
+from __future__ import annotations
+
+from ..sysml.elements import Model, Package, PartUsage, Usage
+from ..sysml.errors import SysMLError
+from ..sysml.instances import InstanceNode, elaborate, propagate_bindings
+from .levels import (ArgumentSpec, DriverInfo, FactoryTopology, MachineInfo,
+                     ServiceSpec, VariableSpec, WorkcellInfo)
+from .library import (QN_AREA, QN_DRIVER, QN_DRIVER_METHODS,
+                      QN_DRIVER_PARAMETERS, QN_DRIVER_VARIABLES,
+                      QN_ENTERPRISE, QN_GENERIC_DRIVER, QN_MACHINE,
+                      QN_MACHINE_DATA, QN_MACHINE_SERVICES,
+                      QN_PRODUCTION_LINE, QN_SITE, QN_TOPOLOGY, QN_WORKCELL)
+
+
+class TopologyError(SysMLError):
+    """Raised when the model does not contain a usable ISA-95 topology."""
+
+
+class TopologyExtractor:
+    """Extracts a :class:`FactoryTopology` from a resolved model."""
+
+    def __init__(self, model: Model):
+        self.model = model
+        #: machine instance name -> resolved driver type (for matching the
+        #: driver instance by type object, since different machine
+        #: libraries may reuse a driver definition *name* like OPCUADriver)
+        self._stub_type_by_machine: dict[str, object] = {}
+        self._defs = {}
+        for qn in (QN_TOPOLOGY, QN_ENTERPRISE, QN_SITE, QN_AREA,
+                   QN_PRODUCTION_LINE, QN_WORKCELL, QN_MACHINE,
+                   QN_MACHINE_DATA, QN_MACHINE_SERVICES, QN_DRIVER,
+                   QN_GENERIC_DRIVER, QN_DRIVER_PARAMETERS,
+                   QN_DRIVER_VARIABLES, QN_DRIVER_METHODS):
+            definition = model.find(qn)
+            if definition is None:
+                raise TopologyError(
+                    f"model does not include the ISA95 base library "
+                    f"(missing {qn})")
+            self._defs[qn] = definition
+
+    # -- public API ----------------------------------------------------------
+
+    def extract(self) -> FactoryTopology:
+        root_usage = self._find_topology_root()
+        root = elaborate(root_usage)
+        propagate_bindings(root)
+        topology = FactoryTopology()
+        self._walk_hierarchy(root, topology, context={})
+        if not topology.workcells:
+            raise TopologyError(
+                f"topology '{root_usage.qualified_name}' contains no "
+                f"workcells")
+        self._attach_drivers(topology)
+        return topology
+
+    # -- root discovery ----------------------------------------------------------
+
+    def _top_level_parts(self) -> list[PartUsage]:
+        scopes = [self.model] + [p for p in self.model.owned_elements
+                                 if isinstance(p, Package)]
+        parts: list[PartUsage] = []
+        for scope in scopes:
+            for member in scope.owned_elements:
+                if isinstance(member, PartUsage):
+                    parts.append(member)
+        return parts
+
+    def _find_topology_root(self) -> PartUsage:
+        topology_def = self._defs[QN_TOPOLOGY]
+        roots = [p for p in self._top_level_parts()
+                 if self._conforms(p, topology_def)]
+        if not roots:
+            raise TopologyError(
+                "no top-level part usage is typed by ISA95::Topology")
+        if len(roots) > 1:
+            names = ", ".join(r.qualified_name for r in roots)
+            raise TopologyError(
+                f"multiple topology roots found: {names}")
+        return roots[0]
+
+    def _conforms(self, usage: Usage, definition) -> bool:
+        typ = usage.effective_type()
+        return typ is not None and typ.conforms_to(definition)
+
+    def _node_conforms(self, node: InstanceNode, qn: str) -> bool:
+        if node.usage is None:
+            return False
+        return self._conforms(node.usage, self._defs[qn])
+
+    # -- hierarchy walk ---------------------------------------------------------------
+
+    def _walk_hierarchy(self, node: InstanceNode,
+                        topology: FactoryTopology, context: dict) -> None:
+        for child in node.children:
+            if child.kind != "part" or child.usage is None:
+                continue
+            if self._node_conforms(child, QN_MACHINE) and not child.is_reference:
+                workcell_name = context.get("workcell")
+                if workcell_name is None:
+                    raise TopologyError(
+                        f"machine '{child.path}' is not inside a workcell")
+                machine = self._extract_machine(child, workcell_name)
+                topology.workcell(workcell_name).machines.append(machine)
+                continue
+            new_context = dict(context)
+            if self._node_conforms(child, QN_ENTERPRISE):
+                topology.enterprise = child.name
+            elif self._node_conforms(child, QN_SITE):
+                topology.site = child.name
+            elif self._node_conforms(child, QN_AREA):
+                topology.area = child.name
+            elif self._node_conforms(child, QN_PRODUCTION_LINE):
+                topology.production_lines.append(child.name)
+                new_context["production_line"] = child.name
+            elif self._node_conforms(child, QN_WORKCELL):
+                workcell = WorkcellInfo(
+                    name=child.name,
+                    production_line=context.get("production_line", ""))
+                topology.workcells.append(workcell)
+                new_context["workcell"] = child.name
+            self._walk_hierarchy(child, topology, new_context)
+
+    # -- machine extraction ----------------------------------------------------------
+
+    def _extract_machine(self, node: InstanceNode,
+                         workcell: str) -> MachineInfo:
+        type_name = ""
+        if node.usage is not None:
+            typ = node.usage.effective_type()
+            if typ is not None and typ.name:
+                type_name = typ.name
+        machine = MachineInfo(name=node.name, type_name=type_name,
+                              workcell=workcell)
+        for child in node.children:
+            if self._node_conforms(child, QN_MACHINE_DATA):
+                machine.variables.extend(self._extract_variables(child))
+            elif self._node_conforms(child, QN_MACHINE_SERVICES):
+                machine.services.extend(self._extract_services(child))
+        machine.driver = self._machine_driver_stub(node)
+        return machine
+
+    def _extract_variables(self, data_node: InstanceNode,
+                           category: str = "") -> list[VariableSpec]:
+        variables: list[VariableSpec] = []
+        for child in data_node.children:
+            if child.kind == "attribute":
+                variables.append(VariableSpec(
+                    name=child.name,
+                    data_type=_scalar_name(child.type_name),
+                    category=category,
+                    initial_value=child.value,
+                ))
+            elif child.kind == "part":
+                nested_category = (f"{category}/{child.name}" if category
+                                   else child.name)
+                variables.extend(
+                    self._extract_variables(child, nested_category))
+            # ports carry the same data points; the bound attributes are
+            # the canonical variable list, so ports are not re-counted
+        return variables
+
+    def _extract_services(self, services_node: InstanceNode,
+                          prefix: str = "") -> list[ServiceSpec]:
+        services: list[ServiceSpec] = []
+        for child in services_node.children:
+            if child.kind == "action":
+                service = ServiceSpec(name=(f"{prefix}{child.name}"))
+                for param in child.children:
+                    if param.kind != "attribute":
+                        continue
+                    argument = ArgumentSpec(
+                        param.name, _scalar_name(param.type_name))
+                    if param.direction == "in":
+                        service.inputs.append(argument)
+                    else:
+                        service.outputs.append(argument)
+                services.append(service)
+            elif child.kind == "part":
+                services.extend(self._extract_services(
+                    child, prefix=f"{prefix}{child.name}."))
+        return services
+
+    def _machine_driver_stub(self, node: InstanceNode) -> DriverInfo | None:
+        """Record which driver the machine references (resolved later).
+
+        A machine inherits the abstract ``ref part driver : Driver`` from
+        ISA95::Machine; a concrete reference (typed by a specialized
+        driver, or an untyped named ref as in the paper's Code 4) always
+        wins over that placeholder.
+        """
+        from ..sysml.ast_nodes import FeatureRefExpr
+
+        driver_def = self._defs[QN_DRIVER]
+        fallback: DriverInfo | None = None
+        for child in node.children:
+            if not child.is_reference or child.usage is None:
+                continue
+            if isinstance(child.usage.value, FeatureRefExpr):
+                # 'ref part d : T = actualDriverInstance;' — the value
+                # names the concrete instance
+                target = child.usage.value.chain.parts[0]
+                return DriverInfo(name=target, protocol="")
+            typ = child.usage.effective_type()
+            if typ is None:
+                # untyped 'ref part emcoDriver;' — match by name later
+                return DriverInfo(name=child.name, protocol="")
+            if not typ.conforms_to(driver_def):
+                continue
+            info = DriverInfo(name=child.name, protocol=typ.name or "",
+                              is_generic=typ.conforms_to(
+                                  self._defs[QN_GENERIC_DRIVER]))
+            if typ is driver_def:
+                fallback = fallback or info  # the inherited placeholder
+            else:
+                self._stub_type_by_machine[node.name] = typ
+                return info
+        return fallback
+
+    # -- driver instance resolution -----------------------------------------------------
+
+    def _attach_drivers(self, topology: FactoryTopology) -> None:
+        driver_usages = [p for p in self._top_level_parts()
+                         if self._conforms(p, self._defs[QN_DRIVER])]
+        by_name = {p.name: p for p in driver_usages}
+        by_type_obj: dict[int, PartUsage] = {}
+        for part in driver_usages:
+            typ = part.effective_type()
+            if typ is not None:
+                by_type_obj.setdefault(id(typ), part)
+        for machine in topology.machines:
+            stub = machine.driver
+            if stub is None:
+                continue
+            usage = by_name.get(stub.name)
+            if usage is None:
+                stub_type = self._stub_type_by_machine.get(machine.name)
+                if stub_type is not None:
+                    usage = by_type_obj.get(id(stub_type))
+            if usage is None:
+                continue  # reference only; leave the stub as-is
+            machine.driver = self._extract_driver(usage)
+
+    def _extract_driver(self, usage: PartUsage) -> DriverInfo:
+        typ = usage.effective_type()
+        info = DriverInfo(
+            name=usage.name or "",
+            protocol=typ.name if typ is not None and typ.name else "",
+            is_generic=(typ is not None and
+                        typ.conforms_to(self._defs[QN_GENERIC_DRIVER])))
+        tree = elaborate(usage)
+        propagate_bindings(tree)
+        for child in tree.children:
+            if child.usage is None:
+                continue
+            if self._conforms(child.usage, self._defs[QN_DRIVER_PARAMETERS]):
+                for attribute in child.children:
+                    if attribute.kind == "attribute":
+                        info.parameters[attribute.name] = attribute.value
+            elif self._conforms(child.usage, self._defs[QN_DRIVER_VARIABLES]):
+                info.variable_count += _count_points(child, "port")
+            elif self._conforms(child.usage, self._defs[QN_DRIVER_METHODS]):
+                info.method_count += _count_points(child, "port") or \
+                    _count_points(child, "action")
+        return info
+
+
+def _count_points(node: InstanceNode, kind: str) -> int:
+    """Count direct data points of *kind*, not recursing into ports."""
+    count = 0
+    for child in node.walk():
+        if child is node:
+            continue
+        if child.kind == kind and _no_port_ancestor(child, node):
+            count += 1
+    return count
+
+
+def _no_port_ancestor(node: InstanceNode, stop: InstanceNode) -> bool:
+    current = node.owner
+    while current is not None and current is not stop:
+        if current.kind == "port":
+            return False
+        current = current.owner
+    return True
+
+
+def _scalar_name(type_name: str) -> str:
+    """'ScalarValues::Real' -> 'Real'."""
+    return type_name.rsplit("::", 1)[-1] if type_name else "Real"
+
+
+def extract_topology(model: Model) -> FactoryTopology:
+    """Extract the ISA-95 factory topology from a resolved model."""
+    return TopologyExtractor(model).extract()

@@ -1,0 +1,109 @@
+"""ISA-95 conformance checks on extracted factory topologies.
+
+These rules complement the generic SysML well-formedness checks with the
+domain knowledge of Section III: every machine needs a driver with
+enough connection parameters for its protocol, workcells should not be
+empty, names must be unique (they become topic levels and Kubernetes
+resource names), and the hierarchy must be complete.
+"""
+
+from __future__ import annotations
+
+from ..sysml.errors import DiagnosticReport
+from .levels import FactoryTopology
+
+#: Parameters a standardized OPC UA driver needs to reach its server.
+_OPCUA_REQUIRED_PARAMETERS = ("endpoint",)
+#: Parameters proprietary drivers commonly need.
+_PROPRIETARY_REQUIRED_PARAMETERS = ("ip", "ip_port")
+
+
+def validate_topology(topology: FactoryTopology) -> DiagnosticReport:
+    report = DiagnosticReport()
+    _check_hierarchy_complete(topology, report)
+    _check_unique_names(topology, report)
+    for workcell in topology.workcells:
+        if not workcell.machines:
+            report.warning("empty-workcell",
+                           f"workcell '{workcell.name}' has no machines",
+                           element=workcell.name)
+        if not workcell.production_line:
+            report.warning("workcell-outside-line",
+                           f"workcell '{workcell.name}' is not inside a "
+                           f"production line", element=workcell.name)
+    for machine in topology.machines:
+        _check_machine(machine, report)
+    return report
+
+
+def _check_hierarchy_complete(topology: FactoryTopology,
+                              report: DiagnosticReport) -> None:
+    for level, value in (("enterprise", topology.enterprise),
+                         ("site", topology.site),
+                         ("area", topology.area)):
+        if not value:
+            report.warning("missing-level",
+                           f"topology does not declare an {level}")
+    if not topology.production_lines:
+        report.error("missing-level",
+                     "topology declares no production line")
+
+
+def _check_unique_names(topology: FactoryTopology,
+                        report: DiagnosticReport) -> None:
+    seen: set[str] = set()
+    for workcell in topology.workcells:
+        if workcell.name in seen:
+            report.error("duplicate-name",
+                         f"duplicate workcell name '{workcell.name}'",
+                         element=workcell.name)
+        seen.add(workcell.name)
+    machine_names: set[str] = set()
+    for machine in topology.machines:
+        if machine.name in machine_names:
+            report.error("duplicate-name",
+                         f"duplicate machine name '{machine.name}'",
+                         element=machine.name)
+        machine_names.add(machine.name)
+
+
+def _check_machine(machine, report: DiagnosticReport) -> None:
+    if not machine.variables and not machine.services:
+        report.warning("inert-machine",
+                       f"machine '{machine.name}' exposes no variables or "
+                       f"services", element=machine.name)
+    variable_names = [v.name for v in machine.variables]
+    if len(variable_names) != len(set(variable_names)):
+        report.error("duplicate-variable",
+                     f"machine '{machine.name}' has duplicate variable "
+                     f"names", element=machine.name)
+    service_names = [s.name for s in machine.services]
+    if len(service_names) != len(set(service_names)):
+        report.error("duplicate-service",
+                     f"machine '{machine.name}' has duplicate service "
+                     f"names", element=machine.name)
+    driver = machine.driver
+    if driver is None:
+        report.error("missing-driver",
+                     f"machine '{machine.name}' references no driver",
+                     element=machine.name)
+        return
+    if not driver.protocol:
+        report.error("unresolved-driver",
+                     f"machine '{machine.name}' references driver "
+                     f"'{driver.name}' which has no resolvable type",
+                     element=machine.name)
+        return
+    if driver.is_generic and "OPCUA" in driver.protocol.upper():
+        required = _OPCUA_REQUIRED_PARAMETERS
+    else:
+        # proprietary drivers and socket-based generic protocols
+        # (Modbus/TCP etc.) need a host address
+        required = _PROPRIETARY_REQUIRED_PARAMETERS
+    for parameter in required:
+        if driver.parameters.get(parameter) in (None, ""):
+            report.warning(
+                "missing-driver-parameter",
+                f"driver '{driver.name}' of machine '{machine.name}' "
+                f"does not set parameter '{parameter}'",
+                element=machine.name)

@@ -1,0 +1,16 @@
+"""Simulated Kubernetes: resources, cluster, scheduler, deployment."""
+
+from .cluster import Cluster, ClusterError, ClusterNode
+from .deploy import (apply_incremental, deploy_manifests, heal,
+                     make_component_factory)
+from .resources import (ConfigMap, Container, Deployment, Metadata, Pod,
+                        ResourceError, Service, parse_cpu, parse_memory,
+                        resource_from_manifest)
+
+__all__ = [
+    "Cluster", "ClusterError", "ClusterNode", "ConfigMap", "Container",
+    "Deployment", "Metadata", "Pod", "ResourceError", "Service",
+    "apply_incremental", "deploy_manifests", "heal",
+    "make_component_factory", "parse_cpu",
+    "parse_memory", "resource_from_manifest",
+]

@@ -1,0 +1,130 @@
+"""Deploying generated manifests onto the simulated cluster.
+
+:func:`make_component_factory` wires pods to the actual simulated
+software (:mod:`repro.som.components`); :func:`deploy_manifests` applies
+ConfigMaps first (deployments mount them), then everything else — the
+order ``kubectl apply -f dir/`` would need too.
+"""
+
+from __future__ import annotations
+
+from ..som.components import (FactoryWorld, HistorianComponent,
+                              UaBrokerBridgeComponent,
+                              WorkcellServerComponent)
+from ..yamlgen import parse_documents
+from .cluster import Cluster, ClusterError
+from .resources import Pod
+
+_COMPONENT_CLASSES = {
+    "opcua-server": WorkcellServerComponent,
+    "opcua-client": UaBrokerBridgeComponent,
+    "historian": HistorianComponent,
+}
+
+
+def make_component_factory(world: FactoryWorld):
+    """A cluster component factory bound to one factory world."""
+
+    def factory(pod: Pod, kind: str, config: dict | None):
+        cls = _COMPONENT_CLASSES.get(kind)
+        if cls is None:
+            raise ClusterError(
+                f"pod {pod.metadata.name!r} has unknown component kind "
+                f"{kind!r}")
+        if config is None:
+            raise ClusterError(
+                f"pod {pod.metadata.name!r} has no mounted config.json")
+        return cls(config, world)
+
+    return factory
+
+
+#: Start order within one rollout: servers must listen before the
+#: bridge clients connect, and historians only consume broker traffic.
+_COMPONENT_ORDER = {"opcua-server": 0, "opcua-client": 1, "historian": 2}
+
+
+def _apply_order(document: dict) -> tuple[int, int, str]:
+    kind = document.get("kind", "")
+    kind_rank = 0 if kind == "ConfigMap" else (1 if kind == "Service" else 2)
+    labels = (document.get("metadata", {}) or {}).get("labels", {}) or {}
+    component_rank = _COMPONENT_ORDER.get(labels.get("component", ""), 3)
+    name = (document.get("metadata", {}) or {}).get("name", "")
+    return (kind_rank, component_rank, name)
+
+
+def heal(cluster: Cluster) -> dict[str, int]:
+    """Self-heal after a failure: reschedule missing pods in dependency
+    order, cascading restarts to downstream components.
+
+    If any OPC UA *server* pod is missing (its endpoint went away), the
+    bridge clients and historians hold dead sessions/subscriptions, so
+    they are restarted too — the behaviour a liveness probe gives a real
+    deployment.
+    """
+    def deployment_order(deployment):
+        component = deployment.pod_labels.get("component", "")
+        return (_COMPONENT_ORDER.get(component, 3),
+                deployment.metadata.name)
+
+    missing_servers = any(
+        len(cluster.pods_for(d.metadata.name, d.metadata.namespace))
+        < d.replicas
+        for d in cluster.deployments.values()
+        if d.pod_labels.get("component") == "opcua-server")
+    restarted_downstream = 0
+    if missing_servers:
+        restarted_downstream += cluster.restart_pods(
+            component="opcua-client")
+        restarted_downstream += cluster.restart_pods(component="historian")
+    before = len(cluster.running_pods())
+    cluster.reconcile_all(order=deployment_order)
+    after = len(cluster.running_pods())
+    return {"rescheduled": after - before + restarted_downstream,
+            "restarted_downstream": restarted_downstream,
+            "running": after}
+
+
+def apply_incremental(cluster: Cluster, incremental) -> dict[str, object]:
+    """Apply only an incremental result's regenerated manifests.
+
+    Changed ConfigMaps roll their deployments automatically; if any
+    OPC UA *server* rolled, downstream bridges/historians are restarted
+    (they hold sessions into the old server instance).
+    """
+    regenerated = {name: incremental.result.manifests[name]
+                   for name in incremental.regenerated_manifests}
+    applied = deploy_manifests(cluster, regenerated)
+    server_rolled = any("opcua-server" in name for name in regenerated)
+    restarted = 0
+    if server_rolled:
+        restarted += cluster.restart_pods(component="opcua-client")
+        restarted += cluster.restart_pods(component="historian")
+
+    def deployment_order(deployment):
+        component = deployment.pod_labels.get("component", "")
+        return (_COMPONENT_ORDER.get(component, 3),
+                deployment.metadata.name)
+
+    cluster.reconcile_all(order=deployment_order)
+    return {"applied": len(applied),
+            "manifests": sorted(regenerated),
+            "restarted_downstream": restarted,
+            "running": len(cluster.running_pods())}
+
+
+def deploy_manifests(cluster: Cluster,
+                     manifests: dict[str, str]) -> list[object]:
+    """Apply all generated YAML files in dependency order.
+
+    ConfigMaps first (deployments mount them), then Services, then
+    Deployments ordered server -> client -> historian so each component
+    finds its upstream already running.
+    """
+    documents: list[dict] = []
+    for filename in sorted(manifests):
+        for document in parse_documents(manifests[filename]):
+            if document is not None:
+                documents.append(document)
+    return [cluster.apply_manifest(document)
+            for document in sorted(documents, key=_apply_order)]

@@ -1,0 +1,221 @@
+"""Kubernetes resource object model (the subset the pipeline generates).
+
+Manifest dictionaries (from :mod:`repro.yamlgen`) are parsed into typed
+resources: ConfigMap, Deployment, Service — plus the Pods the deployment
+controller creates. Validation mirrors what a real API server would
+reject (missing names, bad label selectors, unparseable quantities).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+class ResourceError(ValueError):
+    pass
+
+
+def parse_cpu(quantity: str | int | float) -> int:
+    """Parse a CPU quantity into millicores ('100m' -> 100, '1' -> 1000)."""
+    if isinstance(quantity, (int, float)):
+        return int(quantity * 1000)
+    text = str(quantity).strip()
+    try:
+        if text.endswith("m"):
+            return int(text[:-1])
+        return int(float(text) * 1000)
+    except ValueError:
+        raise ResourceError(f"bad cpu quantity {quantity!r}") from None
+
+
+def parse_memory(quantity: str | int) -> int:
+    """Parse a memory quantity into MiB ('128Mi' -> 128, '1Gi' -> 1024)."""
+    if isinstance(quantity, int):
+        return quantity
+    text = str(quantity).strip()
+    units = {"Ki": 1 / 1024, "Mi": 1, "Gi": 1024, "Ti": 1024 * 1024}
+    for unit, factor in units.items():
+        if text.endswith(unit):
+            try:
+                return int(float(text[:-len(unit)]) * factor)
+            except ValueError:
+                raise ResourceError(
+                    f"bad memory quantity {quantity!r}") from None
+    try:
+        return int(int(text) / (1024 * 1024))  # plain bytes
+    except ValueError:
+        raise ResourceError(f"bad memory quantity {quantity!r}") from None
+
+
+@dataclass
+class Metadata:
+    name: str
+    namespace: str = "default"
+    labels: dict[str, str] = field(default_factory=dict)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Metadata":
+        if not data.get("name"):
+            raise ResourceError("resource metadata has no name")
+        return cls(name=data["name"],
+                   namespace=data.get("namespace", "default"),
+                   labels=dict(data.get("labels", {})))
+
+    @property
+    def key(self) -> tuple[str, str]:
+        return (self.namespace, self.name)
+
+
+@dataclass
+class ConfigMap:
+    metadata: Metadata
+    data: dict[str, str]
+
+    kind = "ConfigMap"
+
+    @classmethod
+    def from_dict(cls, manifest: dict) -> "ConfigMap":
+        return cls(Metadata.from_dict(manifest.get("metadata", {})),
+                   dict(manifest.get("data", {}) or {}))
+
+
+@dataclass
+class Container:
+    name: str
+    image: str
+    ports: list[int] = field(default_factory=list)
+    env: dict[str, str] = field(default_factory=dict)
+    cpu_request_m: int = 0
+    memory_request_mi: int = 0
+    volume_mounts: list[dict] = field(default_factory=list)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Container":
+        if not data.get("name") or not data.get("image"):
+            raise ResourceError("container needs name and image")
+        requests = (data.get("resources", {}) or {}).get("requests", {}) or {}
+        return cls(
+            name=data["name"],
+            image=data["image"],
+            ports=[p.get("containerPort") for p in data.get("ports", []) or []
+                   if p.get("containerPort")],
+            env={e["name"]: str(e.get("value", ""))
+                 for e in data.get("env", []) or []},
+            cpu_request_m=parse_cpu(requests.get("cpu", 0)),
+            memory_request_mi=parse_memory(requests.get("memory", 0)),
+            volume_mounts=list(data.get("volumeMounts", []) or []),
+        )
+
+
+@dataclass
+class Deployment:
+    metadata: Metadata
+    replicas: int
+    selector: dict[str, str]
+    pod_labels: dict[str, str]
+    containers: list[Container]
+    volumes: list[dict] = field(default_factory=list)
+
+    kind = "Deployment"
+
+    @classmethod
+    def from_dict(cls, manifest: dict) -> "Deployment":
+        metadata = Metadata.from_dict(manifest.get("metadata", {}))
+        spec = manifest.get("spec", {}) or {}
+        selector = (spec.get("selector", {}) or {}).get("matchLabels", {})
+        if not selector:
+            raise ResourceError(
+                f"deployment {metadata.name!r} has no matchLabels selector")
+        template = spec.get("template", {}) or {}
+        pod_labels = (template.get("metadata", {}) or {}).get("labels", {})
+        if not all(pod_labels.get(k) == v for k, v in selector.items()):
+            raise ResourceError(
+                f"deployment {metadata.name!r}: selector does not match "
+                f"pod template labels")
+        pod_spec = template.get("spec", {}) or {}
+        containers = [Container.from_dict(c)
+                      for c in pod_spec.get("containers", []) or []]
+        if not containers:
+            raise ResourceError(
+                f"deployment {metadata.name!r} has no containers")
+        return cls(metadata=metadata,
+                   replicas=int(spec.get("replicas", 1)),
+                   selector=dict(selector),
+                   pod_labels=dict(pod_labels),
+                   containers=containers,
+                   volumes=list(pod_spec.get("volumes", []) or []))
+
+    def config_map_names(self) -> list[str]:
+        names = []
+        for volume in self.volumes:
+            config_map = volume.get("configMap") or {}
+            if config_map.get("name"):
+                names.append(config_map["name"])
+        return names
+
+    @property
+    def cpu_request_m(self) -> int:
+        return sum(c.cpu_request_m for c in self.containers)
+
+    @property
+    def memory_request_mi(self) -> int:
+        return sum(c.memory_request_mi for c in self.containers)
+
+
+@dataclass
+class Service:
+    metadata: Metadata
+    selector: dict[str, str]
+    ports: list[tuple[int, int]]  # (port, targetPort)
+
+    kind = "Service"
+
+    @classmethod
+    def from_dict(cls, manifest: dict) -> "Service":
+        metadata = Metadata.from_dict(manifest.get("metadata", {}))
+        spec = manifest.get("spec", {}) or {}
+        selector = spec.get("selector", {}) or {}
+        if not selector:
+            raise ResourceError(
+                f"service {metadata.name!r} has no selector")
+        ports = [(p.get("port"), p.get("targetPort", p.get("port")))
+                 for p in spec.get("ports", []) or []]
+        return cls(metadata=metadata, selector=dict(selector), ports=ports)
+
+
+@dataclass
+class Pod:
+    metadata: Metadata
+    labels: dict[str, str]
+    containers: list[Container]
+    owner: str  # deployment name
+    config: dict | None = None  # parsed config.json from the ConfigMap
+    phase: str = "Pending"  # Pending | Running | Failed
+    node: str | None = None
+    component: object | None = None  # the simulated software instance
+
+    kind = "Pod"
+
+    @property
+    def cpu_request_m(self) -> int:
+        return sum(c.cpu_request_m for c in self.containers)
+
+    @property
+    def memory_request_mi(self) -> int:
+        return sum(c.memory_request_mi for c in self.containers)
+
+
+_KINDS = {"ConfigMap": ConfigMap, "Deployment": Deployment,
+          "Service": Service}
+
+
+def resource_from_manifest(manifest: dict):
+    """Typed resource from one manifest dict."""
+    if not isinstance(manifest, dict):
+        raise ResourceError(f"manifest must be a mapping, got "
+                            f"{type(manifest).__name__}")
+    kind = manifest.get("kind")
+    cls = _KINDS.get(kind)
+    if cls is None:
+        raise ResourceError(f"unsupported resource kind {kind!r}")
+    return cls.from_dict(manifest)

@@ -1,0 +1,134 @@
+"""Machine catalog: declarative specifications of factory equipment.
+
+A :class:`MachineSpec` is the ground truth a model is generated *from*
+(and simulators are built from): the machine's variables grouped in
+functional categories, its services, and its driver/connection data.
+The ICE-lab entries (:mod:`repro.machines.specs`) are sized from Table I
+of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..isa95.levels import ArgumentSpec, ServiceSpec, VariableSpec
+
+
+@dataclass
+class DriverSpec:
+    """Driver/protocol side of a machine spec."""
+
+    protocol: str  # definition name, e.g. "EMCODriver", "OPCUAGenericDriver"
+    is_generic: bool = False
+    parameters: dict[str, object] = field(default_factory=dict)
+
+
+@dataclass
+class MachineSpec:
+    """Full specification of one machine."""
+
+    name: str  # instance name, e.g. "emco"
+    display_name: str  # e.g. "EMCO Concept Mill 105"
+    type_name: str  # part definition name, e.g. "EMCOMillingMachine"
+    workcell: str  # e.g. "workCell02"
+    driver: DriverSpec
+    categories: dict[str, list[VariableSpec]] = field(default_factory=dict)
+    services: list[ServiceSpec] = field(default_factory=list)
+
+    def __post_init__(self):
+        seen: set[str] = set()
+        for category, variables in self.categories.items():
+            for variable in variables:
+                if variable.name in seen:
+                    raise ValueError(
+                        f"duplicate variable {variable.name!r} in machine "
+                        f"{self.name!r}")
+                seen.add(variable.name)
+                if not variable.category:
+                    variable.category = category
+        service_names = [s.name for s in self.services]
+        if len(service_names) != len(set(service_names)):
+            raise ValueError(
+                f"duplicate service names in machine {self.name!r}")
+
+    @property
+    def variables(self) -> list[VariableSpec]:
+        return [v for vs in self.categories.values() for v in vs]
+
+    @property
+    def variable_count(self) -> int:
+        return len(self.variables)
+
+    @property
+    def service_count(self) -> int:
+        return len(self.services)
+
+    @property
+    def point_count(self) -> int:
+        return self.variable_count + self.service_count
+
+
+def numbered_variables(prefix: str, count: int, *, data_type: str = "Real",
+                       category: str = "", unit: str = "",
+                       start: int = 1) -> list[VariableSpec]:
+    """Generate ``prefix_1 .. prefix_count`` variables."""
+    return [VariableSpec(name=f"{prefix}_{i}", data_type=data_type,
+                         category=category, unit=unit)
+            for i in range(start, start + count)]
+
+
+def simple_service(name: str, *, inputs: list[tuple[str, str]] | None = None,
+                   outputs: list[tuple[str, str]] | None = None,
+                   description: str = "") -> ServiceSpec:
+    """Shorthand ServiceSpec constructor from (name, type) pairs."""
+    return ServiceSpec(
+        name=name,
+        inputs=[ArgumentSpec(n, t) for n, t in (inputs or [])],
+        outputs=[ArgumentSpec(n, t) for n, t in
+                 (outputs or [("ok", "Boolean")])],
+        description=description,
+    )
+
+
+class Catalog:
+    """A named collection of machine specs."""
+
+    def __init__(self, specs: list[MachineSpec] | None = None):
+        self._specs: dict[str, MachineSpec] = {}
+        for spec in specs or []:
+            self.add(spec)
+
+    def add(self, spec: MachineSpec) -> MachineSpec:
+        if spec.name in self._specs:
+            raise ValueError(f"duplicate machine name {spec.name!r}")
+        self._specs[spec.name] = spec
+        return spec
+
+    def get(self, name: str) -> MachineSpec:
+        try:
+            return self._specs[name]
+        except KeyError:
+            raise KeyError(f"no machine spec named {name!r}") from None
+
+    def __iter__(self):
+        return iter(self._specs.values())
+
+    def __len__(self) -> int:
+        return len(self._specs)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._specs
+
+    def by_workcell(self) -> dict[str, list[MachineSpec]]:
+        grouped: dict[str, list[MachineSpec]] = {}
+        for spec in self._specs.values():
+            grouped.setdefault(spec.workcell, []).append(spec)
+        return grouped
+
+    def totals(self) -> dict[str, int]:
+        return {
+            "machines": len(self._specs),
+            "variables": sum(s.variable_count for s in self),
+            "services": sum(s.service_count for s in self),
+            "points": sum(s.point_count for s in self),
+        }

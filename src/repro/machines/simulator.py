@@ -1,0 +1,175 @@
+"""Behavioural machine simulator.
+
+Stands in for the physical ICE-lab equipment: it owns the variable
+values declared by a :class:`~repro.machines.catalog.MachineSpec`,
+evolves them over simulated time (:meth:`step`), and executes service
+calls. Deterministic given a seed, so end-to-end tests are repeatable.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable
+
+from ..isa95.levels import ServiceSpec, VariableSpec
+from .catalog import MachineSpec
+
+_STRING_STATES = {
+    "default": ("idle", "running", "paused", "error"),
+    "mode": ("manual", "automatic", "maintenance"),
+    "status": ("idle", "busy", "done"),
+    "result": ("pass", "fail"),
+}
+
+_DEFAULTS = {"Real": 0.0, "Double": 0.0, "Integer": 0, "Natural": 0,
+             "Boolean": False, "String": "idle"}
+
+
+class SimulationError(RuntimeError):
+    pass
+
+
+class MachineSimulator:
+    """One simulated machine."""
+
+    def __init__(self, spec: MachineSpec, *, seed: int | None = None):
+        self.spec = spec
+        self._rng = random.Random(seed if seed is not None
+                                  else _stable_seed(spec.name))
+        self._variables: dict[str, object] = {}
+        self._variable_specs: dict[str, VariableSpec] = {}
+        self._services: dict[str, ServiceSpec] = {}
+        self._listeners: list[Callable[[str, object], None]] = []
+        self.clock = 0.0
+        self.busy = False
+        self.call_log: list[tuple[str, tuple]] = []
+        for variable in spec.variables:
+            initial = variable.initial_value
+            if initial is None:
+                initial = _DEFAULTS.get(variable.data_type, 0.0)
+            self._variables[variable.name] = initial
+            self._variable_specs[variable.name] = variable
+        for service in spec.services:
+            self._services[service.name] = service
+
+    # -- variable access -------------------------------------------------------
+
+    def read(self, name: str) -> object:
+        try:
+            return self._variables[name]
+        except KeyError:
+            raise SimulationError(
+                f"machine {self.spec.name!r} has no variable {name!r}"
+            ) from None
+
+    def write(self, name: str, value: object) -> None:
+        if name not in self._variables:
+            raise SimulationError(
+                f"machine {self.spec.name!r} has no variable {name!r}")
+        self._variables[name] = value
+        for listener in list(self._listeners):
+            listener(name, value)
+
+    def variables(self) -> dict[str, object]:
+        return dict(self._variables)
+
+    def variable_names(self) -> list[str]:
+        return list(self._variables)
+
+    def on_change(self, listener: Callable[[str, object], None]) -> None:
+        self._listeners.append(listener)
+
+    # -- services -------------------------------------------------------------
+
+    def call(self, service_name: str, *args) -> tuple:
+        service = self._services.get(service_name)
+        if service is None:
+            raise SimulationError(
+                f"machine {self.spec.name!r} has no service "
+                f"{service_name!r}")
+        if len(args) != len(service.inputs):
+            raise SimulationError(
+                f"service {service_name!r} of {self.spec.name!r} expects "
+                f"{len(service.inputs)} argument(s), got {len(args)}")
+        self.call_log.append((service_name, args))
+        self._apply_service_effects(service_name)
+        return tuple(self._default_output(arg.data_type, service_name)
+                     for arg in service.outputs)
+
+    def _apply_service_effects(self, service_name: str) -> None:
+        """Generic behavioural effects of well-known service verbs."""
+        lowered = service_name.lower()
+        if any(verb in lowered for verb in ("start", "play", "run")):
+            self.busy = True
+            self._set_if_present("program_status", "running")
+            self._set_if_present("machine_state", "running")
+            self._set_if_present("is_running", True)
+        elif any(verb in lowered for verb in ("stop", "abort", "pause")):
+            self.busy = False
+            self._set_if_present("program_status", "idle")
+            self._set_if_present("machine_state", "idle")
+            self._set_if_present("is_running", False)
+        elif "reset" in lowered:
+            self._set_if_present("error_code", 0)
+            self._set_if_present("alarm_code", 0)
+            self._set_if_present("faults_active", 0)
+
+    def _set_if_present(self, name: str, value: object) -> None:
+        if name in self._variables:
+            self.write(name, value)
+
+    def _default_output(self, data_type: str, service_name: str):
+        if data_type == "Boolean":
+            if "ready" in service_name.lower() or service_name == "is_ready":
+                return not self.busy
+            return True
+        if data_type in ("Integer", "Natural"):
+            return 0
+        if data_type in ("Real", "Double"):
+            return 0.0
+        return "ok"
+
+    @property
+    def service_names(self) -> list[str]:
+        return list(self._services)
+
+    def service(self, name: str) -> ServiceSpec:
+        return self._services[name]
+
+    # -- time evolution ---------------------------------------------------------
+
+    def step(self, dt: float = 1.0) -> None:
+        """Advance simulated time: numeric drift, occasional state flips."""
+        self.clock += dt
+        for name, spec in self._variable_specs.items():
+            value = self._variables[name]
+            if spec.data_type in ("Real", "Double"):
+                drift = self._rng.gauss(0.0, 1.0) * dt
+                self.write(name, round(float(value) + drift, 6))
+            elif spec.data_type in ("Integer", "Natural"):
+                if self._rng.random() < 0.2:
+                    self.write(name, int(value) + 1)
+            elif spec.data_type == "Boolean":
+                if self._rng.random() < 0.05:
+                    self.write(name, not bool(value))
+            elif spec.data_type == "String":
+                if self._rng.random() < 0.1:
+                    states = _states_for(name)
+                    self.write(name, self._rng.choice(states))
+
+    def __repr__(self) -> str:
+        return (f"<MachineSimulator {self.spec.name} "
+                f"({self.spec.variable_count} vars, "
+                f"{self.spec.service_count} services)>")
+
+
+def _states_for(variable_name: str) -> tuple[str, ...]:
+    lowered = variable_name.lower()
+    for key, states in _STRING_STATES.items():
+        if key in lowered:
+            return states
+    return _STRING_STATES["default"]
+
+
+def _stable_seed(name: str) -> int:
+    return sum(ord(c) * (i + 1) for i, c in enumerate(name)) % (2 ** 31)

@@ -1,0 +1,25 @@
+"""Per-machine specifications of the ICE Laboratory (Table I rows)."""
+
+from .emco import SPEC as EMCO_SPEC
+from .opcua_machines import (CONVEYOR_SPEC, FIAM_SPEC, KAIROS1_SPEC,
+                             KAIROS2_SPEC, QC_PC_SPEC, SIEMENS_PLC_SPEC,
+                             SPEA_SPEC, WAREHOUSE_SPEC, make_kairos_spec)
+from .ur5 import SPEC as UR5_SPEC
+
+#: All ICE-lab machines, in the workcell order of Table I.
+ICE_LAB_SPECS = [
+    SPEA_SPEC,        # wc01
+    EMCO_SPEC,        # wc02
+    UR5_SPEC,         # wc02
+    SIEMENS_PLC_SPEC,  # wc03
+    FIAM_SPEC,        # wc03
+    QC_PC_SPEC,       # wc04
+    WAREHOUSE_SPEC,   # wc05
+    CONVEYOR_SPEC,    # wc06
+    KAIROS1_SPEC,     # wc06
+    KAIROS2_SPEC,     # wc06
+]
+
+__all__ = ["CONVEYOR_SPEC", "EMCO_SPEC", "FIAM_SPEC", "ICE_LAB_SPECS",
+           "KAIROS1_SPEC", "KAIROS2_SPEC", "QC_PC_SPEC", "SIEMENS_PLC_SPEC",
+           "SPEA_SPEC", "UR5_SPEC", "WAREHOUSE_SPEC", "make_kairos_spec"]

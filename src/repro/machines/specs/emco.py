@@ -1,0 +1,114 @@
+"""EMCO Concept Mill 105 — workcell 02 (34 variables, 19 services).
+
+Counts match the EMCO row of Table I. The EMCO uses a proprietary
+machine driver (``EMCODriver``), as in the paper's running example.
+"""
+
+from __future__ import annotations
+
+from ...isa95.levels import VariableSpec
+from ..catalog import DriverSpec, MachineSpec, simple_service
+
+
+def _axes() -> list[VariableSpec]:
+    variables = []
+    for axis in ("X", "Y", "Z"):
+        variables.append(VariableSpec(f"actual_{axis}", "Real", unit="mm"))
+        variables.append(VariableSpec(f"target_{axis}", "Real", unit="mm"))
+        variables.append(VariableSpec(f"feed_rate_{axis}", "Real",
+                                      unit="mm/min"))
+    return variables
+
+
+def _spindle() -> list[VariableSpec]:
+    return [
+        VariableSpec("spindle_speed", "Real", unit="rpm"),
+        VariableSpec("spindle_load", "Real", unit="%"),
+        VariableSpec("spindle_temperature", "Real", unit="degC"),
+        VariableSpec("spindle_override", "Real", unit="%"),
+        VariableSpec("spindle_direction", "String"),
+        VariableSpec("spindle_active", "Boolean"),
+    ]
+
+
+def _program() -> list[VariableSpec]:
+    return [
+        VariableSpec("program_name", "String"),
+        VariableSpec("program_status", "String"),
+        VariableSpec("program_line", "Integer"),
+        VariableSpec("program_progress", "Real", unit="%"),
+        VariableSpec("block_number", "Integer"),
+        VariableSpec("feed_override", "Real", unit="%"),
+        VariableSpec("rapid_override", "Real", unit="%"),
+        VariableSpec("cycle_time", "Real", unit="s"),
+    ]
+
+
+def _system_status() -> list[VariableSpec]:
+    return [
+        VariableSpec("operating_mode", "String"),
+        VariableSpec("machine_state", "String"),
+        VariableSpec("error_code", "Integer"),
+        VariableSpec("error_message", "String"),
+        VariableSpec("emergency_stop", "Boolean"),
+        VariableSpec("door_closed", "Boolean"),
+        VariableSpec("coolant_active", "Boolean"),
+        VariableSpec("power_on_hours", "Real", unit="h"),
+    ]
+
+
+def _tooling() -> list[VariableSpec]:
+    return [
+        VariableSpec("tool_number", "Integer"),
+        VariableSpec("tool_offset", "Real", unit="mm"),
+        VariableSpec("tool_life", "Real", unit="%"),
+    ]
+
+
+SPEC = MachineSpec(
+    name="emco",
+    display_name="EMCO Concept Mill 105",
+    type_name="EMCOMillingMachine",
+    workcell="workCell02",
+    driver=DriverSpec(
+        protocol="EMCODriver",
+        is_generic=False,
+        parameters={
+            "ip": "10.197.12.11",
+            "ip_port": 5557,
+            "program_file_path": "/programs/emco",
+        },
+    ),
+    categories={
+        "AxesPositions": _axes(),
+        "Spindle": _spindle(),
+        "Program": _program(),
+        "SystemStatus": _system_status(),
+        "Tooling": _tooling(),
+    },
+    services=[
+        simple_service("is_ready", outputs=[("ready", "Boolean")]),
+        simple_service("start_program"),
+        simple_service("stop_program"),
+        simple_service("pause_program"),
+        simple_service("resume_program"),
+        simple_service("load_program", inputs=[("program", "String")]),
+        simple_service("unload_program"),
+        simple_service("reset_errors"),
+        simple_service("home_axes"),
+        simple_service("move_to", inputs=[("x", "Real"), ("y", "Real"),
+                                          ("z", "Real")]),
+        simple_service("set_spindle_speed", inputs=[("rpm", "Real")]),
+        simple_service("spindle_on"),
+        simple_service("spindle_off"),
+        simple_service("open_door"),
+        simple_service("close_door"),
+        simple_service("coolant_on"),
+        simple_service("coolant_off"),
+        simple_service("get_status", outputs=[("status", "String")]),
+        simple_service("set_feed_override", inputs=[("percent", "Real")]),
+    ],
+)
+
+assert SPEC.variable_count == 34, SPEC.variable_count
+assert SPEC.service_count == 19, SPEC.service_count

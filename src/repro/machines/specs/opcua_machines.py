@@ -1,0 +1,265 @@
+"""The ICE-lab machines that expose a standardized OPC UA interface.
+
+Per Table I: SPEA ATE (wc01, 3/5), Siemens PLC (wc03, 26/8), Fiam
+eTensil (wc03, 12/3), Quality-Control PC (wc04, 13/2), Vertical
+Warehouse (wc05, 5/3), Conveyor Line (wc06, 296/10), and the two
+RB-Kairos AGVs (wc06, 5/6 each). All use the generic ``OPCUADriver``.
+"""
+
+from __future__ import annotations
+
+from ...isa95.levels import VariableSpec
+from ..catalog import DriverSpec, MachineSpec, simple_service
+
+
+def _opcua_driver(host: str, port: int = 4840) -> DriverSpec:
+    return DriverSpec(
+        protocol="OPCUADriver",
+        is_generic=True,
+        parameters={"endpoint": f"opc.tcp://{host}:{port}",
+                    "security_policy": "None",
+                    "session_timeout_ms": 30000},
+    )
+
+
+SPEA_SPEC = MachineSpec(
+    name="spea",
+    display_name="SPEA Automatic Test Equipment",
+    type_name="SPEATester",
+    workcell="workCell01",
+    driver=_opcua_driver("10.197.11.21"),
+    categories={
+        "Testing": [
+            VariableSpec("test_status", "String"),
+            VariableSpec("tests_passed", "Integer"),
+            VariableSpec("tests_failed", "Integer"),
+        ],
+    },
+    services=[
+        simple_service("is_ready", outputs=[("ready", "Boolean")]),
+        simple_service("start_test", inputs=[("board_id", "String")]),
+        simple_service("abort_test"),
+        simple_service("get_report", outputs=[("report", "String")]),
+        simple_service("reset"),
+    ],
+)
+assert SPEA_SPEC.variable_count == 3 and SPEA_SPEC.service_count == 5
+
+
+def _plc_variables() -> dict[str, list[VariableSpec]]:
+    stations = [VariableSpec(f"station_{i}_state", "String")
+                for i in range(1, 9)]
+    sensors = [VariableSpec(f"sensor_{i}", "Boolean")
+               for i in range(1, 11)]
+    actuators = [VariableSpec(f"actuator_{i}", "Boolean")
+                 for i in range(1, 6)]
+    counters = [
+        VariableSpec("parts_count", "Integer"),
+        VariableSpec("cycle_time", "Real", unit="s"),
+        VariableSpec("alarm_code", "Integer"),
+    ]
+    return {"Stations": stations, "Sensors": sensors,
+            "Actuators": actuators, "Counters": counters}
+
+
+SIEMENS_PLC_SPEC = MachineSpec(
+    name="siemensPlc",
+    display_name="Siemens S7-1500 PLC (assembly cell)",
+    type_name="SiemensPLC",
+    workcell="workCell03",
+    driver=_opcua_driver("10.197.13.31"),
+    categories=_plc_variables(),
+    services=[
+        simple_service("start_cycle"),
+        simple_service("stop_cycle"),
+        simple_service("reset_cell"),
+        simple_service("ack_alarm", inputs=[("alarm_code", "Integer")]),
+        simple_service("set_mode", inputs=[("mode", "String")]),
+        simple_service("get_counters", outputs=[("parts", "Integer")]),
+        simple_service("open_gripper"),
+        simple_service("close_gripper"),
+    ],
+)
+assert SIEMENS_PLC_SPEC.variable_count == 26
+assert SIEMENS_PLC_SPEC.service_count == 8
+
+
+FIAM_SPEC = MachineSpec(
+    name="fiam",
+    display_name="Fiam eTensil Electric Screwdriver",
+    type_name="FiamETensil",
+    workcell="workCell03",
+    driver=_opcua_driver("10.197.13.32"),
+    categories={
+        "Tightening": [
+            VariableSpec("torque", "Real", unit="Nm"),
+            VariableSpec("angle", "Real", unit="deg"),
+            VariableSpec("screw_count", "Integer"),
+            VariableSpec("program_number", "Integer"),
+            VariableSpec("tightening_status", "String"),
+            VariableSpec("rpm", "Real", unit="rpm"),
+        ],
+        "Quality": [
+            VariableSpec("ok_count", "Integer"),
+            VariableSpec("nok_count", "Integer"),
+            VariableSpec("min_torque", "Real", unit="Nm"),
+            VariableSpec("max_torque", "Real", unit="Nm"),
+            VariableSpec("target_torque", "Real", unit="Nm"),
+            VariableSpec("error_code", "Integer"),
+        ],
+    },
+    services=[
+        simple_service("start_tightening"),
+        simple_service("set_program", inputs=[("program", "Integer")]),
+        simple_service("reset_counters"),
+    ],
+)
+assert FIAM_SPEC.variable_count == 12 and FIAM_SPEC.service_count == 3
+
+
+QC_PC_SPEC = MachineSpec(
+    name="qcPc",
+    display_name="Quality Control Vision PC",
+    type_name="QualityControlPC",
+    workcell="workCell04",
+    driver=_opcua_driver("10.197.14.41"),
+    categories={
+        "Inspection": [
+            VariableSpec("camera_status", "String"),
+            VariableSpec("last_inspection_result", "String"),
+            VariableSpec("defects_found", "Integer"),
+            VariableSpec("inspection_time", "Real", unit="s"),
+            VariableSpec("images_captured", "Integer"),
+            VariableSpec("pass_count", "Integer"),
+            VariableSpec("fail_count", "Integer"),
+            VariableSpec("batch_id", "String"),
+        ],
+        "Camera": [
+            VariableSpec("brightness", "Real"),
+            VariableSpec("exposure", "Real", unit="ms"),
+            VariableSpec("focus_score", "Real"),
+            VariableSpec("algorithm_version", "String"),
+            VariableSpec("cpu_load", "Real", unit="%"),
+        ],
+    },
+    services=[
+        simple_service("inspect", inputs=[("part_id", "String")],
+                       outputs=[("result", "String")]),
+        simple_service("calibrate"),
+    ],
+)
+assert QC_PC_SPEC.variable_count == 13 and QC_PC_SPEC.service_count == 2
+
+
+WAREHOUSE_SPEC = MachineSpec(
+    name="warehouse",
+    display_name="ICAM Vertical Warehouse",
+    type_name="VerticalWarehouse",
+    workcell="workCell05",
+    driver=_opcua_driver("10.197.15.51"),
+    categories={
+        "Storage": [
+            VariableSpec("tray_current", "Integer"),
+            VariableSpec("occupancy_percent", "Real", unit="%"),
+            VariableSpec("door_status", "String"),
+            VariableSpec("alarm_active", "Boolean"),
+            VariableSpec("total_movements", "Integer"),
+        ],
+    },
+    services=[
+        simple_service("fetch_tray", inputs=[("tray", "Integer")]),
+        simple_service("store_tray", inputs=[("tray", "Integer")]),
+        simple_service("get_inventory", outputs=[("inventory", "String")]),
+    ],
+)
+assert WAREHOUSE_SPEC.variable_count == 5 and WAREHOUSE_SPEC.service_count == 3
+
+
+def _conveyor_variables() -> dict[str, list[VariableSpec]]:
+    categories: dict[str, list[VariableSpec]] = {}
+    for segment in range(1, 33):  # 32 conveyor segments x 9 variables = 288
+        categories[f"Segment{segment:02d}"] = [
+            VariableSpec(f"seg{segment:02d}_motor_speed", "Real",
+                         unit="m/s"),
+            VariableSpec(f"seg{segment:02d}_motor_current", "Real",
+                         unit="A"),
+            VariableSpec(f"seg{segment:02d}_occupied", "Boolean"),
+            VariableSpec(f"seg{segment:02d}_pallet_id", "Integer"),
+            VariableSpec(f"seg{segment:02d}_stopper_engaged", "Boolean"),
+            VariableSpec(f"seg{segment:02d}_sensor_entry", "Boolean"),
+            VariableSpec(f"seg{segment:02d}_sensor_exit", "Boolean"),
+            VariableSpec(f"seg{segment:02d}_temperature", "Real",
+                         unit="degC"),
+            VariableSpec(f"seg{segment:02d}_fault_code", "Integer"),
+        ]
+    categories["Line"] = [  # 8 line-wide variables
+        VariableSpec("line_speed", "Real", unit="m/s"),
+        VariableSpec("total_pallets", "Integer"),
+        VariableSpec("line_state", "String"),
+        VariableSpec("emergency_stop", "Boolean"),
+        VariableSpec("power_consumption", "Real", unit="W"),
+        VariableSpec("throughput", "Real", unit="pallets/h"),
+        VariableSpec("oldest_pallet_age", "Real", unit="s"),
+        VariableSpec("faults_active", "Integer"),
+    ]
+    return categories
+
+
+CONVEYOR_SPEC = MachineSpec(
+    name="conveyor",
+    display_name="Minipallet Conveyor Line",
+    type_name="ConveyorLine",
+    workcell="workCell06",
+    driver=_opcua_driver("10.197.16.61"),
+    categories=_conveyor_variables(),
+    services=[
+        simple_service("start_line"),
+        simple_service("stop_line"),
+        simple_service("route_pallet", inputs=[("pallet", "Integer"),
+                                               ("destination", "Integer")]),
+        simple_service("release_stopper", inputs=[("segment", "Integer")]),
+        simple_service("engage_stopper", inputs=[("segment", "Integer")]),
+        simple_service("get_pallet_position",
+                       inputs=[("pallet", "Integer")],
+                       outputs=[("segment", "Integer")]),
+        simple_service("reset_faults"),
+        simple_service("set_speed", inputs=[("speed", "Real")]),
+        simple_service("register_pallet", inputs=[("pallet", "Integer")]),
+        simple_service("unregister_pallet", inputs=[("pallet", "Integer")]),
+    ],
+)
+assert CONVEYOR_SPEC.variable_count == 296, CONVEYOR_SPEC.variable_count
+assert CONVEYOR_SPEC.service_count == 10
+
+
+def make_kairos_spec(index: int, host: str) -> MachineSpec:
+    """RB-Kairos mobile manipulator (two identical units in wc06)."""
+    return MachineSpec(
+        name=f"kairos{index}",
+        display_name=f"Robotnik RB-Kairos #{index}",
+        type_name="RBKairosAGV",
+        workcell="workCell06",
+        driver=_opcua_driver(host),
+        categories={
+            "Navigation": [
+                VariableSpec("battery_level", "Real", unit="%"),
+                VariableSpec("pose_x", "Real", unit="m"),
+                VariableSpec("pose_y", "Real", unit="m"),
+                VariableSpec("pose_theta", "Real", unit="rad"),
+                VariableSpec("status", "String"),
+            ],
+        },
+        services=[
+            simple_service("move_to", inputs=[("x", "Real"), ("y", "Real")]),
+            simple_service("dock"),
+            simple_service("undock"),
+            simple_service("pick", inputs=[("item", "String")]),
+            simple_service("place", inputs=[("item", "String")]),
+            simple_service("get_status", outputs=[("status", "String")]),
+        ],
+    )
+
+
+KAIROS1_SPEC = make_kairos_spec(1, "10.197.16.62")
+KAIROS2_SPEC = make_kairos_spec(2, "10.197.16.63")
+assert KAIROS1_SPEC.variable_count == 5 and KAIROS1_SPEC.service_count == 6

@@ -1,0 +1,127 @@
+"""UR5e collaborative robot — workcell 02 (99 variables, 4 services).
+
+Counts match the UR5e row of Table I; the variable layout mirrors the
+real-time data interface of Universal Robots controllers. The UR5e uses
+a proprietary machine driver (``URDriver``).
+"""
+
+from __future__ import annotations
+
+from ...isa95.levels import VariableSpec
+from ..catalog import DriverSpec, MachineSpec, simple_service
+
+_JOINTS = ("base", "shoulder", "elbow", "wrist1", "wrist2", "wrist3")
+
+
+def _joints() -> list[VariableSpec]:
+    variables = []
+    for joint in _JOINTS:
+        variables.append(VariableSpec(f"{joint}_position", "Real",
+                                      unit="rad"))
+        variables.append(VariableSpec(f"{joint}_velocity", "Real",
+                                      unit="rad/s"))
+        variables.append(VariableSpec(f"{joint}_current", "Real", unit="A"))
+        variables.append(VariableSpec(f"{joint}_temperature", "Real",
+                                      unit="degC"))
+        variables.append(VariableSpec(f"{joint}_torque", "Real", unit="Nm"))
+        variables.append(VariableSpec(f"{joint}_voltage", "Real", unit="V"))
+    return variables  # 36
+
+
+def _tcp() -> list[VariableSpec]:
+    variables = []
+    for group in ("actual", "target"):
+        for coord in ("x", "y", "z", "rx", "ry", "rz"):
+            variables.append(VariableSpec(f"tcp_{group}_{coord}", "Real"))
+    for coord in ("x", "y", "z", "rx", "ry", "rz"):
+        variables.append(VariableSpec(f"tcp_speed_{coord}", "Real"))
+    for coord in ("x", "y", "z", "rx", "ry", "rz"):
+        variables.append(VariableSpec(f"tcp_force_{coord}", "Real"))
+    return variables  # 24
+
+
+def _status() -> list[VariableSpec]:
+    return [
+        VariableSpec("robot_mode", "String"),
+        VariableSpec("safety_mode", "String"),
+        VariableSpec("program_state", "String"),
+        VariableSpec("is_running", "Boolean"),
+        VariableSpec("is_protective_stopped", "Boolean"),
+        VariableSpec("speed_scaling", "Real", unit="%"),
+        VariableSpec("runtime_seconds", "Real", unit="s"),
+        VariableSpec("power_consumption", "Real", unit="W"),
+        VariableSpec("controller_temperature", "Real", unit="degC"),
+    ]  # 9
+
+
+def _io() -> list[VariableSpec]:
+    variables = []
+    for i in range(8):
+        variables.append(VariableSpec(f"digital_in_{i}", "Boolean"))
+    for i in range(8):
+        variables.append(VariableSpec(f"digital_out_{i}", "Boolean"))
+    for i in range(2):
+        variables.append(VariableSpec(f"analog_in_{i}", "Real", unit="V"))
+    for i in range(2):
+        variables.append(VariableSpec(f"analog_out_{i}", "Real", unit="V"))
+    return variables  # 20
+
+
+def _gripper() -> list[VariableSpec]:
+    return [
+        VariableSpec("grip_position", "Real", unit="mm"),
+        VariableSpec("grip_force", "Real", unit="N"),
+        VariableSpec("object_detected", "Boolean"),
+        VariableSpec("grip_activated", "Boolean"),
+    ]  # 4
+
+
+def _payload() -> list[VariableSpec]:
+    return [
+        VariableSpec("payload_mass", "Real", unit="kg"),
+        VariableSpec("payload_cog_x", "Real", unit="m"),
+        VariableSpec("payload_cog_y", "Real", unit="m"),
+        VariableSpec("payload_cog_z", "Real", unit="m"),
+    ]  # 4
+
+
+def _power() -> list[VariableSpec]:
+    return [
+        VariableSpec("momentum", "Real"),
+        VariableSpec("main_voltage", "Real", unit="V"),
+    ]  # 2
+
+
+SPEC = MachineSpec(
+    name="ur5",
+    display_name="UR5e Collaborative Robot",
+    type_name="UR5eCobot",
+    workcell="workCell02",
+    driver=DriverSpec(
+        protocol="URDriver",
+        is_generic=False,
+        parameters={
+            "ip": "10.197.12.12",
+            "ip_port": 30002,
+            "dashboard_port": 29999,
+        },
+    ),
+    categories={
+        "Joints": _joints(),
+        "TCP": _tcp(),
+        "Status": _status(),
+        "IO": _io(),
+        "Gripper": _gripper(),
+        "Payload": _payload(),
+        "Power": _power(),
+    },
+    services=[
+        simple_service("play"),
+        simple_service("pause"),
+        simple_service("stop"),
+        simple_service("load_program", inputs=[("program", "String")]),
+    ],
+)
+
+assert SPEC.variable_count == 99, SPEC.variable_count
+assert SPEC.service_count == 4, SPEC.service_count

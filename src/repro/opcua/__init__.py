@@ -1,0 +1,21 @@
+"""Simulated OPC UA substrate: address space, servers, clients, subscriptions."""
+
+from .address_space import (AddressSpace, AddressSpaceError, Argument,
+                            DataValue, MethodNode, Node, ObjectNode,
+                            VariableNode)
+from .client import OpcUaClient
+from .network import NetworkError, UaNetwork, default_network
+from .nodeids import (NodeId, NodeIdError, OBJECTS_FOLDER, QualifiedName,
+                      SERVER_NODE, TYPES_FOLDER)
+from .server import OpcUaServer, Session, SessionError
+from .subscription import (DataChangeNotification, MonitoredItem,
+                           Subscription)
+
+__all__ = [
+    "AddressSpace", "AddressSpaceError", "Argument", "DataChangeNotification",
+    "DataValue", "MethodNode", "MonitoredItem", "NetworkError", "Node",
+    "NodeId", "NodeIdError", "OBJECTS_FOLDER", "ObjectNode", "OpcUaClient",
+    "OpcUaServer", "QualifiedName", "SERVER_NODE", "Session", "SessionError",
+    "Subscription", "TYPES_FOLDER", "UaNetwork", "VariableNode",
+    "default_network",
+]

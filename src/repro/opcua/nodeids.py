@@ -1,0 +1,79 @@
+"""OPC UA node identities.
+
+A :class:`NodeId` pairs a namespace index with an identifier (numeric or
+string), printed in the standard ``ns=<idx>;s=<id>`` / ``ns=<idx>;i=<id>``
+notation. A :class:`QualifiedName` is the browse name used when walking
+the address space.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+class NodeIdError(ValueError):
+    pass
+
+
+@dataclass(frozen=True, order=True)
+class NodeId:
+    namespace: int
+    identifier: int | str
+
+    def __post_init__(self):
+        if self.namespace < 0:
+            raise NodeIdError(f"negative namespace index: {self.namespace}")
+        if isinstance(self.identifier, str) and not self.identifier:
+            raise NodeIdError("empty string identifier")
+
+    def __str__(self) -> str:
+        marker = "i" if isinstance(self.identifier, int) else "s"
+        return f"ns={self.namespace};{marker}={self.identifier}"
+
+    @classmethod
+    def parse(cls, text: str) -> "NodeId":
+        """Parse ``ns=2;s=emco.actualX`` / ``ns=0;i=85`` notation."""
+        try:
+            ns_part, id_part = text.split(";", 1)
+            if not ns_part.startswith("ns="):
+                raise ValueError
+            namespace = int(ns_part[3:])
+            marker, _, identifier = id_part.partition("=")
+            if marker == "i":
+                return cls(namespace, int(identifier))
+            if marker == "s":
+                if not identifier:
+                    raise ValueError
+                return cls(namespace, identifier)
+            raise ValueError
+        except ValueError as exc:
+            raise NodeIdError(f"malformed NodeId text {text!r}") from exc
+
+
+@dataclass(frozen=True, order=True)
+class QualifiedName:
+    namespace: int
+    name: str
+
+    def __post_init__(self):
+        if not self.name:
+            raise NodeIdError("empty browse name")
+
+    def __str__(self) -> str:
+        return f"{self.namespace}:{self.name}"
+
+    @classmethod
+    def parse(cls, text: str) -> "QualifiedName":
+        if ":" in text:
+            ns, _, name = text.partition(":")
+            try:
+                return cls(int(ns), name)
+            except ValueError:
+                pass  # a plain name containing ':' — treat as ns 0
+        return cls(0, text)
+
+
+#: Well-known base nodes (namespace 0), subset of the OPC UA standard.
+OBJECTS_FOLDER = NodeId(0, 85)
+TYPES_FOLDER = NodeId(0, 86)
+SERVER_NODE = NodeId(0, 2253)

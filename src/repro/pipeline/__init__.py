@@ -1,0 +1,9 @@
+"""End-to-end methodology (Figure 1) and Table I reporting."""
+
+from .report import Table1Report, Table1Row, build_table1_report
+from .run import (EndToEndResult, SmokeReport, run_factory, smoke_test)
+from .verify import ConformanceReport, Finding, verify_conformance
+
+__all__ = ["ConformanceReport", "EndToEndResult", "Finding", "SmokeReport",
+           "Table1Report", "Table1Row", "build_table1_report",
+           "run_factory", "smoke_test", "verify_conformance"]

@@ -1,0 +1,182 @@
+"""Model-vs-deployment conformance verification.
+
+The paper's conclusion claims the methodology "ensur[es] consistency
+between the SysML model and the actual implementation". This module
+makes that property checkable at runtime: given a deployed factory, it
+walks the model topology and verifies that every modeled element is
+actually realized — and that nothing is deployed that the model does
+not prescribe.
+
+Checks
+------
+``variable-node``       every machine variable has a UA node on its
+                        workcell server, with the modeled data type;
+``method-node``         every machine service has a UA method with the
+                        modeled arity;
+``service-responder``   every service topic has a live broker responder;
+``data-flow``           every variable series reaches the store once the
+                        plant produced data;
+``orphan-node``         the servers expose no variables the model does
+                        not declare (drift in the other direction);
+``pod-per-component``   every generated manifest's deployment is
+                        running.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..opcua import MethodNode, VariableNode
+from .run import EndToEndResult
+
+
+@dataclass
+class Finding:
+    check: str
+    subject: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"[{self.check}] {self.subject}: {self.message}"
+
+
+@dataclass
+class ConformanceReport:
+    findings: list[Finding] = field(default_factory=list)
+    checked_variables: int = 0
+    checked_methods: int = 0
+    checked_services: int = 0
+    checked_pods: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def add(self, check: str, subject: str, message: str) -> None:
+        self.findings.append(Finding(check, subject, message))
+
+    def render(self) -> str:
+        header = (f"conformance: {self.checked_variables} variables, "
+                  f"{self.checked_methods} methods, "
+                  f"{self.checked_services} service topics, "
+                  f"{self.checked_pods} pods checked")
+        if self.ok:
+            return header + " — model and deployment are consistent"
+        return header + "\n" + "\n".join(str(f) for f in self.findings)
+
+
+def verify_conformance(result: EndToEndResult,
+                       *, require_data: bool = True) -> ConformanceReport:
+    """Check the deployed factory against its model topology."""
+    report = ConformanceReport()
+    _check_address_spaces(result, report)
+    _check_service_responders(result, report)
+    if require_data:
+        _check_data_flow(result, report)
+    _check_pods(result, report)
+    return report
+
+
+def _workcell_server(result: EndToEndResult, workcell: str):
+    from ..codegen.machine_config import workcell_endpoint
+    try:
+        return result.world.network.lookup(workcell_endpoint(workcell))
+    except ConnectionError:
+        return None
+
+
+def _check_address_spaces(result: EndToEndResult,
+                          report: ConformanceReport) -> None:
+    for machine in result.topology.machines:
+        server = _workcell_server(result, machine.workcell)
+        if server is None:
+            report.add("variable-node", machine.workcell,
+                       "no OPC UA server listening for this workcell")
+            continue
+        modeled_variables = {v.name: v for v in machine.variables}
+        for name, variable in modeled_variables.items():
+            report.checked_variables += 1
+            try:
+                node = server.space.browse_path(
+                    f"{machine.name}/data/{name}")
+            except Exception:
+                report.add("variable-node", f"{machine.name}.{name}",
+                           "modeled variable has no UA node")
+                continue
+            if not isinstance(node, VariableNode):
+                report.add("variable-node", f"{machine.name}.{name}",
+                           "UA node is not a variable")
+            elif node.data_type != variable.data_type:
+                report.add("variable-node", f"{machine.name}.{name}",
+                           f"data type drift: model {variable.data_type}, "
+                           f"deployed {node.data_type}")
+        for service in machine.services:
+            report.checked_methods += 1
+            try:
+                node = server.space.browse_path(
+                    f"{machine.name}/services/{service.name}")
+            except Exception:
+                report.add("method-node",
+                           f"{machine.name}.{service.name}",
+                           "modeled service has no UA method")
+                continue
+            if not isinstance(node, MethodNode):
+                report.add("method-node",
+                           f"{machine.name}.{service.name}",
+                           "UA node is not a method")
+            elif len(node.input_arguments) != len(service.inputs):
+                report.add("method-node",
+                           f"{machine.name}.{service.name}",
+                           f"arity drift: model {len(service.inputs)} "
+                           f"inputs, deployed {len(node.input_arguments)}")
+        # drift in the other direction: deployed-but-unmodeled variables
+        try:
+            data_folder = server.space.browse_path(f"{machine.name}/data")
+        except Exception:
+            continue
+        for node in data_folder.children:
+            if node.browse_name.name not in modeled_variables:
+                report.add("orphan-node",
+                           f"{machine.name}.{node.browse_name.name}",
+                           "deployed variable is not in the model")
+
+
+def _check_service_responders(result: EndToEndResult,
+                              report: ConformanceReport) -> None:
+    for service in result.registry:
+        report.checked_services += 1
+        responders = result.world.broker.matching_subscriptions(
+            service.topic)
+        if responders == 0:
+            report.add("service-responder", service.qualified_name,
+                       f"no responder on topic {service.topic}")
+
+
+def _check_data_flow(result: EndToEndResult,
+                     report: ConformanceReport) -> None:
+    for machine in result.topology.machines:
+        series = result.world.store.series(
+            "machine_data", tags={"machine": machine.name})
+        stored_variables = {s.tags.get("variable") for s in series}
+        for variable in machine.variables:
+            if variable.name not in stored_variables:
+                report.add("data-flow",
+                           f"{machine.name}.{variable.name}",
+                           "no samples reached the store")
+
+
+def _check_pods(result: EndToEndResult, report: ConformanceReport) -> None:
+    from ..yamlgen import parse_documents
+    for filename, text in result.generation.manifests.items():
+        for document in parse_documents(text):
+            if document.get("kind") != "Deployment":
+                continue
+            name = document["metadata"]["name"]
+            namespace = document["metadata"].get("namespace", "default")
+            report.checked_pods += 1
+            pods = result.cluster.pods_for(name, namespace)
+            running = [p for p in pods if p.phase == "Running"]
+            if len(running) < document["spec"].get("replicas", 1):
+                report.add("pod-per-component", name,
+                           f"{len(running)} running pod(s), expected "
+                           f"{document['spec'].get('replicas', 1)}")

@@ -1,0 +1,241 @@
+"""The software-stack components the generated configuration deploys.
+
+Three component kinds, exactly those of Section IV:
+
+* :class:`WorkcellServerComponent` — the per-workcell OPC UA server:
+  connects to its machines through their drivers and mirrors every
+  variable and method into one address space.
+* :class:`UaBrokerBridgeComponent` — the "OPC UA client" module:
+  subscribes to the machine variables on the workcell servers and
+  republishes them on the message broker; also serves machine-service
+  invocation requests arriving over the broker by forwarding them as
+  UA method calls (this is what makes the architecture SOM).
+* :class:`HistorianComponent` — stores broker data into the database
+  (delegates to :class:`repro.storage.Historian`).
+
+All three are constructed *from their generated JSON configuration* —
+the deployment loop is closed: SysML model -> JSON -> YAML -> cluster ->
+these components.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..broker import BrokerClient, MessageBroker
+from ..drivers import DriverFactory, DriverRuntime
+from ..machines import MachineSimulator
+from ..opcua import Argument, NodeId, OpcUaClient, OpcUaServer, UaNetwork
+from ..storage import Historian, HistorianConfig, TimeSeriesStore
+
+
+class ComponentError(RuntimeError):
+    pass
+
+
+@dataclass
+class FactoryWorld:
+    """Everything that exists *outside* the cluster: the physical factory.
+
+    The machines (simulators) and the plant network are the environment
+    the deployed software talks to; broker and store are the in-cluster
+    stateful services the pipeline assumes present (the paper's stack
+    likewise deploys against an existing broker and database).
+    """
+
+    network: UaNetwork = field(default_factory=UaNetwork)
+    broker: MessageBroker = field(default_factory=MessageBroker)
+    store: TimeSeriesStore = field(default_factory=TimeSeriesStore)
+    simulators: dict[str, MachineSimulator] = field(default_factory=dict)
+    driver_factory: DriverFactory | None = None
+    clock: float = 0.0
+
+    def __post_init__(self):
+        if self.driver_factory is None:
+            self.driver_factory = DriverFactory(self.network)
+
+    @classmethod
+    def for_specs(cls, specs, *, seed: int = 0) -> "FactoryWorld":
+        world = cls()
+        for index, spec in enumerate(specs):
+            world.simulators[spec.name] = MachineSimulator(
+                spec, seed=seed + index)
+        return world
+
+    def step(self, dt: float = 1.0) -> None:
+        """Advance every machine's simulated time."""
+        self.clock += dt
+        for simulator in self.simulators.values():
+            simulator.step(dt)
+
+
+class WorkcellServerComponent:
+    """The generated OPC UA server for one workcell."""
+
+    def __init__(self, config: dict, world: FactoryWorld):
+        self.config = config
+        self.world = world
+        self.server: OpcUaServer | None = None
+        self.drivers: dict[str, DriverRuntime] = {}
+        self.mirrored_writes = 0
+
+    def start(self) -> None:
+        endpoint = self.config["endpoint"]
+        self.server = OpcUaServer(
+            endpoint, application_name=self.config["server"],
+            network=self.world.network,
+            namespace_uris=[f"urn:factory:{self.config['workcell']}"])
+        for machine_config in self.config["machines"]:
+            self._attach_machine(machine_config)
+        self.server.start()
+
+    def _attach_machine(self, machine_config: dict) -> None:
+        assert self.server is not None
+        name = machine_config["machine"]
+        simulator = self.world.simulators.get(name)
+        if simulator is None:
+            raise ComponentError(f"no machine {name!r} on the plant floor")
+        driver = self.world.driver_factory.create(simulator.spec, simulator)
+        driver.connect()
+        self.drivers[name] = driver
+        machine_node = self.server.add_object(self.server.space.objects,
+                                              name, namespace=2)
+        data_node = self.server.add_object(machine_node, "data", namespace=2)
+        nodes = {}
+        for variable in machine_config["variables"]:
+            nodes[variable["name"]] = self.server.add_variable(
+                data_node, variable["name"],
+                data_type=variable["data_type"],
+                initial_value=driver.read_variable(variable["name"]),
+                namespace=2)
+
+        def mirror(var_name: str, value: object, _nodes=nodes) -> None:
+            node = _nodes.get(var_name)
+            if node is not None:
+                node.write(value, timestamp=self.world.clock)
+                self.mirrored_writes += 1
+
+        driver.subscribe(mirror)
+        services_node = self.server.add_object(machine_node, "services",
+                                               namespace=2)
+        for method in machine_config["methods"]:
+            self.server.add_method(
+                services_node, method["name"],
+                handler=self._method_handler(driver, method["name"]),
+                input_arguments=[Argument(a["name"], a["data_type"])
+                                 for a in method["inputs"]],
+                output_arguments=[Argument(a["name"], a["data_type"])
+                                  for a in method["outputs"]],
+                namespace=2)
+
+    @staticmethod
+    def _method_handler(driver: DriverRuntime, name: str):
+        def handler(*args):
+            return driver.call_method(name, *args)
+        return handler
+
+    def stop(self) -> None:
+        if self.server is not None:
+            self.server.stop()
+        for driver in self.drivers.values():
+            driver.disconnect()
+
+
+class UaBrokerBridgeComponent:
+    """The generated OPC UA client module for one machine group."""
+
+    def __init__(self, config: dict, world: FactoryWorld):
+        self.config = config
+        self.world = world
+        self.client_id = config["client"]
+        self.broker_client = BrokerClient(world.broker, self.client_id)
+        self.ua_clients: dict[str, OpcUaClient] = {}
+        self.forwarded = 0
+        self.served_calls = 0
+
+    def start(self) -> None:
+        for machine_config in self.config["machines"]:
+            self._attach_machine(machine_config)
+
+    def _attach_machine(self, machine_config: dict) -> None:
+        machine = machine_config["machine"]
+        endpoint = machine_config["server_endpoint"]
+        ua_client = OpcUaClient(f"{self.client_id}-{machine}",
+                                network=self.world.network)
+        ua_client.connect(endpoint)
+        self.ua_clients[machine] = ua_client
+        topic_by_node = {sub["node_id"]: sub["topic"]
+                         for sub in machine_config["subscriptions"]}
+        node_ids = [NodeId.parse(raw) for raw in topic_by_node]
+
+        def forward(notification, _topics=topic_by_node) -> None:
+            topic = _topics.get(str(notification.node_id))
+            if topic is None:
+                return
+            self.broker_client.publish(topic, {
+                "value": notification.value,
+                "timestamp": notification.timestamp,
+                "status": notification.status,
+            }, retain=True)
+            self.forwarded += 1
+
+        if node_ids:
+            ua_client.subscribe(node_ids, callback=forward)
+        # initial sample: publish current values so late consumers (and
+        # machines whose variables rarely change) are represented
+        for node_id in node_ids:
+            data_value = ua_client.read_data_value(node_id)
+            self.broker_client.publish(
+                topic_by_node[str(node_id)],
+                {"value": data_value.value,
+                 "timestamp": data_value.source_timestamp,
+                 "status": data_value.status}, retain=True)
+            self.forwarded += 1
+        for method in machine_config["methods"]:
+            self._serve_method(ua_client, method)
+
+    def _serve_method(self, ua_client: OpcUaClient, method: dict) -> None:
+        node_id = NodeId.parse(method["node_id"])
+
+        def responder(_topic: str, request: dict) -> dict:
+            args = request.get("args", [])
+            if len(args) != method["input_count"]:
+                return {"ok": False,
+                        "error": f"expected {method['input_count']} "
+                                 f"argument(s), got {len(args)}"}
+            try:
+                outputs = ua_client.call(node_id, *args)
+            except Exception as exc:
+                return {"ok": False, "error": str(exc)}
+            self.served_calls += 1
+            return {"ok": True, "outputs": list(outputs)}
+
+        self.broker_client.serve(method["topic"], responder)
+
+    def stop(self) -> None:
+        self.broker_client.disconnect()
+        for ua_client in self.ua_clients.values():
+            ua_client.disconnect()
+
+
+class HistorianComponent:
+    """The generated database-storage component for one machine group."""
+
+    def __init__(self, config: dict, world: FactoryWorld):
+        self.config = config
+        self.historian = Historian(
+            HistorianConfig(name=config["historian"],
+                            topic_root=config["topic_root"],
+                            machines=list(config.get("machines", [])),
+                            measurement=config["database"]["measurement"]),
+            world.broker, world.store)
+
+    def start(self) -> None:
+        self.historian.start()
+
+    def stop(self) -> None:
+        self.historian.stop()
+
+    @property
+    def records(self) -> int:
+        return self.historian.records

@@ -1,0 +1,145 @@
+"""Production KPIs from stored machine data.
+
+The ISA-95 hierarchy of the paper attaches "aggregated information
+relevant across the entire production line or work cell, such as
+performance metrics or overall energy consumption" to the
+ProductionLine and Workcell levels (Section III-A). This module
+computes those aggregates from the historian's time-series store,
+giving the levels' variables their operational meaning.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..isa95.levels import FactoryTopology
+from ..storage import TimeSeriesStore
+
+
+@dataclass
+class WorkcellKpi:
+    """Aggregated view of one workcell over a time window."""
+
+    workcell: str
+    machines_total: int = 0
+    machines_reporting: int = 0
+    samples: int = 0
+    variables_active: int = 0
+    energy_w: float = 0.0  # sum of latest power_consumption readings
+
+    @property
+    def availability(self) -> float:
+        """Fraction of the cell's machines that reported data."""
+        if self.machines_total == 0:
+            return 0.0
+        return self.machines_reporting / self.machines_total
+
+
+@dataclass
+class LineKpi:
+    """Aggregated view of the whole production line."""
+
+    production_line: str
+    workcells: dict[str, WorkcellKpi] = field(default_factory=dict)
+    window: tuple[float | None, float | None] = (None, None)
+
+    @property
+    def machines_total(self) -> int:
+        return sum(k.machines_total for k in self.workcells.values())
+
+    @property
+    def machines_reporting(self) -> int:
+        return sum(k.machines_reporting for k in self.workcells.values())
+
+    @property
+    def availability(self) -> float:
+        if self.machines_total == 0:
+            return 0.0
+        return self.machines_reporting / self.machines_total
+
+    @property
+    def total_samples(self) -> int:
+        return sum(k.samples for k in self.workcells.values())
+
+    @property
+    def energy_w(self) -> float:
+        return sum(k.energy_w for k in self.workcells.values())
+
+    def render(self) -> str:
+        lines = [f"Production line {self.production_line}: "
+                 f"availability {self.availability:.0%}, "
+                 f"{self.total_samples} samples, "
+                 f"energy {self.energy_w:.1f} W"]
+        for name in sorted(self.workcells):
+            kpi = self.workcells[name]
+            lines.append(
+                f"  {name}: {kpi.machines_reporting}"
+                f"/{kpi.machines_total} machines, "
+                f"{kpi.variables_active} active vars, "
+                f"{kpi.samples} samples")
+        return "\n".join(lines)
+
+
+#: Variable-name fragments treated as power/energy readings.
+_ENERGY_VARIABLES = ("power_consumption", "energy")
+
+
+class KpiMonitor:
+    """Computes ISA-95-level aggregates from the time-series store."""
+
+    def __init__(self, store: TimeSeriesStore, topology: FactoryTopology,
+                 *, measurement: str = "machine_data"):
+        self.store = store
+        self.topology = topology
+        self.measurement = measurement
+
+    def workcell_kpi(self, workcell_name: str,
+                     *, start: float | None = None,
+                     end: float | None = None) -> WorkcellKpi:
+        workcell = self.topology.workcell(workcell_name)
+        # the bridges publish topics with sanitized (lowercase) names
+        tag_name = workcell_name.lower()
+        kpi = WorkcellKpi(workcell=workcell_name,
+                          machines_total=len(workcell.machines))
+        reporting: set[str] = set()
+        active_variables: set[tuple[str, str]] = set()
+        for series in self.store.series(self.measurement,
+                                        tags={"workcell": tag_name}):
+            points = series.range(start, end)
+            if not points:
+                continue
+            machine = series.tags.get("machine", "")
+            variable = series.tags.get("variable", "")
+            reporting.add(machine)
+            active_variables.add((machine, variable))
+            kpi.samples += len(points)
+            if any(fragment in variable for fragment in _ENERGY_VARIABLES):
+                value = points[-1].value
+                if isinstance(value, (int, float)) and not \
+                        isinstance(value, bool):
+                    kpi.energy_w += abs(float(value))
+        machine_names = {m.name for m in workcell.machines}
+        kpi.machines_reporting = len(reporting & machine_names)
+        kpi.variables_active = len(active_variables)
+        return kpi
+
+    def line_kpi(self, *, start: float | None = None,
+                 end: float | None = None) -> LineKpi:
+        line_name = (self.topology.production_lines[0]
+                     if self.topology.production_lines else "")
+        line = LineKpi(production_line=line_name, window=(start, end))
+        for workcell in self.topology.workcells:
+            line.workcells[workcell.name] = self.workcell_kpi(
+                workcell.name, start=start, end=end)
+        return line
+
+    def stale_machines(self, *, newer_than: float) -> list[str]:
+        """Machines with no sample at/after *newer_than* — the
+        monitoring alarm a plant operator would page on."""
+        fresh: set[str] = set()
+        for series in self.store.series(self.measurement):
+            last = series.last
+            if last is not None and last.timestamp >= newer_than:
+                fresh.add(series.tags.get("machine", ""))
+        return sorted(m.name for m in self.topology.machines
+                      if m.name not in fresh)

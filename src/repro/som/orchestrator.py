@@ -1,0 +1,90 @@
+"""The SOM orchestrator: executes production processes over the broker.
+
+This is the "high-level control software" of the paper's architecture.
+It never talks to a machine directly — every step is a request on the
+service topic served by the deployed OPC UA client modules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..broker import BrokerClient, BrokerError, MessageBroker
+from .process import ProductionProcess, ProcessStep
+from .services import ServiceRegistry
+
+
+class OrchestrationError(RuntimeError):
+    def __init__(self, message: str, step: ProcessStep | None = None):
+        self.step = step
+        super().__init__(message)
+
+
+@dataclass
+class StepResult:
+    step: ProcessStep
+    ok: bool
+    outputs: list = field(default_factory=list)
+    error: str = ""
+
+
+@dataclass
+class ProcessResult:
+    process: str
+    steps: list[StepResult] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(s.ok for s in self.steps)
+
+    @property
+    def completed_steps(self) -> int:
+        return sum(1 for s in self.steps if s.ok)
+
+
+class Orchestrator:
+    """Executes production processes step by step."""
+
+    def __init__(self, registry: ServiceRegistry, broker: MessageBroker,
+                 *, client_id: str = "orchestrator"):
+        self.registry = registry
+        self.client = BrokerClient(broker, client_id)
+        self.executed_processes = 0
+
+    def invoke(self, machine: str, service: str, *args) -> list:
+        """Invoke a single machine service; returns its outputs."""
+        descriptor = self.registry.lookup(machine, service)
+        try:
+            reply = self.client.request(descriptor.topic,
+                                        {"args": list(args)})
+        except BrokerError as exc:
+            raise OrchestrationError(
+                f"service {descriptor.qualified_name} unreachable: {exc}"
+            ) from exc
+        if not isinstance(reply, dict) or not reply.get("ok", False):
+            error = reply.get("error", "unknown error") \
+                if isinstance(reply, dict) else "malformed reply"
+            raise OrchestrationError(
+                f"service {descriptor.qualified_name} failed: {error}")
+        return list(reply.get("outputs", []))
+
+    def execute(self, process: ProductionProcess,
+                *, stop_on_error: bool = True) -> ProcessResult:
+        """Run every step of *process*; returns per-step results."""
+        missing = process.validate_against(self.registry)
+        if missing:
+            raise OrchestrationError(
+                f"process {process.name!r} references unknown services: "
+                + ", ".join(missing))
+        result = ProcessResult(process=process.name)
+        for step in process.steps:
+            try:
+                outputs = self.invoke(step.machine, step.service,
+                                      *step.args)
+                result.steps.append(StepResult(step, True, outputs))
+            except OrchestrationError as exc:
+                result.steps.append(StepResult(step, False, [], str(exc)))
+                if stop_on_error:
+                    break
+        self.executed_processes += 1
+        return result

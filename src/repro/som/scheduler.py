@@ -1,0 +1,160 @@
+"""Production scheduling over machine services.
+
+Multiple production processes compete for the same machines (the
+conveyor and AGVs serve every workcell). The scheduler executes a batch
+of processes while honoring the SOM constraint that a machine executes
+one service at a time: it builds a step-level schedule (list scheduling
+over machine resources, preserving each process's step order), reports
+the makespan, and can drive the orchestrator accordingly.
+
+Each step occupies its machine for one time slot by default; a
+``duration`` map can refine that. This is deliberately a *schedule*
+simulator — real dispatching latency lives in the broker layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .orchestrator import Orchestrator
+from .process import ProcessStep, ProductionProcess
+
+
+class SchedulingError(RuntimeError):
+    pass
+
+
+@dataclass(frozen=True)
+class ScheduledStep:
+    process: str
+    step_index: int
+    step: ProcessStep
+    start: float
+    end: float
+
+    @property
+    def machine(self) -> str:
+        return self.step.machine
+
+
+@dataclass
+class Schedule:
+    entries: list[ScheduledStep] = field(default_factory=list)
+
+    @property
+    def makespan(self) -> float:
+        return max((e.end for e in self.entries), default=0.0)
+
+    def for_machine(self, machine: str) -> list[ScheduledStep]:
+        return sorted((e for e in self.entries if e.machine == machine),
+                      key=lambda e: e.start)
+
+    def for_process(self, process: str) -> list[ScheduledStep]:
+        return sorted((e for e in self.entries if e.process == process),
+                      key=lambda e: e.step_index)
+
+    def validate(self) -> list[str]:
+        """Internal consistency: no machine overlap, step order kept."""
+        problems: list[str] = []
+        machines = {e.machine for e in self.entries}
+        for machine in machines:
+            timeline = self.for_machine(machine)
+            for first, second in zip(timeline, timeline[1:]):
+                if second.start < first.end:
+                    problems.append(
+                        f"machine {machine} double-booked at "
+                        f"{second.start}")
+        processes = {e.process for e in self.entries}
+        for process in processes:
+            steps = self.for_process(process)
+            for first, second in zip(steps, steps[1:]):
+                if second.start < first.end:
+                    problems.append(
+                        f"process {process} step order violated at "
+                        f"index {second.step_index}")
+        return problems
+
+    def render(self) -> str:
+        lines = [f"schedule: {len(self.entries)} steps, "
+                 f"makespan {self.makespan:g}"]
+        for machine in sorted({e.machine for e in self.entries}):
+            slots = ", ".join(
+                f"[{e.start:g}-{e.end:g}] {e.process}.{e.step.service}"
+                for e in self.for_machine(machine))
+            lines.append(f"  {machine}: {slots}")
+        return "\n".join(lines)
+
+
+class Scheduler:
+    """List scheduler over machine resources."""
+
+    def __init__(self, *, durations: dict[str, float] | None = None,
+                 default_duration: float = 1.0):
+        #: service-qualified-name ("machine.service") -> duration
+        self.durations = dict(durations or {})
+        self.default_duration = default_duration
+
+    def _duration(self, step: ProcessStep) -> float:
+        return self.durations.get(step.qualified_name,
+                                  self.default_duration)
+
+    def schedule(self, processes: list[ProductionProcess]) -> Schedule:
+        """Greedy list scheduling: at each round, start every process's
+        next step as early as its machine and its predecessor allow."""
+        if not processes:
+            return Schedule()
+        names = [p.name for p in processes]
+        if len(names) != len(set(names)):
+            raise SchedulingError("process names must be unique")
+        machine_free: dict[str, float] = {}
+        process_free: dict[str, float] = {p.name: 0.0 for p in processes}
+        next_index: dict[str, int] = {p.name: 0 for p in processes}
+        schedule = Schedule()
+        remaining = sum(len(p) for p in processes)
+        while remaining:
+            # choose the ready step with the earliest feasible start;
+            # FIFO on process order breaks ties deterministically
+            best: tuple[float, int, ProductionProcess] | None = None
+            for order, process in enumerate(processes):
+                index = next_index[process.name]
+                if index >= len(process.steps):
+                    continue
+                step = process.steps[index]
+                start = max(process_free[process.name],
+                            machine_free.get(step.machine, 0.0))
+                key = (start, order, process)
+                if best is None or key[:2] < (best[0], best[1]):
+                    best = key
+            assert best is not None
+            start, _, process = best
+            index = next_index[process.name]
+            step = process.steps[index]
+            end = start + self._duration(step)
+            schedule.entries.append(ScheduledStep(
+                process=process.name, step_index=index, step=step,
+                start=start, end=end))
+            machine_free[step.machine] = end
+            process_free[process.name] = end
+            next_index[process.name] += 1
+            remaining -= 1
+        return schedule
+
+    def execute(self, processes: list[ProductionProcess],
+                orchestrator: Orchestrator) -> dict[str, object]:
+        """Schedule, then drive the orchestrator in schedule order."""
+        schedule = self.schedule(processes)
+        problems = schedule.validate()
+        if problems:
+            raise SchedulingError("; ".join(problems))
+        executed = 0
+        failed = 0
+        for entry in sorted(schedule.entries,
+                            key=lambda e: (e.start, e.process)):
+            try:
+                orchestrator.invoke(entry.step.machine, entry.step.service,
+                                    *entry.step.args)
+                executed += 1
+            except Exception:
+                failed += 1
+        return {"schedule": schedule, "executed": executed,
+                "failed": failed, "makespan": schedule.makespan}

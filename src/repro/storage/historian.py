@@ -1,0 +1,91 @@
+"""The historian: the broker->database software component.
+
+The paper's pipeline generates, per machine group, a configuration for
+"the software component storing the data in the databases". This class
+is that component: it subscribes to the data topics of its assigned
+machines and writes every update into the time-series store, tagging
+points with the ISA-95 coordinates carried in the topic.
+
+Expected topic layout (produced by the generated OPC UA clients)::
+
+    <root>/<workcell>/<machine>/data/<variable>
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..broker import BrokerClient, MessageBroker
+from .timeseries import TimeSeriesStore
+
+
+@dataclass
+class HistorianConfig:
+    """Deployment configuration of one historian instance."""
+
+    name: str
+    topic_root: str
+    machines: list[str] = field(default_factory=list)
+    measurement: str = "machine_data"
+
+
+class Historian:
+    """Subscribes to machine-data topics and records them."""
+
+    def __init__(self, config: HistorianConfig, broker: MessageBroker,
+                 store: TimeSeriesStore):
+        self.config = config
+        self.store = store
+        self.client = BrokerClient(broker, config.name)
+        self.records = 0
+        self.malformed = 0
+        self._running = False
+
+    def start(self) -> None:
+        if self._running:
+            return
+        if self.config.machines:
+            for machine in self.config.machines:
+                self.client.subscribe(
+                    f"{self.config.topic_root}/+/{machine}/data/+",
+                    self._on_data)
+        else:
+            self.client.subscribe(
+                f"{self.config.topic_root}/+/+/data/+", self._on_data)
+        self._running = True
+
+    def stop(self) -> None:
+        self.client.disconnect()
+        self._running = False
+
+    @property
+    def running(self) -> bool:
+        return self._running
+
+    # -- message handling ------------------------------------------------------
+
+    def _on_data(self, topic: str, payload: object) -> None:
+        levels = topic.split("/")
+        root_depth = len(self.config.topic_root.split("/"))
+        # <root...>/<workcell>/<machine>/data/<variable>
+        if len(levels) != root_depth + 4 or levels[root_depth + 2] != "data":
+            self.malformed += 1
+            return
+        workcell = levels[root_depth]
+        machine = levels[root_depth + 1]
+        variable = levels[root_depth + 3]
+        if isinstance(payload, dict):
+            value = payload.get("value")
+            timestamp = float(payload.get("timestamp", 0.0))
+        else:
+            value = payload
+            timestamp = 0.0
+        self.store.write(
+            self.config.measurement, value,
+            timestamp=timestamp,
+            tags={"workcell": workcell, "machine": machine,
+                  "variable": variable})
+        self.records += 1
+
+    def stats(self) -> dict[str, int]:
+        return {"records": self.records, "malformed": self.malformed}

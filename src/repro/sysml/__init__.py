@@ -1,0 +1,71 @@
+"""SysML v2 textual-notation front end and semantic model.
+
+Public API::
+
+    from repro.sysml import load_model, parse, validate_model
+
+    model = load_model(source_text)
+    report = validate_model(model)
+    report.raise_if_errors()
+
+The subset implemented is exactly what the paper's modeling methodology
+exercises (Codes 1-5 of the paper): KerML-style definition/usage pairs
+for parts, attributes, ports, actions, interfaces and connections, with
+specialization (``:>``), redefinition (``:>>``), port conjugation
+(``~``), multiplicities, reference parts, binding connectors,
+``connect``/``interface`` connectors, ``perform`` actions, packages,
+imports and documentation comments.
+"""
+
+from .builder import build_model
+from .diff import Change, ModelDiff, diff_models
+from .files import (convert_model_file, load_model_file, load_model_files,
+                    save_model_file)
+from .elements import (Alias, Assignment, AttributeDefinition,
+                       AttributeUsage, BindingConnector,
+                       ConnectionDefinition, ConnectionUsage, Connector,
+                       Definition, Element, EndUsage,
+                       EnumerationDefinition, EnumerationLiteral, Import,
+                       InterfaceDefinition, InterfaceUsage,
+                       Model, Namespace, Package, PartDefinition, PartUsage,
+                       PerformAction, PortDefinition, PortUsage,
+                       RedefinitionUsage, Type, Usage, iter_definitions,
+                       iter_usages)
+from .errors import (Diagnostic, DiagnosticReport, LexerError, ParseError,
+                     ResolutionError, SourceLocation, SysMLError,
+                     ValidationError)
+from .instances import (ElaborationError, InstanceNode, elaborate,
+                        elaborate_model, propagate_bindings)
+from .interchange import (model_from_dict, model_from_json, model_to_dict,
+                          model_to_json)
+from .lexer import tokenize
+from .parser import parse
+from .printer import print_element, print_model
+from .queries import (ElementCounts, count_definition_closure,
+                      definitions_in, instance_counts, model_summary,
+                      scope_counts, specializations_of, usages_in,
+                      usages_typed_by)
+from .resolver import load_model, resolve_model
+from .validation import validate_model
+
+__all__ = [
+    "Alias", "Assignment", "AttributeDefinition", "AttributeUsage",
+    "EnumerationDefinition", "EnumerationLiteral",
+    "BindingConnector", "ConnectionDefinition", "ConnectionUsage",
+    "Connector", "Definition", "Diagnostic", "DiagnosticReport",
+    "ElaborationError", "Element", "ElementCounts", "EndUsage", "Import",
+    "InstanceNode", "InterfaceDefinition", "InterfaceUsage", "LexerError",
+    "Model", "Namespace", "Package", "ParseError", "PartDefinition",
+    "PartUsage", "PerformAction", "PortDefinition", "PortUsage",
+    "RedefinitionUsage", "ResolutionError", "SourceLocation", "SysMLError",
+    "Change", "ModelDiff", "convert_model_file", "diff_models",
+    "load_model_file", "load_model_files", "save_model_file",
+    "Type", "Usage", "ValidationError", "build_model",
+    "count_definition_closure", "definitions_in", "elaborate",
+    "elaborate_model", "instance_counts", "iter_definitions", "iter_usages",
+    "load_model", "model_from_dict", "model_from_json", "model_summary",
+    "model_to_dict", "model_to_json", "parse", "print_element",
+    "print_model", "propagate_bindings", "resolve_model", "scope_counts",
+    "specializations_of", "tokenize", "usages_in", "usages_typed_by",
+    "validate_model",
+]

@@ -1,0 +1,137 @@
+"""Builds the semantic element graph from parse trees."""
+
+from __future__ import annotations
+
+from . import ast_nodes as ast
+from .elements import (Assignment, BindingConnector, Connector, Definition,
+                       DEFINITION_CLASSES, Element, Import, Model,
+                       Package, PerformAction, Usage, USAGE_CLASSES)
+from .errors import SysMLError
+
+
+class ModelBuilder:
+    """Constructs a :class:`Model` from one or more ASTs.
+
+    Several source texts can be folded into the same model (one per file,
+    like the SysML v2 interchange tooling does): call :meth:`add` for each
+    parsed :class:`~repro.sysml.ast_nodes.ModelNode`, then :meth:`build`.
+    """
+
+    def __init__(self) -> None:
+        self.model = Model()
+
+    def add(self, tree: ast.ModelNode) -> None:
+        for member in tree.members:
+            element = self._build_member(member)
+            if element is not None:
+                self.model.add_owned(element)
+
+    def build(self) -> Model:
+        return self.model
+
+    # -- member construction -------------------------------------------------
+
+    def _build_member(self, node: ast.MemberNode) -> Element | None:
+        if isinstance(node, ast.DocNode):
+            return None  # attached to owner by _attach_members
+        if isinstance(node, ast.PackageNode):
+            return self._build_package(node)
+        if isinstance(node, ast.ImportNode):
+            return Import(node.name, node.wildcard, node.recursive,
+                          node.location)
+        if isinstance(node, ast.DefinitionNode):
+            return self._build_definition(node)
+        if isinstance(node, ast.UsageNode):
+            return self._build_usage(node)
+        if isinstance(node, ast.BindNode):
+            return BindingConnector(node.left, node.right, node.location)
+        if isinstance(node, ast.ConnectNode):
+            connector = Connector(node.kind, node.name, node.source,
+                                  node.target, node.location)
+            if node.type is not None:
+                connector.type_name = node.type.name
+            return connector
+        if isinstance(node, ast.PerformNode):
+            perform = PerformAction(node.target, node.location)
+            self._attach_members(perform, node.members)
+            return perform
+        if isinstance(node, ast.AssignmentNode):
+            return Assignment(node.direction, node.name, node.value,
+                              node.location)
+        if isinstance(node, ast.EndNode):
+            end = USAGE_CLASSES["end"](node.name, location=node.location)
+            if node.type is not None:
+                end.type_name = node.type.name
+                end.conjugated = node.type.conjugated
+            return end
+        if isinstance(node, ast.AliasNode):
+            from .elements import Alias
+            return Alias(node.name, node.target, node.location)
+        if isinstance(node, ast.EnumDefinitionNode):
+            return self._build_enum(node)
+        raise SysMLError(f"unsupported AST node {type(node).__name__}")
+
+    def _build_enum(self, node: ast.EnumDefinitionNode):
+        from .elements import EnumerationDefinition, EnumerationLiteral
+        definition = EnumerationDefinition(node.name,
+                                           location=node.location)
+        definition.specialization_names = list(node.specializes)
+        definition.documentation = node.doc
+        for literal_name in node.literals:
+            definition.add_owned(EnumerationLiteral(literal_name))
+        return definition
+
+    def _build_package(self, node: ast.PackageNode) -> Package:
+        package = Package(node.name, node.location)
+        self._attach_members(package, node.members)
+        return package
+
+    def _build_definition(self, node: ast.DefinitionNode) -> Definition:
+        cls = DEFINITION_CLASSES.get(node.kind)
+        if cls is None:
+            raise SysMLError(f"unknown definition kind {node.kind!r}",
+                             node.location)
+        definition = cls(node.name, is_abstract=node.is_abstract,
+                         location=node.location)
+        definition.specialization_names = list(node.specializes)
+        definition.documentation = node.doc
+        self._attach_members(definition, node.members)
+        return definition
+
+    def _build_usage(self, node: ast.UsageNode) -> Usage:
+        cls = USAGE_CLASSES.get(node.kind)
+        if cls is None:
+            raise SysMLError(f"unknown usage kind {node.kind!r}", node.location)
+        usage = cls(node.name, is_abstract=node.is_abstract,
+                    location=node.location)
+        usage.direction = node.direction
+        usage.is_reference = node.is_ref
+        usage.multiplicity = node.multiplicity
+        if node.type is not None:
+            usage.type_name = node.type.name
+            usage.conjugated = node.type.conjugated
+        usage.specialization_names = list(node.specializes)
+        usage.redefinition_names = list(node.redefines)
+        usage.value = node.value
+        usage.documentation = node.doc
+        self._attach_members(usage, node.members)
+        return usage
+
+    def _attach_members(self, owner: Element,
+                        members: list[ast.MemberNode]) -> None:
+        for member in members:
+            if isinstance(member, ast.DocNode):
+                if not owner.documentation:
+                    owner.documentation = member.text
+                continue
+            element = self._build_member(member)
+            if element is not None:
+                owner.add_owned(element)
+
+
+def build_model(*trees: ast.ModelNode) -> Model:
+    """Build an (unresolved) model from parse trees."""
+    builder = ModelBuilder()
+    for tree in trees:
+        builder.add(tree)
+    return builder.build()

@@ -1,0 +1,183 @@
+"""Model differencing.
+
+The paper's closing claim is that generation keeps the deployed
+configuration consistent with the model. Consistency over time needs
+*change detection*: this module diffs two resolved models element by
+element (matched by qualified name) and reports additions, removals and
+modifications — the input to incremental regeneration
+(:mod:`repro.codegen.incremental`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .ast_nodes import FeatureRefExpr, Literal
+from .elements import (BindingConnector, Connector, Definition, Element,
+                       Import, Model, Usage)
+
+
+@dataclass(frozen=True)
+class Change:
+    """One difference between two models."""
+
+    kind: str  # "added" | "removed" | "modified"
+    path: str  # qualified name of the element
+    element_type: str
+    detail: str = ""
+
+    def __str__(self) -> str:
+        detail = f" ({self.detail})" if self.detail else ""
+        return f"{self.kind}: {self.element_type} {self.path}{detail}"
+
+
+@dataclass
+class ModelDiff:
+    added: list[Change] = field(default_factory=list)
+    removed: list[Change] = field(default_factory=list)
+    modified: list[Change] = field(default_factory=list)
+
+    @property
+    def changes(self) -> list[Change]:
+        return self.added + self.removed + self.modified
+
+    @property
+    def is_empty(self) -> bool:
+        return not (self.added or self.removed or self.modified)
+
+    def touching(self, path_prefix: str) -> list[Change]:
+        """Changes whose path lies under *path_prefix*."""
+        return [c for c in self.changes
+                if c.path == path_prefix
+                or c.path.startswith(path_prefix + "::")]
+
+    def __len__(self) -> int:
+        return len(self.changes)
+
+    def render(self) -> str:
+        if self.is_empty:
+            return "(no changes)"
+        return "\n".join(str(c) for c in self.changes)
+
+
+def _signature(element: Element) -> dict:
+    """The comparable fields of one element (children excluded)."""
+    signature: dict = {"type": type(element).__name__}
+    if isinstance(element, Definition):
+        signature["abstract"] = element.is_abstract
+        signature["specializes"] = tuple(
+            str(n) for n in element.specialization_names)
+    elif isinstance(element, Usage):
+        signature["kind"] = element.kind
+        signature["abstract"] = element.is_abstract
+        signature["ref"] = element.is_reference
+        signature["direction"] = element.direction
+        signature["typed"] = (str(element.type_name)
+                              if element.type_name else None)
+        signature["conjugated"] = element.conjugated
+        signature["redefines"] = tuple(
+            str(n) for n in element.redefinition_names)
+        signature["value"] = _value_signature(element.value)
+        if element.multiplicity is not None:
+            signature["multiplicity"] = (element.multiplicity.lower,
+                                         element.multiplicity.upper)
+    elif isinstance(element, BindingConnector):
+        signature["bind"] = (str(element.left_chain),
+                             str(element.right_chain))
+    elif isinstance(element, Connector):
+        signature["connect"] = (element.connector_kind,
+                                str(element.source_chain),
+                                str(element.target_chain))
+    elif isinstance(element, Import):
+        signature["import"] = (str(element.target_name), element.wildcard,
+                               element.recursive)
+    return signature
+
+
+def _value_signature(value) -> object:
+    if isinstance(value, Literal):
+        return ("literal", value.value)
+    if isinstance(value, FeatureRefExpr):
+        return ("ref", str(value.chain))
+    return None
+
+
+def _index(model: Model, *, include_library: bool = False
+           ) -> dict[str, Element]:
+    """qualified name -> element, for every named element."""
+    table: dict[str, Element] = {}
+
+    def visit(element: Element) -> None:
+        if element.name:
+            table.setdefault(element.qualified_name, element)
+        for child in element.owned_elements:
+            visit(child)
+
+    for root in model.owned_elements:
+        if not include_library and getattr(root, "is_library", False):
+            continue
+        visit(root)
+    return table
+
+
+def diff_models(old: Model, new: Model,
+                *, include_library: bool = False) -> ModelDiff:
+    """Structural diff of two resolved models."""
+    old_index = _index(old, include_library=include_library)
+    new_index = _index(new, include_library=include_library)
+    diff = ModelDiff()
+    for path in sorted(new_index.keys() - old_index.keys()):
+        diff.added.append(Change("added", path,
+                                 type(new_index[path]).__name__))
+    for path in sorted(old_index.keys() - new_index.keys()):
+        diff.removed.append(Change("removed", path,
+                                   type(old_index[path]).__name__))
+    for path in sorted(old_index.keys() & new_index.keys()):
+        old_signature = _signature(old_index[path])
+        new_signature = _signature(new_index[path])
+        if old_signature != new_signature:
+            changed_fields = sorted(
+                key for key in set(old_signature) | set(new_signature)
+                if old_signature.get(key) != new_signature.get(key))
+            diff.modified.append(Change(
+                "modified", path, type(new_index[path]).__name__,
+                detail=", ".join(
+                    f"{key}: {old_signature.get(key)!r} -> "
+                    f"{new_signature.get(key)!r}"
+                    for key in changed_fields)))
+    # anonymous connectors/binds: compare as multisets per owner
+    _diff_anonymous(old, new, diff,
+                    include_library=include_library)
+    return diff
+
+
+def _diff_anonymous(old: Model, new: Model, diff: ModelDiff,
+                    *, include_library: bool) -> None:
+    def collect(model: Model) -> dict[tuple, int]:
+        bag: dict[tuple, int] = {}
+        for root in model.owned_elements:
+            if not include_library and getattr(root, "is_library", False):
+                continue
+            for element in [root, *root.descendants()]:
+                if element.name:
+                    continue
+                if isinstance(element, (BindingConnector, Connector)):
+                    owner = (element.owner.qualified_name
+                             if element.owner else "")
+                    key = (owner, tuple(sorted(
+                        _signature(element).items())))
+                    bag[key] = bag.get(key, 0) + 1
+        return bag
+
+    old_bag = collect(old)
+    new_bag = collect(new)
+    for key in sorted(set(old_bag) | set(new_bag), key=str):
+        owner, signature = key
+        delta = new_bag.get(key, 0) - old_bag.get(key, 0)
+        label = dict(signature).get("bind") or dict(signature).get("connect")
+        if delta > 0:
+            diff.added.append(Change("added", owner, "Connector",
+                                     detail=f"{label} x{delta}"))
+        elif delta < 0:
+            diff.removed.append(Change("removed", owner, "Connector",
+                                       detail=f"{label} x{-delta}"))

@@ -1,0 +1,205 @@
+"""JSON interchange for SysML v2 models.
+
+Mirrors (a small slice of) the SysML v2 API & Services JSON shape: every
+element becomes a dictionary with ``@type``, ``name``, its kind-specific
+fields, and ``ownedElements``. ``model_to_json`` / ``model_from_json``
+round-trip a model losslessly for the supported subset.
+"""
+
+from __future__ import annotations
+
+import json
+
+from .ast_nodes import (FeatureChain, FeatureRefExpr, Literal, Multiplicity,
+                        QualifiedName)
+from .elements import (Assignment, BindingConnector, Connector, Definition,
+                       DEFINITION_CLASSES, Element, Import, Model, Package,
+                       PerformAction, Usage, USAGE_CLASSES)
+from .errors import SysMLError
+from .resolver import resolve_model
+
+
+def element_to_dict(element: Element) -> dict:
+    """Serialize one element subtree to a JSON-compatible dict."""
+    from .elements import Alias
+    data: dict = {"@type": type(element).__name__}
+    if element.name:
+        data["name"] = element.name
+    if element.documentation:
+        data["documentation"] = element.documentation
+    if isinstance(element, Alias):
+        data["aliasOf"] = str(element.target_name)
+    elif isinstance(element, Package):
+        if element.is_library:
+            data["isLibrary"] = True
+    elif isinstance(element, Definition):
+        data["kind"] = element.kind
+        data["isAbstract"] = element.is_abstract
+        if element.specialization_names:
+            data["specializes"] = [str(n) for n in element.specialization_names]
+    elif isinstance(element, Usage):
+        data["kind"] = element.kind
+        data["isAbstract"] = element.is_abstract
+        data["isReference"] = element.is_reference
+        if element.direction:
+            data["direction"] = element.direction
+        if element.multiplicity is not None:
+            data["multiplicity"] = {
+                "lower": element.multiplicity.lower,
+                "upper": element.multiplicity.upper,
+            }
+        if element.type_name is not None:
+            data["type"] = str(element.type_name)
+            data["isConjugated"] = element.conjugated
+        if element.specialization_names:
+            data["specializes"] = [str(n) for n in element.specialization_names]
+        if element.redefinition_names:
+            data["redefines"] = [str(n) for n in element.redefinition_names]
+        if element.value is not None:
+            data["value"] = _expr_to_json(element.value)
+    elif isinstance(element, Import):
+        data["target"] = str(element.target_name)
+        data["wildcard"] = element.wildcard
+        data["recursive"] = element.recursive
+    elif isinstance(element, BindingConnector):
+        data["left"] = str(element.left_chain)
+        data["right"] = str(element.right_chain)
+    elif isinstance(element, Connector):
+        data["connectorKind"] = element.connector_kind
+        data["source"] = str(element.source_chain)
+        data["target"] = str(element.target_chain)
+        if element.type_name is not None:
+            data["type"] = str(element.type_name)
+    elif isinstance(element, PerformAction):
+        data["target"] = str(element.target_chain)
+    elif isinstance(element, Assignment):
+        if element.direction:
+            data["direction"] = element.direction
+        data["value"] = _expr_to_json(element.value)
+    owned = [element_to_dict(child) for child in element.owned_elements]
+    if owned:
+        data["ownedElements"] = owned
+    return data
+
+
+def model_to_dict(model: Model) -> dict:
+    return {
+        "@type": "Model",
+        "ownedElements": [element_to_dict(e) for e in model.owned_elements],
+    }
+
+
+def model_to_json(model: Model, *, indent: int | None = 2) -> str:
+    return json.dumps(model_to_dict(model), indent=indent)
+
+
+# -- deserialization -----------------------------------------------------------
+
+def element_from_dict(data: dict) -> Element:
+    """Rebuild an element subtree from :func:`element_to_dict` output."""
+    type_name = data.get("@type", "")
+    element = _construct(type_name, data)
+    element.documentation = data.get("documentation", "")
+    for child_data in data.get("ownedElements", []):
+        element.add_owned(element_from_dict(child_data))
+    return element
+
+
+def _construct(type_name: str, data: dict) -> Element:
+    name = data.get("name")
+    if type_name == "Alias":
+        from .elements import Alias
+        return Alias(name or "", _qname(data["aliasOf"]))
+    if type_name == "EnumerationLiteral":
+        from .elements import EnumerationLiteral
+        return EnumerationLiteral(name)
+    if type_name == "Package":
+        package = Package(name)
+        package.is_library = data.get("isLibrary", False)
+        return package
+    if type_name == "Import":
+        return Import(_qname(data["target"]), data.get("wildcard", False),
+                      data.get("recursive", False))
+    if type_name == "BindingConnector":
+        return BindingConnector(_chain(data["left"]), _chain(data["right"]))
+    if type_name == "Connector":
+        connector = Connector(data["connectorKind"], name,
+                              _chain(data["source"]), _chain(data["target"]))
+        if "type" in data:
+            connector.type_name = _qname(data["type"])
+        return connector
+    if type_name == "PerformAction":
+        return PerformAction(_chain(data["target"]))
+    if type_name == "Assignment":
+        return Assignment(data.get("direction"), name or "",
+                          _expr_from_json(data["value"]))
+    kind = data.get("kind", "")
+    if type_name.endswith("Definition"):
+        cls = DEFINITION_CLASSES.get(kind)
+        if cls is None:
+            raise SysMLError(f"unknown definition kind {kind!r} in JSON")
+        definition = cls(name, is_abstract=data.get("isAbstract", False))
+        definition.specialization_names = [
+            _qname(s) for s in data.get("specializes", [])]
+        return definition
+    if type_name.endswith("Usage"):
+        cls = USAGE_CLASSES.get(kind)
+        if cls is None:
+            raise SysMLError(f"unknown usage kind {kind!r} in JSON")
+        usage = cls(name, is_abstract=data.get("isAbstract", False))
+        usage.is_reference = data.get("isReference", False)
+        usage.direction = data.get("direction")
+        if "multiplicity" in data:
+            usage.multiplicity = Multiplicity(
+                lower=data["multiplicity"]["lower"],
+                upper=data["multiplicity"]["upper"])
+        if "type" in data:
+            usage.type_name = _qname(data["type"])
+            usage.conjugated = data.get("isConjugated", False)
+        usage.specialization_names = [
+            _qname(s) for s in data.get("specializes", [])]
+        usage.redefinition_names = [
+            _qname(s) for s in data.get("redefines", [])]
+        if "value" in data:
+            usage.value = _expr_from_json(data["value"])
+        return usage
+    raise SysMLError(f"unknown element @type {type_name!r} in JSON")
+
+
+def model_from_dict(data: dict, *, resolve: bool = True) -> Model:
+    model = Model()
+    for child_data in data.get("ownedElements", []):
+        model.add_owned(element_from_dict(child_data))
+    if resolve:
+        resolve_model(model)
+    return model
+
+
+def model_from_json(text: str, *, resolve: bool = True) -> Model:
+    return model_from_dict(json.loads(text), resolve=resolve)
+
+
+# -- expression helpers ----------------------------------------------------------
+
+def _expr_to_json(expr: object) -> dict:
+    if isinstance(expr, Literal):
+        return {"@type": "Literal", "value": expr.value}
+    if isinstance(expr, FeatureRefExpr):
+        return {"@type": "FeatureRef", "chain": str(expr.chain)}
+    raise SysMLError(f"cannot serialize expression {expr!r}")
+
+
+def _expr_from_json(data: dict):
+    if data.get("@type") == "Literal":
+        return Literal(data["value"])
+    if data.get("@type") == "FeatureRef":
+        return FeatureRefExpr(_chain(data["chain"]))
+    raise SysMLError(f"cannot deserialize expression {data!r}")
+
+
+def _qname(text: str) -> QualifiedName:
+    return QualifiedName(text.split("::"))
+
+
+def _chain(text: str) -> FeatureChain:
+    return FeatureChain(text.split("."))

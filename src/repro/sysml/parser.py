@@ -1,0 +1,476 @@
+"""Recursive-descent parser for the SysML v2 textual notation subset.
+
+The grammar covers everything the paper's modeling methodology uses
+(Codes 1-5): packages, part/attribute/port/action/interface/connection
+definitions and usages, `abstract`, `ref`, direction prefixes,
+specialization ``:>``, redefinition ``:>>``, conjugated port types ``~T``,
+multiplicities ``[*]``, value assignments, ``bind``, ``connect ... to ...``,
+``perform``, ``end``, imports and ``doc`` comments.
+"""
+
+from __future__ import annotations
+
+from .ast_nodes import (AssignmentNode, BindNode, ConnectNode, DefinitionNode,
+                        DocNode, Expr, FeatureChain, FeatureRefExpr,
+                        ImportNode, Literal, MemberNode, ModelNode,
+                        Multiplicity, PackageNode, PerformNode, QualifiedName,
+                        TypeRef, UsageNode, EndNode)
+from .errors import ParseError
+from .lexer import tokenize
+from .tokens import Token, TokenKind
+
+_USAGE_KINDS = ("part", "attribute", "port", "action", "interface",
+                "connection", "item")
+_DIRECTIONS = ("in", "out", "inout")
+
+
+class Parser:
+    """Parses one source text into a :class:`ModelNode`."""
+
+    def __init__(self, text: str, filename: str = "<model>"):
+        self.tokens = tokenize(text, filename)
+        self.index = 0
+        self.filename = filename
+
+    # -- token stream helpers ---------------------------------------------
+
+    def _peek(self, offset: int = 0) -> Token:
+        index = min(self.index + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def _advance(self) -> Token:
+        token = self.tokens[self.index]
+        if token.kind is not TokenKind.EOF:
+            self.index += 1
+        return token
+
+    def _check(self, kind: TokenKind, value: str | None = None) -> bool:
+        token = self._peek()
+        if token.kind is not kind:
+            return False
+        return value is None or token.value == value
+
+    def _check_keyword(self, *words: str) -> bool:
+        token = self._peek()
+        return token.kind is TokenKind.IDENT and token.value in words
+
+    def _match(self, kind: TokenKind, value: str | None = None) -> Token | None:
+        if self._check(kind, value):
+            return self._advance()
+        return None
+
+    def _expect(self, kind: TokenKind, value: str | None = None) -> Token:
+        token = self._peek()
+        if not self._check(kind, value):
+            want = value or kind.value
+            raise ParseError(
+                f"expected {want!r} but found {token.value!r}", token.location)
+        return self._advance()
+
+    def _expect_keyword(self, word: str) -> Token:
+        token = self._peek()
+        if not token.is_keyword(word):
+            raise ParseError(
+                f"expected keyword {word!r} but found {token.value!r}",
+                token.location)
+        return self._advance()
+
+    # -- entry point --------------------------------------------------------
+
+    def parse_model(self) -> ModelNode:
+        members: list[MemberNode] = []
+        while not self._check(TokenKind.EOF):
+            members.append(self._parse_member())
+        return ModelNode(members=members, filename=self.filename)
+
+    # -- member dispatch ----------------------------------------------------
+
+    def _parse_member(self) -> MemberNode:
+        token = self._peek()
+        if token.kind is TokenKind.DOC_COMMENT:
+            self._advance()
+            return DocNode(token.value, token.location)
+        if token.is_keyword("doc"):
+            return self._parse_doc()
+        if token.is_keyword("package"):
+            return self._parse_package()
+        if token.is_keyword("import"):
+            return self._parse_import()
+        if token.is_keyword("bind"):
+            return self._parse_bind()
+        if token.is_keyword("perform"):
+            return self._parse_perform()
+        if token.is_keyword("connect"):
+            return self._parse_anonymous_connect()
+        if token.is_keyword("end"):
+            return self._parse_end()
+        if token.is_keyword("alias"):
+            return self._parse_alias()
+        if token.is_keyword("enum"):
+            return self._parse_enum_definition()
+        if token.kind is TokenKind.REDEFINES:
+            return self._parse_shorthand_redefinition()
+        return self._parse_prefixed_member()
+
+    def _parse_alias(self) -> "AliasNode":
+        from .ast_nodes import AliasNode
+        start = self._expect_keyword("alias")
+        name = self._expect(TokenKind.IDENT).value
+        self._expect_keyword("for")
+        target = self._parse_qualified_name()
+        self._expect(TokenKind.SEMI)
+        return AliasNode(name, target, start.location)
+
+    def _parse_enum_definition(self) -> "EnumDefinitionNode":
+        from .ast_nodes import EnumDefinitionNode
+        start = self._expect_keyword("enum")
+        self._expect_keyword("def")
+        name = self._expect(TokenKind.IDENT).value
+        specializes: list[QualifiedName] = []
+        if self._match(TokenKind.SPECIALIZES):
+            specializes.append(self._parse_qualified_name())
+        node = EnumDefinitionNode(name, specializes=specializes,
+                                  location=start.location)
+        self._expect(TokenKind.LBRACE)
+        while not self._check(TokenKind.RBRACE):
+            token = self._peek()
+            if token.kind is TokenKind.DOC_COMMENT:
+                self._advance()
+                node.doc = node.doc or token.value
+                continue
+            if token.is_keyword("doc"):
+                doc = self._parse_doc()
+                node.doc = node.doc or doc.text
+                continue
+            literal = self._expect(TokenKind.IDENT).value
+            self._expect(TokenKind.SEMI)
+            node.literals.append(literal)
+        self._expect(TokenKind.RBRACE)
+        return node
+
+    def _parse_doc(self) -> DocNode:
+        start = self._expect_keyword("doc")
+        token = self._peek()
+        if token.kind is TokenKind.DOC_COMMENT:
+            self._advance()
+            return DocNode(token.value, start.location)
+        raise ParseError("expected /* ... */ block after 'doc'", token.location)
+
+    def _parse_package(self) -> PackageNode:
+        start = self._expect_keyword("package")
+        name = self._expect(TokenKind.IDENT).value
+        members = self._parse_body()
+        return PackageNode(name=name, members=members, location=start.location)
+
+    def _parse_import(self) -> ImportNode:
+        start = self._expect_keyword("import")
+        parts = [self._expect(TokenKind.IDENT).value]
+        wildcard = False
+        recursive = False
+        while self._match(TokenKind.DOUBLE_COLON):
+            if self._match(TokenKind.STAR):
+                wildcard = True
+                if self._match(TokenKind.DOUBLE_COLON):
+                    self._expect(TokenKind.STAR)
+                    recursive = True
+                break
+            parts.append(self._expect(TokenKind.IDENT).value)
+        self._expect(TokenKind.SEMI)
+        return ImportNode(QualifiedName(parts, start.location), wildcard,
+                          recursive, start.location)
+
+    def _parse_bind(self) -> BindNode:
+        start = self._expect_keyword("bind")
+        left = self._parse_feature_chain()
+        self._expect(TokenKind.EQUALS)
+        right = self._parse_feature_chain()
+        self._expect(TokenKind.SEMI)
+        return BindNode(left, right, start.location)
+
+    def _parse_perform(self) -> PerformNode:
+        start = self._expect_keyword("perform")
+        target = self._parse_feature_chain()
+        members: list[MemberNode] = []
+        if self._check(TokenKind.LBRACE):
+            members = self._parse_body()
+        else:
+            self._expect(TokenKind.SEMI)
+        return PerformNode(target, members, start.location)
+
+    def _parse_anonymous_connect(self) -> ConnectNode:
+        start = self._expect_keyword("connect")
+        source = self._parse_feature_chain()
+        self._expect_keyword("to")
+        target = self._parse_feature_chain()
+        self._expect(TokenKind.SEMI)
+        return ConnectNode("connection", None, None, source, target,
+                           start.location)
+
+    def _parse_end(self) -> EndNode:
+        start = self._expect_keyword("end")
+        name = self._expect(TokenKind.IDENT).value
+        type_ref = None
+        if self._match(TokenKind.COLON):
+            type_ref = self._parse_type_ref()
+        self._expect(TokenKind.SEMI)
+        return EndNode(name, type_ref, start.location)
+
+    def _parse_shorthand_redefinition(self) -> UsageNode:
+        """``:>> name = value;`` — redefinition with a bound value."""
+        start = self._expect(TokenKind.REDEFINES)
+        redefined = self._parse_qualified_name()
+        node = UsageNode(kind="redefinition", redefines=[redefined],
+                         location=start.location)
+        if self._match(TokenKind.COLON):
+            node.type = self._parse_type_ref()
+        if self._match(TokenKind.EQUALS):
+            node.value = self._parse_expr()
+        if self._check(TokenKind.LBRACE):
+            node.members = self._parse_body()
+        else:
+            self._expect(TokenKind.SEMI)
+        return node
+
+    # -- prefixed definitions / usages / assignments ------------------------
+
+    def _parse_prefixed_member(self) -> MemberNode:
+        start = self._peek()
+        is_abstract = False
+        is_ref = False
+        direction: str | None = None
+        while True:
+            if self._check_keyword("abstract"):
+                self._advance()
+                is_abstract = True
+                continue
+            if self._check_keyword("ref"):
+                self._advance()
+                is_ref = True
+                continue
+            if self._check_keyword(*_DIRECTIONS) and direction is None:
+                # A direction keyword starts either a parameter/usage
+                # declaration or an assignment ``out x = chain;``.
+                next_token = self._peek(1)
+                if (next_token.kind is TokenKind.IDENT
+                        and next_token.value not in _USAGE_KINDS
+                        and self._peek(2).kind is TokenKind.EQUALS):
+                    return self._parse_assignment()
+                direction = self._advance().value
+                continue
+            break
+
+        token = self._peek()
+        if self._check_keyword(*_USAGE_KINDS):
+            # With a direction prefix, a kind word directly followed by
+            # ':'/'='/';' is actually a *parameter name* that collides
+            # with a keyword, e.g. ``in item : String;``.
+            next_kind = self._peek(1).kind
+            if direction is not None and next_kind in (
+                    TokenKind.COLON, TokenKind.EQUALS, TokenKind.SEMI):
+                return self._parse_usage("attribute", is_abstract, is_ref,
+                                         direction, start)
+            kind = self._advance().value
+            if self._check_keyword("def"):
+                self._advance()
+                return self._parse_definition(kind, is_abstract, start)
+            if kind in ("connection", "interface"):
+                connect = self._try_parse_connect_usage(kind, start)
+                if connect is not None:
+                    return connect
+            return self._parse_usage(kind, is_abstract, is_ref, direction, start)
+        if direction is not None and token.kind is TokenKind.IDENT:
+            # ``out ready : Boolean;`` — a bare parameter declaration.
+            return self._parse_usage("attribute", is_abstract, is_ref,
+                                     direction, start)
+        raise ParseError(
+            f"unexpected token {token.value!r} at start of member",
+            token.location)
+
+    def _parse_assignment(self) -> AssignmentNode:
+        direction = self._advance().value
+        name = self._expect(TokenKind.IDENT).value
+        self._expect(TokenKind.EQUALS)
+        value = self._parse_expr()
+        self._expect(TokenKind.SEMI)
+        return AssignmentNode(direction, name, value)
+
+    def _parse_definition(self, kind: str, is_abstract: bool,
+                          start: Token) -> DefinitionNode:
+        name = self._expect(TokenKind.IDENT).value
+        specializes: list[QualifiedName] = []
+        if self._match(TokenKind.SPECIALIZES) or self._check_keyword("specializes"):
+            if self._check_keyword("specializes"):
+                self._advance()
+            specializes.append(self._parse_qualified_name())
+            while self._match(TokenKind.COMMA):
+                specializes.append(self._parse_qualified_name())
+        members: list[MemberNode] = []
+        if self._check(TokenKind.LBRACE):
+            members = self._parse_body()
+        else:
+            self._expect(TokenKind.SEMI)
+        doc = _extract_doc(members)
+        return DefinitionNode(kind=kind, name=name, is_abstract=is_abstract,
+                              specializes=specializes, members=members,
+                              doc=doc, location=start.location)
+
+    def _try_parse_connect_usage(self, kind: str, start: Token) -> ConnectNode | None:
+        """Parse ``connection|interface [name] [: Type] connect a to b;``.
+
+        Returns None when the member is actually a plain usage (e.g. an
+        interface usage without a connect part), rewinding the stream.
+        """
+        checkpoint = self.index
+        name: str | None = None
+        type_ref: TypeRef | None = None
+        if self._check(TokenKind.IDENT) and not self._check_keyword("connect"):
+            name = self._advance().value
+        if self._match(TokenKind.COLON):
+            if not self._check(TokenKind.IDENT):
+                self.index = checkpoint
+                return None
+            type_ref = self._parse_type_ref()
+        if not self._check_keyword("connect"):
+            self.index = checkpoint
+            return None
+        self._advance()
+        source = self._parse_feature_chain()
+        self._expect_keyword("to")
+        target = self._parse_feature_chain()
+        self._expect(TokenKind.SEMI)
+        return ConnectNode(kind, name, type_ref, source, target, start.location)
+
+    def _parse_usage(self, kind: str, is_abstract: bool, is_ref: bool,
+                     direction: str | None, start: Token) -> UsageNode:
+        node = UsageNode(kind=kind, is_abstract=is_abstract, is_ref=is_ref,
+                         direction=direction, location=start.location)
+        if self._check(TokenKind.IDENT) and not self._check_keyword("def"):
+            node.name = self._advance().value
+        # header clauses in any order: [mult] : type :> spec :>> redef
+        while True:
+            if self._check(TokenKind.LBRACKET):
+                node.multiplicity = self._parse_multiplicity()
+                continue
+            if self._check(TokenKind.COLON):
+                self._advance()
+                node.type = self._parse_type_ref()
+                continue
+            if self._check(TokenKind.SPECIALIZES):
+                self._advance()
+                node.specializes.append(self._parse_qualified_name())
+                while self._match(TokenKind.COMMA):
+                    node.specializes.append(self._parse_qualified_name())
+                continue
+            if self._check_keyword("specializes"):
+                self._advance()
+                node.specializes.append(self._parse_qualified_name())
+                continue
+            if self._check(TokenKind.REDEFINES):
+                self._advance()
+                node.redefines.append(self._parse_qualified_name())
+                continue
+            if self._check_keyword("redefines"):
+                self._advance()
+                node.redefines.append(self._parse_qualified_name())
+                continue
+            break
+        if self._match(TokenKind.EQUALS):
+            node.value = self._parse_expr()
+        if self._check(TokenKind.LBRACE):
+            node.members = self._parse_body()
+            node.doc = _extract_doc(node.members)
+        else:
+            self._expect(TokenKind.SEMI)
+        return node
+
+    # -- small grammar pieces ------------------------------------------------
+
+    def _parse_body(self) -> list[MemberNode]:
+        self._expect(TokenKind.LBRACE)
+        members: list[MemberNode] = []
+        while not self._check(TokenKind.RBRACE):
+            if self._check(TokenKind.EOF):
+                raise ParseError("unterminated body: missing '}'",
+                                 self._peek().location)
+            members.append(self._parse_member())
+        self._expect(TokenKind.RBRACE)
+        return members
+
+    def _parse_multiplicity(self) -> Multiplicity:
+        self._expect(TokenKind.LBRACKET)
+        if self._match(TokenKind.STAR):
+            self._expect(TokenKind.RBRACKET)
+            return Multiplicity(lower=0, upper=None)
+        lower_token = self._expect(TokenKind.INTEGER)
+        lower = int(lower_token.value)
+        upper: int | None = lower
+        if self._match(TokenKind.DOT):
+            self._expect(TokenKind.DOT)
+            if self._match(TokenKind.STAR):
+                upper = None
+            else:
+                upper = int(self._expect(TokenKind.INTEGER).value)
+        self._expect(TokenKind.RBRACKET)
+        return Multiplicity(lower=lower, upper=upper)
+
+    def _parse_type_ref(self) -> TypeRef:
+        conjugated = bool(self._match(TokenKind.TILDE))
+        name = self._parse_qualified_name()
+        # postfix conjugation (``Port~``) is also legal in SysML v2
+        if self._match(TokenKind.TILDE):
+            conjugated = True
+        return TypeRef(name=name, conjugated=conjugated)
+
+    def _parse_qualified_name(self) -> QualifiedName:
+        start = self._expect(TokenKind.IDENT)
+        parts = [start.value]
+        while self._match(TokenKind.DOUBLE_COLON):
+            parts.append(self._expect(TokenKind.IDENT).value)
+        return QualifiedName(parts, start.location)
+
+    def _parse_feature_chain(self) -> FeatureChain:
+        start = self._expect(TokenKind.IDENT)
+        parts = [start.value]
+        while True:
+            if self._match(TokenKind.DOT):
+                parts.append(self._expect(TokenKind.IDENT).value)
+                continue
+            if self._match(TokenKind.DOUBLE_COLON):
+                parts.append(self._expect(TokenKind.IDENT).value)
+                continue
+            break
+        return FeatureChain(parts, start.location)
+
+    def _parse_expr(self) -> Expr:
+        token = self._peek()
+        if token.kind is TokenKind.STRING:
+            self._advance()
+            return Literal(token.value, token.location)
+        if token.kind is TokenKind.INTEGER:
+            self._advance()
+            return Literal(int(token.value), token.location)
+        if token.kind is TokenKind.REAL:
+            self._advance()
+            return Literal(float(token.value), token.location)
+        if token.is_keyword("true"):
+            self._advance()
+            return Literal(True, token.location)
+        if token.is_keyword("false"):
+            self._advance()
+            return Literal(False, token.location)
+        if token.kind is TokenKind.IDENT:
+            return FeatureRefExpr(self._parse_feature_chain())
+        raise ParseError(f"expected expression, found {token.value!r}",
+                         token.location)
+
+
+def _extract_doc(members: list[MemberNode]) -> str:
+    for member in members:
+        if isinstance(member, DocNode):
+            return member.text
+    return ""
+
+
+def parse(text: str, filename: str = "<model>") -> ModelNode:
+    """Parse SysML v2 textual notation into an AST."""
+    return Parser(text, filename).parse_model()

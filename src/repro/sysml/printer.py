@@ -1,0 +1,173 @@
+"""Pretty-printer: semantic model -> SysML v2 textual notation.
+
+Printing a parsed model and re-parsing the output yields an equivalent
+model (round-trip property covered by tests). Used by the ICE-lab model
+generator to emit human-readable ``.sysml`` sources.
+"""
+
+from __future__ import annotations
+
+from .ast_nodes import FeatureRefExpr, Literal
+from .elements import (Assignment, BindingConnector, Connector, Definition,
+                       Element, Import, Model, Package,
+                       PerformAction, RedefinitionUsage, Usage)
+
+_INDENT = "    "
+
+
+def print_model(model: Model) -> str:
+    """Render the whole model as textual notation."""
+    lines: list[str] = []
+    for element in model.owned_elements:
+        _print_element(element, lines, 0)
+    return "\n".join(lines) + "\n"
+
+
+def print_element(element: Element) -> str:
+    """Render a single element subtree."""
+    lines: list[str] = []
+    _print_element(element, lines, 0)
+    return "\n".join(lines) + "\n"
+
+
+def _print_element(element: Element, lines: list[str], depth: int) -> None:
+    pad = _INDENT * depth
+    if isinstance(element, Package):
+        lines.append(f"{pad}package {element.name} {{")
+        _print_doc(element, lines, depth + 1)
+        for child in element.owned_elements:
+            _print_element(child, lines, depth + 1)
+        lines.append(f"{pad}}}")
+        return
+    if isinstance(element, Import):
+        suffix = "::*" if element.wildcard else ""
+        if element.recursive:
+            suffix = "::*::*"
+        lines.append(f"{pad}import {element.target_name}{suffix};")
+        return
+    from .elements import Alias, EnumerationDefinition
+    if isinstance(element, Alias):
+        lines.append(f"{pad}alias {element.name} for {element.target_name};")
+        return
+    if isinstance(element, EnumerationDefinition):
+        head = f"{pad}enum def {element.name}"
+        if element.specialization_names:
+            head += " :> " + ", ".join(str(n) for n
+                                       in element.specialization_names)
+        lines.append(head + " {")
+        _print_doc(element, lines, depth + 1)
+        inner = _INDENT * (depth + 1)
+        for literal in element.literals:
+            lines.append(f"{inner}{literal.name};")
+        lines.append(f"{pad}}}")
+        return
+    if isinstance(element, Definition):
+        _print_definition(element, lines, depth)
+        return
+    if isinstance(element, Usage):
+        _print_usage(element, lines, depth)
+        return
+    if isinstance(element, BindingConnector):
+        lines.append(f"{pad}bind {element.left_chain} = {element.right_chain};")
+        return
+    if isinstance(element, Connector):
+        keyword = element.connector_kind
+        header = keyword
+        if element.name:
+            header += f" {element.name}"
+        if element.type_name is not None:
+            header += f" : {element.type_name}"
+        lines.append(f"{pad}{header} connect {element.source_chain} "
+                     f"to {element.target_chain};")
+        return
+    if isinstance(element, PerformAction):
+        if element.owned_elements:
+            lines.append(f"{pad}perform {element.target_chain} {{")
+            for child in element.owned_elements:
+                _print_element(child, lines, depth + 1)
+            lines.append(f"{pad}}}")
+        else:
+            lines.append(f"{pad}perform {element.target_chain};")
+        return
+    if isinstance(element, Assignment):
+        direction = f"{element.direction} " if element.direction else ""
+        lines.append(f"{pad}{direction}{element.name} = "
+                     f"{_expr_text(element.value)};")
+        return
+    raise TypeError(f"cannot print element of type {type(element).__name__}")
+
+
+def _print_doc(element: Element, lines: list[str], depth: int) -> None:
+    if element.documentation:
+        pad = _INDENT * depth
+        lines.append(f"{pad}doc /* {element.documentation} */")
+
+
+def _print_definition(definition: Definition, lines: list[str],
+                      depth: int) -> None:
+    pad = _INDENT * depth
+    head = ""
+    if definition.is_abstract:
+        head += "abstract "
+    head += f"{definition.kind} def {definition.name}"
+    if definition.specialization_names:
+        targets = ", ".join(str(n) for n in definition.specialization_names)
+        head += f" :> {targets}"
+    if definition.owned_elements or definition.documentation:
+        lines.append(f"{pad}{head} {{")
+        _print_doc(definition, lines, depth + 1)
+        for child in definition.owned_elements:
+            _print_element(child, lines, depth + 1)
+        lines.append(f"{pad}}}")
+    else:
+        lines.append(f"{pad}{head};")
+
+
+def _print_usage(usage: Usage, lines: list[str], depth: int) -> None:
+    pad = _INDENT * depth
+    head = ""
+    if usage.direction:
+        head += f"{usage.direction} "
+    if usage.is_abstract:
+        head += "abstract "
+    if usage.is_reference:
+        head += "ref "
+    if isinstance(usage, RedefinitionUsage):
+        head += f":>> {usage.redefinition_names[0]}"
+    else:
+        head += usage.kind
+        if usage.name:
+            head += f" {usage.name}"
+        if usage.multiplicity is not None:
+            head += f" {usage.multiplicity}"
+        if usage.type_name is not None:
+            tilde = "~" if usage.conjugated else ""
+            head += f" : {tilde}{usage.type_name}"
+        for target in usage.specialization_names:
+            head += f" :> {target}"
+        for target in usage.redefinition_names:
+            head += f" :>> {target}"
+    if usage.value is not None:
+        head += f" = {_expr_text(usage.value)}"
+    if usage.owned_elements or usage.documentation:
+        lines.append(f"{pad}{head} {{")
+        _print_doc(usage, lines, depth + 1)
+        for child in usage.owned_elements:
+            _print_element(child, lines, depth + 1)
+        lines.append(f"{pad}}}")
+    else:
+        lines.append(f"{pad}{head};")
+
+
+def _expr_text(expr: object) -> str:
+    if isinstance(expr, Literal):
+        value = expr.value
+        if isinstance(value, bool):
+            return "true" if value else "false"
+        if isinstance(value, str):
+            escaped = value.replace("\\", "\\\\").replace("'", "\\'")
+            return f"'{escaped}'"
+        return repr(value)
+    if isinstance(expr, FeatureRefExpr):
+        return str(expr.chain)
+    raise TypeError(f"cannot print expression {expr!r}")

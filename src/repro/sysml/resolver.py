@@ -1,0 +1,337 @@
+"""Name resolution for SysML v2 models.
+
+Two passes:
+
+1. **Type resolution** — specializations (``:>``), feature typings
+   (``: T`` / ``: ~T``), connector types, and imports. After this pass
+   the specialization lattice is complete, so inherited members work.
+2. **Feature resolution** — redefinitions (``:>>``), binding connector
+   ends, connection/interface ends, perform targets, and assignment
+   value references, all of which need inherited-member lookup.
+
+Lookup rules (simplified from the KerML spec, sufficient for the
+methodology's models): a simple name is searched in the local namespace,
+then in inherited members (when the scope is a type), then in wildcard
+imports of enclosing namespaces, then outward through the owner chain.
+Qualified names resolve their first segment that way and descend through
+(effective) members.
+"""
+
+from __future__ import annotations
+
+from .ast_nodes import FeatureChain, QualifiedName
+from .elements import (Assignment, BindingConnector, Connector, Definition,
+                       Element, Import, Model, Namespace, PerformAction,
+                       RedefinitionUsage, Type, Usage)
+from .errors import ResolutionError
+
+
+class Resolver:
+    """Resolves all by-name references in a model, in place."""
+
+    def __init__(self, model: Model):
+        self.model = model
+
+    def resolve(self) -> Model:
+        self._resolve_imports()
+        self._resolve_aliases()
+        self._resolve_types()
+        self._resolve_features()
+        return self.model
+
+    def _resolve_aliases(self) -> None:
+        from .elements import Alias
+        for alias in self.model.elements_of_type(Alias):
+            assert isinstance(alias, Alias)
+            scope = alias.owner or self.model
+            target = self._lookup_qualified(alias.target_name, scope)
+            if target is None:
+                raise ResolutionError(
+                    f"cannot resolve alias target '{alias.target_name}'",
+                    alias.target_name.location)
+            if isinstance(target, Alias):
+                target = target.target or target
+            alias.target = target
+
+    # -- pass 0: imports -----------------------------------------------------
+
+    def _resolve_imports(self) -> None:
+        for imp in self.model.elements_of_type(Import):
+            assert isinstance(imp, Import)
+            scope = imp.owner or self.model
+            target = self._lookup_qualified(imp.target_name, scope,
+                                            use_imports=False)
+            if target is None:
+                raise ResolutionError(
+                    f"cannot resolve import target '{imp.target_name}'",
+                    imp.target_name.location)
+            imp.target = target
+
+    # -- pass 1: types ---------------------------------------------------------
+
+    def _resolve_types(self) -> None:
+        for element in list(self.model.all_elements()):
+            if isinstance(element, Type):
+                self._resolve_type_clauses(element)
+            if isinstance(element, Connector) and element.type_name is not None:
+                resolved = self._require(element.type_name, element)
+                if not isinstance(resolved, Definition):
+                    raise ResolutionError(
+                        f"connector type '{element.type_name}' is not a "
+                        f"definition", element.type_name.location)
+                element.typ = resolved
+
+    def _resolve_type_clauses(self, element: Type) -> None:
+        for general_name in element.specialization_names:
+            general = self._require(general_name, element)
+            if not isinstance(general, Type):
+                raise ResolutionError(
+                    f"'{general_name}' is not a type and cannot be "
+                    f"specialized", general_name.location)
+            if general not in element.specializations:
+                element.specializations.append(general)
+        if isinstance(element, Usage) and element.type_name is not None:
+            typ = self._require(element.type_name, element)
+            if not isinstance(typ, (Definition, Usage)):
+                raise ResolutionError(
+                    f"'{element.type_name}' cannot type a usage",
+                    element.type_name.location)
+            element.typ = typ
+
+    # -- pass 2: features --------------------------------------------------------
+
+    def _resolve_features(self) -> None:
+        for element in list(self.model.all_elements()):
+            if isinstance(element, Usage) and element.redefinition_names:
+                self._resolve_redefinitions(element)
+        for element in list(self.model.all_elements()):
+            if isinstance(element, BindingConnector):
+                element.left = self._resolve_chain(element.left_chain, element)
+                element.right = self._resolve_chain(element.right_chain, element)
+            elif isinstance(element, Connector):
+                element.source = self._resolve_chain(element.source_chain,
+                                                     element)
+                element.target = self._resolve_chain(element.target_chain,
+                                                     element)
+            elif isinstance(element, PerformAction):
+                element.target = self._resolve_chain(element.target_chain,
+                                                     element)
+            elif isinstance(element, Assignment):
+                self._resolve_assignment(element)
+
+    def _resolve_redefinitions(self, usage: Usage) -> None:
+        scope = usage.owner
+        if scope is None:
+            raise ResolutionError("redefinition outside any scope",
+                                  usage.location)
+        for target_name in usage.redefinition_names:
+            target = self._lookup_feature_name(target_name, scope,
+                                               exclude=usage)
+            if target is None:
+                raise ResolutionError(
+                    f"cannot resolve redefined feature '{target_name}' "
+                    f"from {scope.qualified_name}", target_name.location)
+            if not isinstance(target, Usage):
+                raise ResolutionError(
+                    f"'{target_name}' does not name a feature usage",
+                    target_name.location)
+            usage.redefines.append(target)
+        if isinstance(usage, RedefinitionUsage) and usage.redefines:
+            # The shorthand ':>> x = v;' takes its name and kind from the
+            # redefined feature.
+            if usage.name is None:
+                usage.name = usage.redefines[0].name
+
+    def _resolve_assignment(self, assignment: Assignment) -> None:
+        from .ast_nodes import FeatureRefExpr
+        if isinstance(assignment.value, FeatureRefExpr):
+            scope = assignment.owner
+            resolved = None
+            if scope is not None:
+                try:
+                    resolved = self._resolve_chain(assignment.value.chain,
+                                                   assignment)
+                except ResolutionError:
+                    resolved = None
+            assignment.resolved_value = resolved
+
+    # -- lookup machinery ------------------------------------------------------
+
+    def _require(self, name: QualifiedName, context: Element) -> Element:
+        found = self._lookup_qualified(name, context)
+        if found is None:
+            raise ResolutionError(
+                f"cannot resolve name '{name}' from "
+                f"{context.qualified_name}", name.location)
+        return found
+
+    def _lookup_qualified(self, name: QualifiedName, scope: Element,
+                          *, use_imports: bool = True) -> Element | None:
+        current = self._lookup_simple(name.parts[0], scope,
+                                      use_imports=use_imports)
+        if current is None:
+            return None
+        for part in name.parts[1:]:
+            current = _member_of(current, part)
+            if current is None:
+                return None
+        return current
+
+    def _lookup_simple(self, name: str, scope: Element, *,
+                       use_imports: bool = True) -> Element | None:
+        node: Element | None = scope
+        while node is not None and node is not self.model:
+            found = _member_of(node, name, include_self=True)
+            if found is not None:
+                return found
+            if use_imports:
+                found = self._lookup_in_imports(name, node)
+                if found is not None:
+                    return found
+            node = node.owner
+        # the model root (library packages resolve only by qualified name
+        # or through the implicit-import fallback below)
+        for child in self.model.owned_elements:
+            if child.name == name and not _is_library_package(child):
+                return _deref_alias(child)
+        for child in self.model.owned_elements:
+            if child.name == name:
+                return _deref_alias(child)
+        return self._lookup_in_stdlib(name)
+
+    def _lookup_in_stdlib(self, name: str) -> Element | None:
+        from .stdlib import IMPLICIT_LIBRARY_PACKAGES
+        for package_name in IMPLICIT_LIBRARY_PACKAGES:
+            package = self.model.member(package_name)
+            if package is not None:
+                found = _member_of(package, name)
+                if found is not None:
+                    return found
+        return None
+
+    def _lookup_in_imports(self, name: str, scope: Element) -> Element | None:
+        for child in scope.owned_elements:
+            if not isinstance(child, Import) or child.target is None:
+                continue
+            target = child.target
+            if child.wildcard:
+                found = _member_of(target, name)
+                if found is not None:
+                    return found
+                if child.recursive and isinstance(target, Namespace):
+                    for descendant in target.descendants():
+                        if descendant.name == name:
+                            return descendant
+            elif target.name == name:
+                return target
+        return None
+
+    def _lookup_feature_name(self, name: QualifiedName, scope: Element,
+                             *, exclude: Element | None = None) -> Element | None:
+        """Resolve a (usually simple) redefinition target.
+
+        Redefinitions refer to features of the *context type* — the
+        supertypes / typing of the owning usage — so inherited members of
+        the owner are searched first. The redefining usage itself (and
+        same-named own members, which merely shadow) never match.
+        """
+        if len(name.parts) == 1 and isinstance(scope, Type):
+            found = scope.inherited_members().get(name.parts[0])
+            if found is not None and found is not exclude:
+                return found
+            found = scope.member(name.parts[0])
+            if found is not None and found is not exclude:
+                return found
+        found = self._lookup_qualified(name, scope)
+        if found is exclude:
+            return None
+        return found
+
+    def _resolve_chain(self, chain: FeatureChain, context: Element) -> Element:
+        scope = context.owner or self.model
+        current = self._lookup_simple(chain.parts[0], scope)
+        if current is None:
+            raise ResolutionError(
+                f"cannot resolve '{chain.parts[0]}' (in chain '{chain}') "
+                f"from {scope.qualified_name}", chain.location)
+        for part in chain.parts[1:]:
+            nxt = _member_of(current, part)
+            if nxt is None:
+                raise ResolutionError(
+                    f"'{current.qualified_name}' has no member '{part}' "
+                    f"(in chain '{chain}')", chain.location)
+            current = nxt
+        return current
+
+
+def _is_library_package(element: Element) -> bool:
+    from .elements import Package
+    return isinstance(element, Package) and element.is_library
+
+
+def _deref_alias(element: Element) -> Element:
+    from .elements import Alias
+    if isinstance(element, Alias) and element.target is not None:
+        return element.target
+    return element
+
+
+def _member_of(element: Element, name: str, *,
+               include_self: bool = False) -> Element | None:
+    """Find *name* among the (effective) members of *element*.
+
+    Aliases are transparent: looking up an alias name yields its target.
+    """
+    from .elements import Alias
+    if include_self and element.name == name:
+        return element
+    found: Element | None = None
+    if isinstance(element, Type):
+        found = element.effective_member(name)
+    elif isinstance(element, Namespace):
+        found = element.member(name)
+    if isinstance(found, Alias):
+        return found.target
+    return found
+
+
+def resolve_model(model: Model) -> Model:
+    """Resolve all references in *model* (in place) and return it."""
+    return Resolver(model).resolve()
+
+
+def load_model(*texts: str, filenames: list[str] | None = None,
+               include_stdlib: bool = True) -> Model:
+    """Parse, build and resolve one or more textual-notation sources.
+
+    The miniature standard library (``ScalarValues``, ``Base``) is
+    prepended unless *include_stdlib* is False.
+    """
+    from .builder import build_model
+    from .parser import parse
+    from .stdlib import SCALAR_VALUES_SOURCE
+
+    from .elements import Package
+
+    names = list(filenames or [f"<model{i}>" for i in range(len(texts))])
+    sources = list(texts)
+    if include_stdlib:
+        sources.insert(0, SCALAR_VALUES_SOURCE)
+        names.insert(0, "<stdlib>")
+    from .stdlib import IMPLICIT_LIBRARY_PACKAGES
+
+    trees = [parse(text, name) for text, name in zip(sources, names)]
+    model = build_model(*trees)
+    if include_stdlib:
+        stdlib_root_count = len(trees[0].members)
+        for element in model.owned_elements[:stdlib_root_count]:
+            if isinstance(element, Package):
+                element.is_library = True
+    else:
+        # re-parsing a printed model: recognize the embedded library
+        # packages by name so round trips stay stable
+        for element in model.owned_elements:
+            if isinstance(element, Package) and \
+                    element.name in IMPLICIT_LIBRARY_PACKAGES:
+                element.is_library = True
+    return resolve_model(model)

@@ -1,0 +1,75 @@
+"""A miniature SysML v2 standard library.
+
+Real SysML v2 ships a model library (``ScalarValues``, ``Base``, ...)
+that every model can reference. We provide the subset the methodology's
+models use: scalar value types and a few SI-ish attribute definitions.
+Members of these packages are implicitly visible everywhere, mirroring
+the pilot implementation's implicit library imports.
+"""
+
+SCALAR_VALUES_SOURCE = """
+package ScalarValues {
+    doc /* Scalar data value types, mirroring the SysML v2 model library. */
+    abstract attribute def ScalarValue;
+    attribute def Boolean :> ScalarValue;
+    attribute def String :> ScalarValue;
+    abstract attribute def NumericalValue :> ScalarValue;
+    attribute def Number :> NumericalValue;
+    attribute def Complex :> Number;
+    attribute def Real :> Complex;
+    attribute def Rational :> Real;
+    attribute def Integer :> Rational;
+    attribute def Natural :> Integer;
+    attribute def Positive :> Natural;
+    attribute def Double :> Real;
+    attribute def Float :> Real;
+}
+
+package Base {
+    doc /* Root abstractions: anything and datum. */
+    abstract part def Anything;
+    abstract attribute def DataValue;
+}
+"""
+
+#: Packages whose members are visible without an explicit import.
+IMPLICIT_LIBRARY_PACKAGES = ("ScalarValues", "Base")
+
+#: Scalar type names -> Python types, used by instance elaboration and
+#: the configuration generator when emitting typed variable nodes.
+PYTHON_TYPES = {
+    "Boolean": bool,
+    "String": str,
+    "Integer": int,
+    "Natural": int,
+    "Positive": int,
+    "Real": float,
+    "Double": float,
+    "Float": float,
+    "Rational": float,
+    "Number": float,
+    "Complex": complex,
+}
+
+DEFAULT_VALUES = {
+    "Boolean": False,
+    "String": "",
+    "Integer": 0,
+    "Natural": 0,
+    "Positive": 1,
+    "Real": 0.0,
+    "Double": 0.0,
+    "Float": 0.0,
+    "Rational": 0.0,
+    "Number": 0.0,
+}
+
+
+def scalar_python_type(type_name: str) -> type | None:
+    """Python type for a scalar value type name (or None if unknown)."""
+    return PYTHON_TYPES.get(type_name)
+
+
+def scalar_default(type_name: str):
+    """A neutral default value for a scalar value type name."""
+    return DEFAULT_VALUES.get(type_name)

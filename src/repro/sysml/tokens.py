@@ -1,0 +1,59 @@
+"""Token definitions for the SysML v2 textual notation lexer."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from .errors import SourceLocation
+
+
+class TokenKind(enum.Enum):
+    IDENT = "IDENT"
+    STRING = "STRING"
+    INTEGER = "INTEGER"
+    REAL = "REAL"
+    # punctuation / operators
+    LBRACE = "{"
+    RBRACE = "}"
+    LBRACKET = "["
+    RBRACKET = "]"
+    LPAREN = "("
+    RPAREN = ")"
+    SEMI = ";"
+    COLON = ":"
+    COMMA = ","
+    DOT = "."
+    EQUALS = "="
+    STAR = "*"
+    TILDE = "~"
+    SPECIALIZES = ":>"
+    REDEFINES = ":>>"
+    DOUBLE_COLON = "::"
+    DOC_COMMENT = "DOC_COMMENT"
+    EOF = "EOF"
+
+
+# Reserved words of the supported SysML v2 subset. They lex as IDENT and
+# the parser checks `token.value in KEYWORDS` contextually, because SysML
+# v2 allows several keywords as plain names in other positions.
+KEYWORDS = frozenset({
+    "package", "part", "def", "abstract", "ref", "attribute", "port",
+    "action", "interface", "connection", "connect", "bind", "perform",
+    "import", "in", "out", "inout", "doc", "end", "to", "specializes",
+    "redefines", "alias", "private", "public", "item", "true", "false",
+    "exhibit", "state", "flow", "from", "about", "metadata",
+})
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: TokenKind
+    value: str
+    location: SourceLocation
+
+    def is_keyword(self, word: str) -> bool:
+        return self.kind is TokenKind.IDENT and self.value == word
+
+    def __str__(self) -> str:
+        return f"{self.kind.name}({self.value!r})@{self.location}"

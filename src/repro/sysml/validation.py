@@ -1,0 +1,282 @@
+"""Well-formedness validation for resolved SysML v2 models.
+
+The paper's pitch for SysML v2 over v1 is *rigor*: the language (and
+therefore this checker) can reject models that would silently produce
+broken factory configurations. Each rule below has a stable identifier
+used in tests and in the v1-vs-v2 comparison benchmark.
+
+Rules
+-----
+``abstract-instantiation``   a non-abstract, non-reference usage is typed
+                             by an abstract definition (e.g. instantiating
+                             the abstract ``Driver`` directly).
+``cyclic-specialization``    a type (transitively) specializes itself.
+``specialization-kind``      a definition specializes a definition of a
+                             different kind (part def :> port def).
+``redefinition-type``        a redefining feature's type does not conform
+                             to the redefined feature's type.
+``conjugation-target``       ``~T`` used where T is not a port definition.
+``multiplicity-bounds``      lower bound exceeds upper bound.
+``connector-port-type``      connected ports are typed by different port
+                             definitions (no shared contract).
+``connector-conjugation``    both connected ports have the same
+                             conjugation — no provider/consumer pairing.
+``binding-kind``             a bind equates features of different kinds.
+``duplicate-member``         two same-named members in one namespace.
+``dangling-ref``             a ``ref part`` has neither type nor target.
+``empty-definition``         (warning) a non-abstract, never-used
+                             definition with no members.
+``enum-value``               a feature typed by an enum def is assigned
+                             something other than one of its literals.
+"""
+
+from __future__ import annotations
+
+from .ast_nodes import FeatureRefExpr
+from .elements import (BindingConnector, Connector, Definition, Element,
+                       EnumerationDefinition, Model,
+                       PortDefinition, Type, Usage)
+from .errors import DiagnosticReport
+
+
+def validate_model(model: Model) -> DiagnosticReport:
+    """Run every rule over *model* and return the collected diagnostics."""
+    report = DiagnosticReport()
+    used_type_ids: set[int] = set()
+    for element in model.all_elements():
+        if isinstance(element, Usage) and element.typ is not None:
+            used_type_ids.add(id(element.typ))
+        if isinstance(element, Type):
+            for general in element.specializations:
+                used_type_ids.add(id(general))
+    for element in model.all_elements():
+        if isinstance(element, Type):
+            _check_cyclic_specialization(element, report)
+            _check_duplicate_members(element, report)
+        if isinstance(element, Definition):
+            _check_specialization_kind(element, report)
+            _check_empty_definition(element, report, used_type_ids)
+        if isinstance(element, Usage):
+            _check_abstract_instantiation(element, report)
+            _check_redefinition_type(element, report)
+            _check_conjugation_target(element, report)
+            _check_multiplicity(element, report)
+            _check_dangling_ref(element, report)
+            _check_enum_value(element, report)
+        if isinstance(element, Connector):
+            _check_connector(element, report)
+        if isinstance(element, BindingConnector):
+            _check_binding(element, report)
+    return report
+
+
+# -- individual rules --------------------------------------------------------
+
+def _check_cyclic_specialization(element: Type, report: DiagnosticReport) -> None:
+    if element in element.all_supertypes():
+        report.error("cyclic-specialization",
+                     f"type '{element.qualified_name}' specializes itself",
+                     location=element.location,
+                     element=element.qualified_name)
+
+
+def _check_duplicate_members(element: Type, report: DiagnosticReport) -> None:
+    seen: set[str] = set()
+    for child in element.owned_elements:
+        if not child.name:
+            continue
+        if child.name in seen:
+            report.error("duplicate-member",
+                         f"duplicate member '{child.name}' in "
+                         f"'{element.qualified_name}'",
+                         location=child.location,
+                         element=element.qualified_name)
+        seen.add(child.name)
+
+
+def _check_specialization_kind(element: Definition,
+                               report: DiagnosticReport) -> None:
+    for general in element.specializations:
+        if isinstance(general, Definition) and general.kind != element.kind:
+            report.error(
+                "specialization-kind",
+                f"{element.kind} def '{element.qualified_name}' cannot "
+                f"specialize {general.kind} def '{general.qualified_name}'",
+                location=element.location, element=element.qualified_name)
+
+
+def _check_empty_definition(element: Definition,
+                            report: DiagnosticReport,
+                            used_type_ids: set[int]) -> None:
+    if element.is_abstract:
+        return
+    if id(element) in used_type_ids:
+        # empty-but-used definitions are a legitimate style: the paper's
+        # Code 2 declares 'part def AxesPositions;' and fills the
+        # structure in at instantiation
+        return
+    # definitions nested in an abstract template (e.g. the empty
+    # DriverParameters inside the abstract Driver) exist to be refined
+    # by specializations; emptiness is their point
+    for ancestor in element.ancestors():
+        if isinstance(ancestor, Definition) and ancestor.is_abstract:
+            return
+    has_members = any(e.name for e in element.owned_elements)
+    if not has_members and element.kind in ("part", "port"):
+        report.warning("empty-definition",
+                       f"non-abstract {element.kind} def "
+                       f"'{element.qualified_name}' has no members",
+                       location=element.location,
+                       element=element.qualified_name)
+
+
+def _check_enum_value(usage: Usage, report: DiagnosticReport) -> None:
+    """``enum-value``: a feature typed by an enum def must be assigned
+    one of its literals."""
+    typ = usage.effective_type()
+    if not isinstance(typ, EnumerationDefinition):
+        return
+    value = usage.value
+    if value is None:
+        return
+    if isinstance(value, FeatureRefExpr) and len(value.chain.parts) == 1:
+        if typ.literal(value.chain.parts[0]) is not None:
+            return
+        report.error(
+            "enum-value",
+            f"'{usage.qualified_name}' assigns '{value.chain}', which is "
+            f"not a literal of enum '{typ.qualified_name}' "
+            f"(allowed: {', '.join(l.name for l in typ.literals)})",
+            location=usage.location, element=usage.qualified_name)
+    else:
+        report.error(
+            "enum-value",
+            f"'{usage.qualified_name}' assigns a non-literal value to "
+            f"enum type '{typ.qualified_name}'",
+            location=usage.location, element=usage.qualified_name)
+
+
+def _check_abstract_instantiation(usage: Usage,
+                                  report: DiagnosticReport) -> None:
+    if usage.is_reference or usage.is_abstract:
+        return
+    typ = usage.typ
+    if isinstance(typ, Definition) and typ.is_abstract:
+        report.error(
+            "abstract-instantiation",
+            f"usage '{usage.qualified_name}' instantiates abstract "
+            f"definition '{typ.qualified_name}'; specialize it instead",
+            location=usage.location, element=usage.qualified_name)
+
+
+def _check_redefinition_type(usage: Usage, report: DiagnosticReport) -> None:
+    own_type = usage.typ
+    if own_type is None:
+        return
+    for redefined in usage.redefines:
+        redefined_type = redefined.effective_type()
+        if redefined_type is None or not isinstance(own_type, Type):
+            continue
+        if not own_type.conforms_to(redefined_type):
+            report.error(
+                "redefinition-type",
+                f"'{usage.qualified_name}' redefines "
+                f"'{redefined.qualified_name}' with non-conforming type "
+                f"'{own_type.qualified_name}' (expected a specialization of "
+                f"'{redefined_type.qualified_name}')",
+                location=usage.location, element=usage.qualified_name)
+
+
+def _check_conjugation_target(usage: Usage, report: DiagnosticReport) -> None:
+    if not usage.conjugated:
+        return
+    typ = usage.typ
+    if typ is not None and not isinstance(typ, PortDefinition):
+        report.error(
+            "conjugation-target",
+            f"'{usage.qualified_name}' conjugates '{typ.qualified_name}', "
+            f"which is not a port definition",
+            location=usage.location, element=usage.qualified_name)
+
+
+def _check_multiplicity(usage: Usage, report: DiagnosticReport) -> None:
+    mult = usage.multiplicity
+    if mult is None or mult.upper is None:
+        return
+    if mult.lower > mult.upper:
+        report.error(
+            "multiplicity-bounds",
+            f"'{usage.qualified_name}' has multiplicity lower bound "
+            f"{mult.lower} greater than upper bound {mult.upper}",
+            location=usage.location, element=usage.qualified_name)
+
+
+def _check_dangling_ref(usage: Usage, report: DiagnosticReport) -> None:
+    if usage.is_reference and usage.typ is None and not usage.specializations:
+        report.warning(
+            "dangling-ref",
+            f"reference '{usage.qualified_name}' has no type; it cannot be "
+            f"checked against any contract",
+            location=usage.location, element=usage.qualified_name)
+
+
+def _port_definition_of(element: Element) -> PortDefinition | None:
+    if isinstance(element, PortDefinition):
+        return element
+    if isinstance(element, Usage):
+        typ = element.effective_type()
+        while isinstance(typ, Usage):
+            typ = typ.effective_type()
+        if isinstance(typ, PortDefinition):
+            return typ
+    return None
+
+
+def _conjugation_of(element: Element) -> bool | None:
+    if isinstance(element, Usage):
+        return element.conjugated
+    return None
+
+
+def _check_connector(connector: Connector, report: DiagnosticReport) -> None:
+    source, target = connector.source, connector.target
+    if source is None or target is None:
+        return  # resolution already failed loudly
+    source_def = _port_definition_of(source)
+    target_def = _port_definition_of(target)
+    if source_def is not None and target_def is not None:
+        if source_def is not target_def and \
+                not (source_def.conforms_to(target_def)
+                     or target_def.conforms_to(source_def)):
+            report.error(
+                "connector-port-type",
+                f"connector '{connector.source_chain}' -> "
+                f"'{connector.target_chain}' joins unrelated port types "
+                f"'{source_def.qualified_name}' and "
+                f"'{target_def.qualified_name}'",
+                location=connector.location,
+                element=connector.qualified_name)
+        source_conj = _conjugation_of(source)
+        target_conj = _conjugation_of(target)
+        if source_conj is not None and source_conj == target_conj:
+            report.warning(
+                "connector-conjugation",
+                f"connector '{connector.source_chain}' -> "
+                f"'{connector.target_chain}' joins two "
+                f"{'conjugated' if source_conj else 'non-conjugated'} ports; "
+                f"expected a conjugated/original pair",
+                location=connector.location,
+                element=connector.qualified_name)
+
+
+def _check_binding(bind: BindingConnector, report: DiagnosticReport) -> None:
+    left, right = bind.left, bind.right
+    if not isinstance(left, Usage) or not isinstance(right, Usage):
+        return
+    kinds = {left.kind, right.kind} - {"redefinition"}
+    if len(kinds) > 1:
+        report.error(
+            "binding-kind",
+            f"bind '{bind.left_chain}' = '{bind.right_chain}' equates a "
+            f"{left.kind} with a {right.kind}",
+            location=bind.location, element=bind.qualified_name)

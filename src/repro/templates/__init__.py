@@ -1,0 +1,7 @@
+"""Minimal template engine + built-in Kubernetes manifest templates."""
+
+from .engine import Template, TemplateError, k8s_name, render
+from .library import TEMPLATES, get_template
+
+__all__ = ["TEMPLATES", "Template", "TemplateError", "get_template",
+           "k8s_name", "render"]

@@ -1,0 +1,266 @@
+"""YAML parser (from scratch) for the emitted subset.
+
+Block-style mappings and sequences, scalars with type inference, quoted
+strings with escapes, comments, and multi-document streams. This is what
+the simulated Kubernetes cluster uses to consume the generated
+manifests; it intentionally rejects YAML features the emitter never
+produces (anchors, flow collections with nesting, block scalars).
+"""
+
+from __future__ import annotations
+
+
+class YamlParseError(ValueError):
+    def __init__(self, message: str, line_number: int = 0):
+        self.line_number = line_number
+        super().__init__(f"line {line_number}: {message}"
+                         if line_number else message)
+
+
+class _Line:
+    __slots__ = ("indent", "content", "number")
+
+    def __init__(self, indent: int, content: str, number: int):
+        self.indent = indent
+        self.content = content
+        self.number = number
+
+
+def _strip_comment(text: str) -> str:
+    """Remove a trailing comment, honoring quotes."""
+    in_single = in_double = False
+    for index, ch in enumerate(text):
+        if ch == "'" and not in_double:
+            in_single = not in_single
+        elif ch == '"' and not in_single:
+            # account for escapes
+            backslashes = 0
+            j = index - 1
+            while j >= 0 and text[j] == "\\":
+                backslashes += 1
+                j -= 1
+            if backslashes % 2 == 0:
+                in_double = not in_double
+        elif ch == "#" and not in_single and not in_double:
+            if index == 0 or text[index - 1] in " \t":
+                return text[:index].rstrip()
+    return text.rstrip()
+
+
+def _logical_lines(text: str) -> list[_Line]:
+    lines: list[_Line] = []
+    for number, raw in enumerate(text.splitlines(), start=1):
+        without_comment = _strip_comment(raw)
+        stripped = without_comment.strip()
+        if not stripped:
+            continue
+        leading = without_comment[:len(without_comment)
+                                  - len(without_comment.lstrip(" \t"))]
+        if "\t" in leading:
+            raise YamlParseError("tabs are not allowed in indentation",
+                                 number)
+        indent = len(leading)
+        lines.append(_Line(indent, stripped, number))
+    return lines
+
+
+def parse_scalar(text: str):
+    """Infer the type of a scalar token."""
+    if text.startswith('"'):
+        return _unquote(text, '"')
+    if text.startswith("'"):
+        return _unquote(text, "'")
+    if text in ("null", "~", "Null", "NULL", ""):
+        return None
+    if text in ("true", "True", "TRUE"):
+        return True
+    if text in ("false", "False", "FALSE"):
+        return False
+    if text == "{}":
+        return {}
+    if text == "[]":
+        return []
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        pass
+    return text
+
+
+def _unquote(text: str, quote: str) -> str:
+    if len(text) < 2 or not text.endswith(quote):
+        raise YamlParseError(f"unterminated quoted scalar: {text!r}")
+    body = text[1:-1]
+    if quote == "'":
+        return body.replace("''", "'")
+    result: list[str] = []
+    index = 0
+    while index < len(body):
+        ch = body[index]
+        if ch == "\\" and index + 1 < len(body):
+            nxt = body[index + 1]
+            result.append({"n": "\n", "t": "\t", '"': '"',
+                           "\\": "\\"}.get(nxt, nxt))
+            index += 2
+        else:
+            result.append(ch)
+            index += 1
+    return "".join(result)
+
+
+def _split_key(content: str, number: int) -> tuple[str, str]:
+    """Split ``key: rest`` honoring quoted keys."""
+    if content.startswith(('"', "'")):
+        quote = content[0]
+        end = 1
+        while end < len(content):
+            if content[end] == quote and (quote == '"' and
+                                          content[end - 1] == "\\"):
+                end += 1
+                continue
+            if content[end] == quote:
+                break
+            end += 1
+        key_text = content[:end + 1]
+        rest = content[end + 1:]
+        if not rest.startswith(":"):
+            raise YamlParseError("expected ':' after quoted key", number)
+        return key_text, rest[1:].strip()
+    # find a ': ' or line-final ':'
+    depth_guard = content.find(": ")
+    if content.endswith(":"):
+        candidate = len(content) - 1
+        if depth_guard == -1 or candidate < depth_guard:
+            return content[:candidate], ""
+    if depth_guard == -1:
+        raise YamlParseError(f"expected a mapping entry, got {content!r}",
+                             number)
+    return content[:depth_guard], content[depth_guard + 2:].strip()
+
+
+class _Parser:
+    def __init__(self, lines: list[_Line]):
+        self.lines = lines
+        self.index = 0
+
+    def _peek(self) -> _Line | None:
+        return self.lines[self.index] if self.index < len(self.lines) else None
+
+    def parse_block(self, indent: int):
+        line = self._peek()
+        if line is None:
+            return None
+        if line.content.startswith("- ") or line.content == "-":
+            return self._parse_sequence(indent)
+        return self._parse_mapping(indent)
+
+    def _parse_sequence(self, indent: int) -> list:
+        items: list = []
+        while True:
+            line = self._peek()
+            if line is None or line.indent != indent or \
+                    not (line.content.startswith("- ") or line.content == "-"):
+                break
+            self.index += 1
+            inline = line.content[2:].strip() if line.content != "-" else ""
+            if not inline:
+                nxt = self._peek()
+                if nxt is not None and nxt.indent > indent:
+                    items.append(self.parse_block(nxt.indent))
+                else:
+                    items.append(None)
+                continue
+            if inline.startswith("- ") or inline == "-":
+                # '- - 1' starts a nested sequence at indent + 2
+                virtual = _Line(indent + 2, inline, line.number)
+                self.lines.insert(self.index, virtual)
+                items.append(self._parse_sequence(indent + 2))
+            elif _looks_like_mapping(inline):
+                # '- key: value' starts a mapping whose keys continue at
+                # indent + 2
+                virtual = _Line(indent + 2, inline, line.number)
+                self.lines.insert(self.index, virtual)
+                items.append(self._parse_mapping(indent + 2))
+            else:
+                items.append(parse_scalar(inline))
+        return items
+
+    def _parse_mapping(self, indent: int) -> dict:
+        mapping: dict = {}
+        while True:
+            line = self._peek()
+            if line is None or line.indent != indent or \
+                    line.content.startswith("- "):
+                break
+            key_text, rest = _split_key(line.content, line.number)
+            key = parse_scalar(key_text)
+            if not isinstance(key, str):
+                key = str(key)
+            if key in mapping:
+                raise YamlParseError(f"duplicate key {key!r}", line.number)
+            self.index += 1
+            if rest:
+                mapping[key] = parse_scalar(rest)
+                continue
+            nxt = self._peek()
+            if nxt is not None and nxt.indent > indent:
+                mapping[key] = self.parse_block(nxt.indent)
+            elif nxt is not None and nxt.indent == indent and \
+                    (nxt.content.startswith("- ") or nxt.content == "-"):
+                mapping[key] = self._parse_sequence(indent)
+            else:
+                mapping[key] = None
+        return mapping
+
+
+def _looks_like_mapping(content: str) -> bool:
+    if content.startswith(('"', "'")):
+        try:
+            _split_key(content, 0)
+            return True
+        except YamlParseError:
+            return False
+    return ": " in content or content.endswith(":")
+
+
+def parse(text: str):
+    """Parse a single YAML document."""
+    documents = parse_documents(text)
+    if not documents:
+        return None
+    if len(documents) > 1:
+        raise YamlParseError(
+            f"expected one document, found {len(documents)} "
+            f"(use parse_documents)")
+    return documents[0]
+
+
+def parse_documents(text: str) -> list:
+    """Parse a (possibly multi-document) YAML stream."""
+    chunks: list[list[str]] = [[]]
+    for raw in text.splitlines():
+        if raw.strip() == "---":
+            if chunks[-1]:
+                chunks.append([])
+            continue
+        chunks[-1].append(raw)
+    documents = []
+    for chunk in chunks:
+        lines = _logical_lines("\n".join(chunk))
+        if not lines:
+            continue
+        if any(line.indent < lines[0].indent for line in lines):
+            raise YamlParseError("inconsistent top-level indentation",
+                                 lines[0].number)
+        parser = _Parser(lines)
+        document = parser.parse_block(lines[0].indent)
+        if parser.index != len(parser.lines):
+            leftover = parser.lines[parser.index]
+            raise YamlParseError(
+                f"unconsumed content {leftover.content!r}", leftover.number)
+        documents.append(document)
+    return documents

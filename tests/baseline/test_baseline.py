@@ -1,0 +1,94 @@
+"""Baseline (SysML v1 methodology) and comparison tests."""
+
+import pytest
+
+from repro.baseline import (FAULT_SCENARIOS, build_v1_model,
+                            compare_methodologies,
+                            generate_v1_configuration, run_fault_scenario)
+from repro.machines.specs import EMCO_SPEC, ICE_LAB_SPECS, SPEA_SPEC
+
+
+class TestV1Model:
+    def test_blocks_created_per_machine(self):
+        model = build_v1_model([EMCO_SPEC, SPEA_SPEC])
+        assert set(model.blocks) == {"emco", "emco_driver", "spea",
+                                     "spea_driver", "workCell01",
+                                     "workCell02"}
+
+    def test_duplication_no_reuse(self):
+        # two identical Kairos AGVs: v1 restates everything twice
+        kairos = [s for s in ICE_LAB_SPECS if s.name.startswith("kairos")]
+        model = build_v1_model(kairos)
+        block1 = model.blocks["kairos1"]
+        block2 = model.blocks["kairos2"]
+        assert block1.element_count == block2.element_count
+        assert model.element_count >= 2 * block1.element_count
+
+    def test_element_count_scales_with_points(self):
+        small = build_v1_model([SPEA_SPEC])
+        large = build_v1_model([EMCO_SPEC])
+        assert large.element_count > small.element_count
+
+    def test_silent_overwrite_of_duplicates(self):
+        from repro.baseline import V1Block
+        model = build_v1_model([])
+        model.add(V1Block(name="x", stereotype="machine"))
+        model.add(V1Block(name="x", stereotype="driver"))  # no error
+        assert model.blocks["x"].stereotype == "driver"
+
+
+class TestV1Generator:
+    def test_generates_configs_for_machines(self):
+        model = build_v1_model([EMCO_SPEC, SPEA_SPEC])
+        result = generate_v1_configuration(model)
+        assert set(result.machine_configs) == {"emco", "spea"}
+        emco = result.machine_configs["emco"]
+        assert len(emco["variables"]) == 34
+        assert len(emco["methods"]) == 19
+        assert emco["driver"]["parameters"]["ip"] == "10.197.12.11"
+
+    def test_server_configs_per_workcell(self):
+        model = build_v1_model(list(ICE_LAB_SPECS))
+        result = generate_v1_configuration(model)
+        assert result.opcua_server_count == 6
+
+    def test_generation_time_recorded(self):
+        model = build_v1_model([SPEA_SPEC])
+        result = generate_v1_configuration(model)
+        assert result.generation_seconds >= 0
+
+
+class TestFaultScenarios:
+    @pytest.mark.parametrize("scenario", FAULT_SCENARIOS,
+                             ids=[s.name for s in FAULT_SCENARIOS])
+    def test_v2_catches_v1_misses(self, scenario):
+        outcome = run_fault_scenario(scenario)
+        assert outcome.caught_by_v2, \
+            f"v2 missed {scenario.name}: {outcome.v2_diagnostic}"
+        assert not outcome.caught_by_v1
+
+    def test_scenarios_are_distinct(self):
+        names = [s.name for s in FAULT_SCENARIOS]
+        assert len(names) == len(set(names)) >= 7
+
+
+class TestComparison:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return compare_methodologies(list(ICE_LAB_SPECS))
+
+    def test_catch_rates(self, report):
+        assert report.v2_catch_rate == 1.0
+        assert report.v1_catch_rate == 0.0
+
+    def test_reuse_detected(self, report):
+        assert report.v2_reused_definitions == 1  # the second RB-Kairos
+
+    def test_element_counts_positive(self, report):
+        assert report.v1_elements > 0
+        assert report.v2_elements > 0
+
+    def test_render(self, report):
+        text = report.render()
+        assert "catch rate" in text
+        assert "abstract-instantiation" in text

@@ -1,0 +1,94 @@
+"""Property-based tests for topic matching and broker delivery."""
+
+import string
+
+from hypothesis import given, settings, strategies as st
+
+from repro.broker import (MessageBroker, topic_matches, validate_filter,
+                          validate_topic)
+
+levels = st.text(string.ascii_lowercase + string.digits, min_size=1,
+                 max_size=6)
+topics = st.lists(levels, min_size=1, max_size=6).map("/".join)
+
+
+@st.composite
+def topic_and_matching_filter(draw):
+    """A topic plus a filter derived from it that must match."""
+    topic_levels = draw(st.lists(levels, min_size=1, max_size=6))
+    filter_levels = []
+    for index, level in enumerate(topic_levels):
+        choice = draw(st.integers(0, 3))
+        if choice == 0 and index > 0:  # '#' not very interesting first
+            filter_levels.append("#")
+            break
+        if choice == 1:
+            filter_levels.append("+")
+        else:
+            filter_levels.append(level)
+    return "/".join(topic_levels), "/".join(filter_levels)
+
+
+@settings(max_examples=200, deadline=None)
+@given(topics)
+def test_exact_filter_always_matches_itself(topic):
+    validate_topic(topic)
+    assert topic_matches(topic, topic)
+
+
+@settings(max_examples=200, deadline=None)
+@given(topic_and_matching_filter())
+def test_derived_filters_match(pair):
+    topic, topic_filter = pair
+    validate_topic(topic)
+    validate_filter(topic_filter)
+    assert topic_matches(topic_filter, topic)
+
+
+@settings(max_examples=200, deadline=None)
+@given(topics, topics)
+def test_exact_filter_matches_only_equal_topics(filter_topic, topic):
+    assert topic_matches(filter_topic, topic) == (filter_topic == topic)
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(topics, min_size=1, max_size=20, unique=True))
+def test_hash_filter_receives_everything(all_topics):
+    broker = MessageBroker()
+    seen = []
+    broker.subscribe("all", "#", lambda t, p: seen.append(t))
+    for topic in all_topics:
+        broker.publish(topic, None)
+    assert seen == all_topics
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(topics, min_size=1, max_size=15))
+def test_delivery_count_equals_matching_subscriptions(publish_topics):
+    broker = MessageBroker()
+    filters = ["#", "+", publish_topics[0]]
+    for index, topic_filter in enumerate(filters):
+        broker.subscribe(f"c{index}", topic_filter, lambda t, p: None)
+    for topic in publish_topics:
+        expected = sum(1 for f in filters if topic_matches(f, topic))
+        assert broker.publish(topic, None) == expected
+
+
+@settings(max_examples=100, deadline=None)
+@given(topics, st.integers(0, 30))
+def test_queue_preserves_order(topic, count):
+    broker = MessageBroker()
+    sid = broker.subscribe("c", topic)
+    for index in range(count):
+        broker.publish(topic, index)
+    assert [m.payload for m in broker.poll(sid)] == list(range(count))
+
+
+@settings(max_examples=60, deadline=None)
+@given(topics)
+def test_retained_message_replayed_to_late_subscriber(topic):
+    broker = MessageBroker()
+    broker.publish(topic, "state", retain=True)
+    seen = []
+    broker.subscribe("late", "#", lambda t, p: seen.append((t, p)))
+    assert seen == [(topic, "state")]

@@ -1,0 +1,90 @@
+"""Topic validation and wildcard matching tests."""
+
+import pytest
+
+from repro.broker import (TopicError, join, topic_matches, validate_filter,
+                          validate_topic)
+
+
+class TestValidateTopic:
+    def test_simple_topic_ok(self):
+        validate_topic("icelab/wc02/emco/data/actualX")
+
+    def test_single_level_ok(self):
+        validate_topic("status")
+
+    def test_empty_rejected(self):
+        with pytest.raises(TopicError):
+            validate_topic("")
+
+    def test_leading_slash_rejected(self):
+        with pytest.raises(TopicError):
+            validate_topic("/a/b")
+
+    def test_trailing_slash_rejected(self):
+        with pytest.raises(TopicError):
+            validate_topic("a/b/")
+
+    def test_empty_level_rejected(self):
+        with pytest.raises(TopicError):
+            validate_topic("a//b")
+
+    def test_wildcards_rejected_in_publish_topic(self):
+        with pytest.raises(TopicError):
+            validate_topic("a/+/b")
+        with pytest.raises(TopicError):
+            validate_topic("a/#")
+
+
+class TestValidateFilter:
+    def test_plus_level_ok(self):
+        validate_filter("a/+/c")
+
+    def test_trailing_hash_ok(self):
+        validate_filter("a/b/#")
+
+    def test_hash_alone_ok(self):
+        validate_filter("#")
+
+    def test_hash_not_final_rejected(self):
+        with pytest.raises(TopicError):
+            validate_filter("a/#/b")
+
+    def test_partial_wildcard_rejected(self):
+        with pytest.raises(TopicError):
+            validate_filter("a/b+/c")
+
+    def test_empty_rejected(self):
+        with pytest.raises(TopicError):
+            validate_filter("")
+
+
+class TestMatching:
+    @pytest.mark.parametrize("pattern,topic,expected", [
+        ("a/b/c", "a/b/c", True),
+        ("a/b/c", "a/b/d", False),
+        ("a/+/c", "a/b/c", True),
+        ("a/+/c", "a/x/c", True),
+        ("a/+/c", "a/b/c/d", False),
+        ("a/#", "a/b/c/d", True),
+        # MQTT semantics: the '#' also matches the parent level itself
+        ("a/#", "a", True),
+        ("a/b/#", "a", False),
+        ("#", "anything/at/all", True),
+        ("+", "one", True),
+        ("+", "one/two", False),
+        ("a/+/+/d", "a/b/c/d", True),
+        ("a/b", "a/b/c", False),
+        ("a/b/c", "a/b", False),
+    ])
+    def test_matrix(self, pattern, topic, expected):
+        assert topic_matches(pattern, topic) is expected
+
+
+class TestJoin:
+    def test_join_levels(self):
+        assert join("icelab", "wc02", "emco") == "icelab/wc02/emco"
+
+    def test_join_validates(self):
+        with pytest.raises(TopicError):
+            join("a", "", "b")

@@ -1,0 +1,110 @@
+"""Unit tests for the individual step-1 config builders."""
+
+import pytest
+
+from repro.codegen import (client_config, machine_config, storage_config,
+                           topic_root, workcell_endpoint,
+                           workcell_server_config)
+from repro.codegen.grouping import ClientGroup
+from repro.isa95.levels import (ArgumentSpec, DriverInfo, FactoryTopology,
+                                MachineInfo, ServiceSpec, VariableSpec,
+                                WorkcellInfo)
+
+
+def mini_topology():
+    topology = FactoryTopology(enterprise="acme", site="s1", area="Hall A",
+                               production_lines=["Line 1"])
+    workcell = WorkcellInfo(name="cellX", production_line="Line 1")
+    machine = MachineInfo(
+        name="mill", type_name="Mill", workcell="cellX",
+        variables=[VariableSpec("speed", "Real", category="axes",
+                                unit="rpm"),
+                   VariableSpec("mode", "String")],
+        services=[ServiceSpec("start",
+                              inputs=[ArgumentSpec("prog", "String")],
+                              outputs=[ArgumentSpec("ok", "Boolean")])],
+        driver=DriverInfo(name="d", protocol="MillDriver",
+                          parameters={"ip": "1.2.3.4"}))
+    workcell.machines.append(machine)
+    topology.workcells.append(workcell)
+    return topology
+
+
+class TestWorkcellEndpoint:
+    def test_sanitized_dns_name(self):
+        assert workcell_endpoint("workCell02") == \
+            "opc.tcp://workcell02:4840"
+
+    def test_spaces_become_dashes(self):
+        assert workcell_endpoint("Cell A") == "opc.tcp://cell-a:4840"
+
+
+class TestTopicRoot:
+    def test_derived_from_area_and_line(self):
+        assert topic_root(mini_topology()) == "hall-a/line-1"
+
+    def test_defaults_when_missing(self):
+        empty = FactoryTopology()
+        assert topic_root(empty) == "factory/line"
+
+
+class TestMachineConfig:
+    def test_complete_shape(self):
+        topology = mini_topology()
+        config = machine_config(topology.machine("mill"), topology)
+        assert config["machine"] == "mill"
+        assert config["hierarchy"]["production_line"] == "Line 1"
+        assert config["opcua_server"]["endpoint"] == \
+            "opc.tcp://cellx:4840"
+        assert config["driver"]["parameters"] == {"ip": "1.2.3.4"}
+        assert config["variables"][0] == {
+            "name": "speed", "data_type": "Real", "category": "axes",
+            "unit": "rpm", "node_id": "ns=2;s=mill/data/speed"}
+        method = config["methods"][0]
+        assert method["inputs"] == [{"name": "prog",
+                                     "data_type": "String"}]
+
+    def test_machine_without_driver(self):
+        topology = mini_topology()
+        machine = topology.machine("mill")
+        machine.driver = None
+        config = machine_config(machine, topology)
+        assert config["driver"]["protocol"] == ""
+        assert config["driver"]["parameters"] == {}
+
+
+class TestServerConfig:
+    def test_aggregation(self):
+        topology = mini_topology()
+        machine_cfg = machine_config(topology.machine("mill"), topology)
+        server = workcell_server_config("cellX", [machine_cfg])
+        assert server["server"] == "cellx-opcua-server"
+        assert server["port"] == 4840
+        assert server["machines"][0]["browse_root"] == "mill"
+
+
+class TestClientAndStorage:
+    def make_group(self, topology):
+        group = ClientGroup(index=1, capacity=100)
+        group.machines.extend(topology.machines)
+        return group
+
+    def test_client_config_topics(self):
+        topology = mini_topology()
+        config = client_config(self.make_group(topology), topology,
+                               broker_url="mqtt://b:1")
+        machine = config["machines"][0]
+        assert machine["data_topic"] == "hall-a/line-1/cellx/mill/data"
+        assert machine["subscriptions"][0]["topic"].endswith("/speed")
+        assert machine["methods"][0]["input_count"] == 1
+        assert config["broker"]["url"] == "mqtt://b:1"
+
+    def test_storage_config_pairs_with_client(self):
+        topology = mini_topology()
+        group = self.make_group(topology)
+        storage = storage_config(group, topology,
+                                 database_url="ts://db:1")
+        assert storage["paired_client"] == group.name
+        assert storage["machines"] == ["mill"]
+        assert storage["expected_series"] == 2
+        assert storage["database"]["url"] == "ts://db:1"

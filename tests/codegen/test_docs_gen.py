@@ -1,0 +1,59 @@
+"""Factory-handbook generation tests."""
+
+import pytest
+
+from repro.codegen import generate_configuration, generate_handbook
+from repro.icelab import icelab_model
+
+
+@pytest.fixture(scope="module")
+def handbook():
+    result = generate_configuration(icelab_model(), namespace="icelab")
+    return generate_handbook(result, title="ICE Laboratory handbook")
+
+
+class TestHandbook:
+    def test_title_and_regeneration_notice(self, handbook):
+        assert handbook.startswith("# ICE Laboratory handbook")
+        assert "do not edit by hand" in handbook
+
+    def test_overview_counts(self, handbook):
+        assert "**Workcells:** 6" in handbook
+        assert "**Machines:** 10" in handbook
+        assert "**Variables:** 498" in handbook
+
+    def test_every_machine_has_a_section(self, handbook):
+        for machine in ("spea", "emco", "ur5", "siemensPlc", "fiam",
+                        "qcPc", "warehouse", "conveyor", "kairos1",
+                        "kairos2"):
+            assert f"### {machine} (" in handbook
+
+    def test_driver_parameters_tabulated(self, handbook):
+        assert "| `ip` | `10.197.12.11` |" in handbook
+        assert "`EMCODriver` (proprietary)" in handbook
+        assert "`OPCUADriver` (standardized)" in handbook
+
+    def test_deployment_table(self, handbook):
+        assert "`workcell02-opcua-server` | OPC UA server | emco, ur5" \
+            in handbook
+        assert "*(dedicated)*" in handbook  # the conveyor client
+
+    def test_topic_layout(self, handbook):
+        assert "icelab/iceproductionline/workcell02/emco/data/<variable>" \
+            in handbook
+        assert ("icelab/iceproductionline/workcell02/emco/services"
+                "/<service>") in handbook
+
+    def test_variables_tables_complete(self, handbook):
+        # spot-check a few variable rows incl. units
+        assert "| `actual_X` | Real | axesPositions | - |" in handbook
+        assert "| `battery_level` | Real | navigation | - |" in handbook
+
+    def test_services_tables_complete(self, handbook):
+        assert "| `move_to` | x: Real, y: Real, z: Real | ok: Boolean |" \
+            in handbook
+
+    def test_markdown_tables_well_formed(self, handbook):
+        for line in handbook.splitlines():
+            if line.startswith("|"):
+                assert line.rstrip().endswith("|"), line

@@ -1,0 +1,119 @@
+"""Client-grouping (bin packing) tests, including hypothesis invariants."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.codegen import (DEFAULT_CLIENT_CAPACITY, GroupingError,
+                           group_machines, grouping_stats,
+                           lower_bound_clients)
+from repro.isa95.levels import MachineInfo, ServiceSpec, VariableSpec
+
+
+def machine(name, variables, services, workcell="wc"):
+    return MachineInfo(
+        name=name, type_name="T", workcell=workcell,
+        variables=[VariableSpec(f"{name}_v{i}") for i in range(variables)],
+        services=[ServiceSpec(f"{name}_s{i}") for i in range(services)])
+
+
+ICE_POINTS = {"spea": (3, 5), "emco": (34, 19), "ur5": (99, 4),
+              "siemensPlc": (26, 8), "fiam": (12, 3), "qcPc": (13, 2),
+              "warehouse": (5, 3), "conveyor": (296, 10),
+              "kairos1": (5, 6), "kairos2": (5, 6)}
+
+
+def ice_machines():
+    return [machine(name, v, s) for name, (v, s) in ICE_POINTS.items()]
+
+
+class TestIceLabGrouping:
+    def test_paper_result_four_clients(self):
+        groups = group_machines(ice_machines(), DEFAULT_CLIENT_CAPACITY)
+        assert len(groups) == 4  # Table I: 4 OPC UA clients
+
+    def test_conveyor_gets_dedicated_oversized_client(self):
+        groups = group_machines(ice_machines(), DEFAULT_CLIENT_CAPACITY)
+        oversized = [g for g in groups if g.oversized]
+        assert len(oversized) == 1
+        assert oversized[0].machine_names == ["conveyor"]
+
+    def test_every_machine_assigned_once(self):
+        groups = group_machines(ice_machines(), DEFAULT_CLIENT_CAPACITY)
+        assigned = [name for g in groups for name in g.machine_names]
+        assert sorted(assigned) == sorted(ICE_POINTS)
+
+    def test_group_names_and_indexes(self):
+        groups = group_machines(ice_machines(), DEFAULT_CLIENT_CAPACITY)
+        assert [g.index for g in groups] == [1, 2, 3, 4]
+        assert groups[0].name == "opcua-client-01"
+
+    def test_deterministic(self):
+        a = group_machines(ice_machines(), 120)
+        b = group_machines(list(reversed(ice_machines())), 120)
+        assert [g.machine_names for g in a] == [g.machine_names for g in b]
+
+
+class TestCapacitySweep:
+    def test_huge_capacity_single_client(self):
+        groups = group_machines(ice_machines(), 10_000)
+        assert len(groups) == 1
+
+    def test_tiny_capacity_one_client_per_machine(self):
+        groups = group_machines(ice_machines(), 1)
+        assert len(groups) == len(ICE_POINTS)
+        assert all(g.oversized for g in groups
+                   if g.points > 1)
+
+    def test_client_count_monotone_in_capacity(self):
+        machines = ice_machines()
+        counts = [len(group_machines(machines, c))
+                  for c in (40, 80, 120, 160, 320, 640)]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(GroupingError):
+            group_machines(ice_machines(), 0)
+        with pytest.raises(GroupingError):
+            lower_bound_clients(ice_machines(), -1)
+
+
+class TestStats:
+    def test_stats_fields(self):
+        groups = group_machines(ice_machines(), 120)
+        stats = grouping_stats(groups)
+        assert stats["clients"] == 4
+        assert stats["oversized_clients"] == 1
+        assert stats["total_points"] == 564
+        assert 0 < stats["mean_utilization"] <= 1
+
+    def test_empty_stats(self):
+        assert grouping_stats([])["clients"] == 0
+
+    def test_lower_bound(self):
+        machines = ice_machines()
+        bound = lower_bound_clients(machines, 120)
+        assert len(group_machines(machines, 120)) >= bound
+        # FFD is within a small constant of optimal for this inventory
+        assert len(group_machines(machines, 120)) <= bound + 1
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(st.tuples(st.integers(0, 50), st.integers(0, 10)),
+                min_size=1, max_size=30),
+       st.integers(min_value=5, max_value=200))
+def test_grouping_invariants(sizes, capacity):
+    machines = [machine(f"m{i}", v, s) for i, (v, s) in enumerate(sizes)]
+    groups = group_machines(machines, capacity)
+    # every machine appears exactly once
+    assigned = sorted(name for g in groups for name in g.machine_names)
+    assert assigned == sorted(m.name for m in machines)
+    # capacity respected for non-oversized groups
+    for group in groups:
+        if not group.oversized:
+            assert group.points <= capacity
+        else:
+            assert len(group.machines) == 1
+            assert group.machines[0].point_count > capacity
+    # never worse than one client per machine, never better than bound
+    assert len(groups) <= len(machines)
+    assert len(groups) >= lower_bound_clients(machines, capacity) - 0

@@ -1,0 +1,109 @@
+"""Incremental regeneration tests."""
+
+import copy
+
+import pytest
+
+from repro.codegen import (GenerationPipeline, generate_configuration,
+                           regenerate)
+from repro.icelab.model_gen import icelab_sources, load_icelab_model
+from repro.machines.specs import ICE_LAB_SPECS
+from repro.sysml import load_model
+
+
+def edited_specs(edit):
+    specs = [copy.deepcopy(s) for s in ICE_LAB_SPECS]
+    edit({s.name: s for s in specs})
+    return specs
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    model = load_icelab_model()
+    result = generate_configuration(model, namespace="icelab")
+    return model, result
+
+
+def run_incremental(baseline, specs):
+    old_model, previous = baseline
+    new_model = load_model(*icelab_sources(specs))
+    pipeline = GenerationPipeline(namespace="icelab")
+    return regenerate(previous, old_model, new_model, pipeline)
+
+
+class TestNoChange:
+    def test_everything_reused(self, baseline):
+        incremental = run_incremental(baseline, list(ICE_LAB_SPECS))
+        assert incremental.fully_reused
+        assert incremental.changed_machines == []
+        assert len(incremental.reused_manifests) == 14
+        assert incremental.diff.is_empty
+
+
+class TestDriverParameterChange:
+    def test_only_affected_workcell_regenerated(self, baseline):
+        specs = edited_specs(
+            lambda by: by["emco"].driver.parameters.update(
+                {"ip": "10.197.88.88"}))
+        incremental = run_incremental(baseline, specs)
+        assert incremental.changed_machines == ["emco"]
+        # emco sits on workcell02's server, which embeds the driver
+        # connection parameters
+        assert "workcell02-opcua-server.yaml" in \
+            incremental.regenerated_manifests
+        # client configs carry topics/endpoints, not driver parameters,
+        # so the bridges do not redeploy for an IP change
+        assert not any(name.startswith("opcua-client")
+                       for name in incremental.regenerated_manifests)
+        # untouched workcells keep their manifests byte-identical
+        assert "workcell05-opcua-server.yaml" in \
+            incremental.reused_manifests
+
+    def test_summary(self, baseline):
+        specs = edited_specs(
+            lambda by: by["emco"].driver.parameters.update(
+                {"ip": "10.197.88.88"}))
+        incremental = run_incremental(baseline, specs)
+        summary = incremental.summary()
+        assert summary["changed_machines"] == ["emco"]
+        assert summary["regenerated"] + summary["reused"] == 14
+
+
+class TestVariableAddition:
+    def test_new_variable_regenerates_server_and_client(self, baseline):
+        from repro.isa95.levels import VariableSpec
+        specs = edited_specs(
+            lambda by: by["warehouse"].categories["Storage"].append(
+                VariableSpec("humidity", "Real")))
+        incremental = run_incremental(baseline, specs)
+        assert incremental.changed_machines == ["warehouse"]
+        assert "workcell05-opcua-server.yaml" in \
+            incremental.regenerated_manifests
+        # the fresh result reflects the new inventory
+        config = incremental.result.machine_configs["warehouse"]
+        assert any(v["name"] == "humidity" for v in config["variables"])
+
+
+class TestGroupMembershipChange:
+    def test_grown_machine_can_move_groups(self, baseline):
+        from repro.isa95.levels import VariableSpec
+        # grow fiam from 15 to 95 points: FFD packing changes
+        specs = edited_specs(
+            lambda by: by["fiam"].categories["Tightening"].extend(
+                VariableSpec(f"extra_{i}", "Real") for i in range(80)))
+        incremental = run_incremental(baseline, specs)
+        assert "fiam" in incremental.changed_machines
+        regenerated_clients = [name for name in
+                               incremental.regenerated_manifests
+                               if name.startswith("opcua-client")]
+        assert regenerated_clients  # at least the affected groups
+
+
+class TestMachineRemoval:
+    def test_removed_machine_detected(self, baseline):
+        specs = [copy.deepcopy(s) for s in ICE_LAB_SPECS
+                 if s.name != "spea"]
+        incremental = run_incremental(baseline, specs)
+        assert "spea" in incremental.changed_machines
+        assert "workcell01-opcua-server.yaml" not in \
+            incremental.result.manifests

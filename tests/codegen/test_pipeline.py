@@ -1,0 +1,181 @@
+"""Generation-pipeline tests (step 1 JSON + step 2 YAML) on the ICE lab."""
+
+import json
+
+import pytest
+
+from repro.codegen import generate_configuration
+from repro.icelab import icelab_model
+from repro.sysml.errors import ValidationError
+from repro.yamlgen import parse_documents
+
+
+@pytest.fixture(scope="module")
+def model():
+    return icelab_model()
+
+
+@pytest.fixture(scope="module")
+def result(model):
+    return generate_configuration(model, namespace="icelab")
+
+
+class TestHeadlineNumbers:
+    """The last row of Table I."""
+
+    def test_six_opcua_servers(self, result):
+        assert result.opcua_server_count == 6
+
+    def test_four_opcua_clients(self, result):
+        assert result.opcua_client_count == 4
+
+    def test_config_size_hundreds_of_kb(self, result):
+        # paper: 697 KB; ours differs in serialization but must be the
+        # same order of magnitude
+        assert 200 <= result.config_size_kb <= 1500
+
+    def test_generation_time_seconds_not_minutes(self, result):
+        assert result.generation_seconds < 30
+
+    def test_ten_machine_configs(self, result):
+        assert len(result.machine_configs) == 10
+
+    def test_manifest_count(self, result):
+        # 6 servers + 4 clients + 4 historians
+        assert len(result.manifests) == 14
+
+
+class TestMachineConfigs:
+    def test_emco_driver_parameters_from_model(self, result):
+        config = result.machine_configs["emco"]
+        assert config["driver"]["protocol"] == "EMCODriver"
+        assert config["driver"]["parameters"]["ip"] == "10.197.12.11"
+        assert config["driver"]["parameters"]["ip_port"] == 5557
+
+    def test_variable_node_ids_unique(self, result):
+        node_ids = [v["node_id"]
+                    for c in result.machine_configs.values()
+                    for v in c["variables"]]
+        assert len(node_ids) == len(set(node_ids)) == 498
+
+    def test_variable_counts_match_table1(self, result):
+        assert len(result.machine_configs["conveyor"]["variables"]) == 296
+        assert len(result.machine_configs["ur5"]["variables"]) == 99
+        assert len(result.machine_configs["emco"]["methods"]) == 19
+
+    def test_hierarchy_recorded(self, result):
+        config = result.machine_configs["emco"]
+        assert config["hierarchy"]["enterprise"] == "UniVR"
+        assert config["hierarchy"]["site"] == "Verona"
+        assert config["workcell"] == "workCell02"
+
+    def test_server_endpoint_per_workcell(self, result):
+        assert result.machine_configs["emco"]["opcua_server"]["endpoint"] \
+            == "opc.tcp://workcell02:4840"
+
+
+class TestServerConfigs:
+    def test_one_per_nonempty_workcell(self, result):
+        assert set(result.server_configs) == {
+            f"workCell0{i}" for i in range(1, 7)}
+
+    def test_server_aggregates_workcell_machines(self, result):
+        wc02 = result.server_configs["workCell02"]
+        assert {m["machine"] for m in wc02["machines"]} == {"emco", "ur5"}
+
+    def test_wc06_has_three_machines(self, result):
+        wc06 = result.server_configs["workCell06"]
+        assert {m["machine"] for m in wc06["machines"]} == \
+            {"conveyor", "kairos1", "kairos2"}
+
+
+class TestClientAndStorageConfigs:
+    def test_pairing(self, result):
+        assert len(result.client_configs) == len(result.storage_configs)
+        for client, storage in zip(result.client_configs,
+                                   result.storage_configs):
+            assert storage["paired_client"] == client["client"]
+            assert storage["machines"] == [m["machine"]
+                                           for m in client["machines"]]
+
+    def test_topics_follow_isa95_layout(self, result):
+        client = next(c for c in result.client_configs
+                      if any(m["machine"] == "emco"
+                             for m in c["machines"]))
+        emco = next(m for m in client["machines"]
+                    if m["machine"] == "emco")
+        assert emco["data_topic"] == \
+            "icelab/iceproductionline/workcell02/emco/data"
+        topics = [s["topic"] for s in emco["subscriptions"]]
+        assert f"{emco['data_topic']}/actual_X" in topics
+
+    def test_every_variable_subscribed_exactly_once(self, result):
+        subscriptions = [s["node_id"]
+                         for c in result.client_configs
+                         for m in c["machines"]
+                         for s in m["subscriptions"]]
+        assert len(subscriptions) == 498
+        assert len(set(subscriptions)) == 498
+
+    def test_every_method_served_exactly_once(self, result):
+        methods = [m["node_id"]
+                   for c in result.client_configs
+                   for machine in c["machines"]
+                   for m in machine["methods"]]
+        assert len(methods) == 66
+
+    def test_assigned_points_within_capacity_or_oversized(self, result):
+        for config in result.client_configs:
+            if not config["oversized"]:
+                assert config["assigned_points"] <= config["capacity"]
+
+
+class TestManifests:
+    def test_all_manifests_parse_as_yaml(self, result):
+        for filename, text in result.manifests.items():
+            documents = parse_documents(text)
+            assert documents, filename
+
+    def test_configmap_json_roundtrips(self, result):
+        manifest = result.manifests["workcell02-opcua-server.yaml"]
+        documents = parse_documents(manifest)
+        config_map = next(d for d in documents if d["kind"] == "ConfigMap")
+        config = json.loads(config_map["data"]["config.json"])
+        assert config["workcell"] == "workCell02"
+
+    def test_deployments_have_expected_labels(self, result):
+        for filename, text in result.manifests.items():
+            for document in parse_documents(text):
+                if document["kind"] != "Deployment":
+                    continue
+                labels = document["metadata"]["labels"]
+                assert labels["component"] in (
+                    "opcua-server", "opcua-client", "historian")
+                assert document["metadata"]["namespace"] == "icelab"
+
+    def test_servers_expose_service_resources(self, result):
+        service_docs = [
+            d for text in result.manifests.values()
+            for d in parse_documents(text) if d["kind"] == "Service"]
+        assert len(service_docs) == 6  # one per workcell server
+
+
+class TestCapacityKnob:
+    def test_capacity_changes_client_count(self, model):
+        few = generate_configuration(model, capacity=600)
+        many = generate_configuration(model, capacity=40)
+        assert few.opcua_client_count < many.opcua_client_count
+
+    def test_validation_can_be_disabled(self, model):
+        result = generate_configuration(model, validate=False)
+        assert result.opcua_client_count == 4
+
+
+class TestWriteTo(object):
+    def test_files_written(self, result, tmp_path):
+        written = result.write_to(tmp_path)
+        assert len(written) == (10 + 6 + 4 + 4 + 14)
+        machine_file = tmp_path / "intermediate" / "machine-emco.json"
+        assert json.loads(machine_file.read_text())["machine"] == "emco"
+        manifest = tmp_path / "manifests" / "opcua-client-01.yaml"
+        assert parse_documents(manifest.read_text())

@@ -1,0 +1,18 @@
+import sys
+from pathlib import Path
+
+import pytest
+
+TESTS_DIR = Path(__file__).parent
+if str(TESTS_DIR) not in sys.path:
+    sys.path.insert(0, str(TESTS_DIR))
+
+from fixtures import EMCO_WORKCELL_SOURCE  # noqa: E402
+
+from repro.sysml import load_model  # noqa: E402
+
+
+@pytest.fixture(scope="session")
+def emco_model():
+    """The paper's running example (workcell 02), parsed and resolved."""
+    return load_model(EMCO_WORKCELL_SOURCE)

@@ -1,0 +1,174 @@
+"""Modbus driver tests: register maps, encodings, runtime behaviour."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.drivers import (DriverError, DriverFactory, ModbusDriver,
+                           build_register_map, decode_float, decode_int,
+                           decode_string, encode_float, encode_int,
+                           encode_string)
+from repro.drivers.modbus import (COIL_BASE, HOLDING_BASE, STRING_BASE,
+                                  STRING_SLOT_REGISTERS)
+from repro.isa95.levels import VariableSpec
+from repro.machines import MachineSimulator
+from repro.machines.catalog import DriverSpec, MachineSpec, simple_service
+from repro.opcua import UaNetwork
+
+
+def modbus_machine():
+    spec = MachineSpec(
+        name="press",
+        display_name="Hydraulic Press",
+        type_name="HydraulicPress",
+        workcell="wc",
+        driver=DriverSpec(protocol="ModbusDriver", is_generic=True,
+                          parameters={"ip": "10.2.0.5", "ip_port": 502,
+                                      "unit_id": 1}),
+        categories={
+            "Process": [
+                VariableSpec("pressure", "Real", unit="bar"),
+                VariableSpec("stroke_count", "Integer"),
+                VariableSpec("clamped", "Boolean"),
+                VariableSpec("state", "String"),
+                VariableSpec("temperature", "Real", unit="degC"),
+            ],
+        },
+        services=[
+            simple_service("press_cycle"),
+            simple_service("release"),
+        ],
+    )
+    return MachineSimulator(spec, seed=4)
+
+
+@pytest.fixture
+def driver():
+    machine = modbus_machine()
+    driver = ModbusDriver(machine.spec.driver, machine)
+    driver.connect()
+    return driver, machine
+
+
+class TestEncodings:
+    @settings(max_examples=200, deadline=None)
+    @given(st.floats(allow_nan=False, allow_infinity=False,
+                     min_value=-1e30, max_value=1e30))
+    def test_float_roundtrip_to_float32(self, value):
+        import struct
+        expected = struct.unpack(">f", struct.pack(">f", value))[0]
+        assert decode_float(*encode_float(value)) == expected
+
+    @settings(max_examples=200, deadline=None)
+    @given(st.integers(min_value=-2**31, max_value=2**31 - 1))
+    def test_int32_roundtrip(self, value):
+        assert decode_int(*encode_int(value)) == value
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.text(max_size=16))
+    def test_string_roundtrip(self, value):
+        registers = encode_string(value)
+        assert len(registers) == STRING_SLOT_REGISTERS
+        decoded = decode_string(registers)
+        # strings without NULs under the slot size roundtrip exactly
+        if "\x00" not in value and len(value.encode()) <= 32:
+            assert decoded == value
+
+    def test_registers_are_16_bit(self):
+        for register in encode_float(1.5e9) + encode_int(-1):
+            assert 0 <= register <= 0xFFFF
+
+
+class TestRegisterMap:
+    def test_layout(self):
+        machine = modbus_machine()
+        register_map = build_register_map(machine)
+        assert register_map["clamped"].address == COIL_BASE
+        assert register_map["pressure"].address == HOLDING_BASE
+        assert register_map["stroke_count"].address == HOLDING_BASE + 2
+        assert register_map["temperature"].address == HOLDING_BASE + 4
+        assert register_map["state"].address == STRING_BASE
+
+    def test_no_overlaps(self):
+        machine = modbus_machine()
+        bindings = sorted(build_register_map(machine).values(),
+                          key=lambda b: b.address)
+        for first, second in zip(bindings, bindings[1:]):
+            assert first.end <= second.address or \
+                first.data_type == "Boolean"  # coils live in another table
+
+
+class TestRuntime:
+    def test_read_real(self, driver):
+        modbus, machine = driver
+        machine.write("pressure", 12.25)  # float32-exact
+        assert modbus.read_variable("pressure") == 12.25
+
+    def test_read_real_loses_float64_precision(self, driver):
+        modbus, machine = driver
+        machine.write("pressure", 0.1)
+        value = modbus.read_variable("pressure")
+        assert value == pytest.approx(0.1, rel=1e-6)
+        assert value != 0.1  # float32 quantization is modeled
+
+    def test_read_integer(self, driver):
+        modbus, machine = driver
+        machine.write("stroke_count", -42)
+        assert modbus.read_variable("stroke_count") == -42
+
+    def test_read_boolean(self, driver):
+        modbus, machine = driver
+        machine.write("clamped", True)
+        assert modbus.read_variable("clamped") is True
+
+    def test_read_string(self, driver):
+        modbus, machine = driver
+        machine.write("state", "running")
+        assert modbus.read_variable("state") == "running"
+
+    def test_raw_register_read(self, driver):
+        modbus, machine = driver
+        machine.write("stroke_count", 7)
+        binding = modbus.register_map["stroke_count"]
+        registers = modbus.read_holding_registers(binding.address,
+                                                  binding.count)
+        assert decode_int(*registers) == 7
+
+    def test_partial_read_rejected(self, driver):
+        modbus, _ = driver
+        binding = modbus.register_map["pressure"]
+        with pytest.raises(DriverError, match="partial"):
+            modbus.read_holding_registers(binding.address, 1)
+
+    def test_unmapped_address_rejected(self, driver):
+        modbus, _ = driver
+        with pytest.raises(DriverError, match="no register"):
+            modbus.read_holding_registers(99999, 2)
+
+    def test_unknown_variable(self, driver):
+        modbus, _ = driver
+        with pytest.raises(DriverError):
+            modbus.read_variable("ghost")
+
+    def test_method_call_via_command_table(self, driver):
+        modbus, machine = driver
+        assert modbus.call_method("press_cycle") == (True,)
+        assert machine.call_log[-1][0] == "press_cycle"
+        assert modbus.writes == 1
+
+    def test_unknown_method(self, driver):
+        modbus, _ = driver
+        with pytest.raises(DriverError, match="command table"):
+            modbus.call_method("explode")
+
+    def test_subscription_events(self, driver):
+        modbus, machine = driver
+        seen = []
+        modbus.subscribe(lambda n, v: seen.append(n))
+        machine.write("pressure", 3.0)
+        assert "pressure" in seen
+
+    def test_factory_dispatch(self):
+        machine = modbus_machine()
+        factory = DriverFactory(UaNetwork())
+        runtime = factory.create(machine.spec, machine)
+        assert isinstance(runtime, ModbusDriver)

@@ -1,0 +1,131 @@
+"""Kubernetes resource parsing tests."""
+
+import pytest
+
+from repro.k8s import (ConfigMap, Deployment, ResourceError, Service,
+                       parse_cpu, parse_memory, resource_from_manifest)
+
+
+class TestQuantities:
+    @pytest.mark.parametrize("text,millicores", [
+        ("100m", 100), ("1", 1000), ("2", 2000), ("0.5", 500), (1, 1000),
+    ])
+    def test_cpu(self, text, millicores):
+        assert parse_cpu(text) == millicores
+
+    def test_bad_cpu(self):
+        with pytest.raises(ResourceError):
+            parse_cpu("lots")
+
+    @pytest.mark.parametrize("text,mib", [
+        ("128Mi", 128), ("1Gi", 1024), ("512Ki", 0), ("2Gi", 2048),
+    ])
+    def test_memory(self, text, mib):
+        assert parse_memory(text) == mib
+
+    def test_bad_memory(self):
+        with pytest.raises(ResourceError):
+            parse_memory("plenty")
+
+
+def deployment_manifest(name="web", replicas=2):
+    return {
+        "apiVersion": "apps/v1",
+        "kind": "Deployment",
+        "metadata": {"name": name, "namespace": "test",
+                     "labels": {"app": name}},
+        "spec": {
+            "replicas": replicas,
+            "selector": {"matchLabels": {"app": name}},
+            "template": {
+                "metadata": {"labels": {"app": name,
+                                        "component": "opcua-server"}},
+                "spec": {
+                    "containers": [{
+                        "name": "main", "image": "img:1",
+                        "ports": [{"containerPort": 4840}],
+                        "env": [{"name": "X", "value": "1"}],
+                        "resources": {"requests": {"cpu": "100m",
+                                                   "memory": "128Mi"}},
+                        "volumeMounts": [{"name": "config",
+                                          "mountPath": "/etc"}],
+                    }],
+                    "volumes": [{"name": "config",
+                                 "configMap": {"name": f"{name}-config"}}],
+                },
+            },
+        },
+    }
+
+
+class TestDeployment:
+    def test_parse(self):
+        deployment = Deployment.from_dict(deployment_manifest())
+        assert deployment.replicas == 2
+        assert deployment.selector == {"app": "web"}
+        assert deployment.containers[0].cpu_request_m == 100
+        assert deployment.containers[0].memory_request_mi == 128
+        assert deployment.containers[0].env == {"X": "1"}
+        assert deployment.config_map_names() == ["web-config"]
+
+    def test_missing_selector_rejected(self):
+        manifest = deployment_manifest()
+        del manifest["spec"]["selector"]
+        with pytest.raises(ResourceError, match="matchLabels"):
+            Deployment.from_dict(manifest)
+
+    def test_selector_template_mismatch_rejected(self):
+        manifest = deployment_manifest()
+        manifest["spec"]["template"]["metadata"]["labels"] = {"app": "other"}
+        with pytest.raises(ResourceError, match="does not match"):
+            Deployment.from_dict(manifest)
+
+    def test_no_containers_rejected(self):
+        manifest = deployment_manifest()
+        manifest["spec"]["template"]["spec"]["containers"] = []
+        with pytest.raises(ResourceError, match="no containers"):
+            Deployment.from_dict(manifest)
+
+    def test_missing_name_rejected(self):
+        manifest = deployment_manifest()
+        del manifest["metadata"]["name"]
+        with pytest.raises(ResourceError, match="no name"):
+            Deployment.from_dict(manifest)
+
+
+class TestOtherKinds:
+    def test_configmap(self):
+        config_map = ConfigMap.from_dict({
+            "kind": "ConfigMap",
+            "metadata": {"name": "c", "namespace": "n"},
+            "data": {"config.json": "{}"},
+        })
+        assert config_map.data["config.json"] == "{}"
+        assert config_map.metadata.key == ("n", "c")
+
+    def test_service(self):
+        service = Service.from_dict({
+            "kind": "Service",
+            "metadata": {"name": "s"},
+            "spec": {"selector": {"app": "web"},
+                     "ports": [{"port": 4840, "targetPort": 4840}]},
+        })
+        assert service.ports == [(4840, 4840)]
+
+    def test_service_without_selector_rejected(self):
+        with pytest.raises(ResourceError):
+            Service.from_dict({"kind": "Service",
+                               "metadata": {"name": "s"}, "spec": {}})
+
+    def test_dispatch(self):
+        resource = resource_from_manifest(deployment_manifest())
+        assert isinstance(resource, Deployment)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ResourceError, match="unsupported"):
+            resource_from_manifest({"kind": "CronJob",
+                                    "metadata": {"name": "x"}})
+
+    def test_non_dict_rejected(self):
+        with pytest.raises(ResourceError):
+            resource_from_manifest(["not", "a", "mapping"])

@@ -1,0 +1,122 @@
+"""Machine simulator tests."""
+
+import pytest
+
+from repro.machines import MachineSimulator, SimulationError
+from repro.machines.specs import EMCO_SPEC, UR5_SPEC
+
+
+@pytest.fixture
+def emco():
+    return MachineSimulator(EMCO_SPEC, seed=7)
+
+
+class TestVariables:
+    def test_initial_values_typed(self, emco):
+        assert emco.read("actual_X") == 0.0
+        assert emco.read("tool_number") == 0
+        assert emco.read("emergency_stop") is False
+        assert isinstance(emco.read("operating_mode"), str)
+
+    def test_unknown_variable(self, emco):
+        with pytest.raises(SimulationError):
+            emco.read("nonexistent")
+        with pytest.raises(SimulationError):
+            emco.write("nonexistent", 1)
+
+    def test_write_and_listener(self, emco):
+        seen = []
+        emco.on_change(lambda n, v: seen.append((n, v)))
+        emco.write("actual_X", 5.0)
+        assert seen == [("actual_X", 5.0)]
+
+    def test_variables_snapshot(self, emco):
+        snapshot = emco.variables()
+        assert len(snapshot) == 34
+        snapshot["actual_X"] = 99.0  # copies don't alias
+        assert emco.read("actual_X") == 0.0
+
+
+class TestServices:
+    def test_call_returns_typed_outputs(self, emco):
+        result = emco.call("is_ready")
+        assert result == (True,)
+
+    def test_call_with_arguments(self, emco):
+        assert emco.call("move_to", 1.0, 2.0, 3.0) == (True,)
+
+    def test_wrong_arity(self, emco):
+        with pytest.raises(SimulationError, match="expects 3"):
+            emco.call("move_to", 1.0)
+
+    def test_unknown_service(self, emco):
+        with pytest.raises(SimulationError):
+            emco.call("self_destruct")
+
+    def test_start_sets_busy_and_status(self, emco):
+        emco.call("start_program")
+        assert emco.busy
+        assert emco.read("program_status") == "running"
+        assert emco.call("is_ready") == (False,)
+
+    def test_stop_clears_busy(self, emco):
+        emco.call("start_program")
+        emco.call("stop_program")
+        assert not emco.busy
+        assert emco.call("is_ready") == (True,)
+
+    def test_reset_clears_error_code(self, emco):
+        emco.write("error_code", 42)
+        emco.call("reset_errors")
+        assert emco.read("error_code") == 0
+
+    def test_call_log(self, emco):
+        emco.call("is_ready")
+        emco.call("load_program", "part42.nc")
+        assert emco.call_log == [("is_ready", ()),
+                                 ("load_program", ("part42.nc",))]
+
+    def test_string_output_default(self, emco):
+        assert emco.call("get_status") == ("ok",)
+
+
+class TestStep:
+    def test_step_advances_clock(self, emco):
+        emco.step(0.5)
+        assert emco.clock == 0.5
+
+    def test_step_perturbs_reals(self, emco):
+        before = emco.read("spindle_speed")
+        for _ in range(5):
+            emco.step()
+        assert emco.read("spindle_speed") != before
+
+    def test_deterministic_given_seed(self):
+        a = MachineSimulator(EMCO_SPEC, seed=3)
+        b = MachineSimulator(EMCO_SPEC, seed=3)
+        for _ in range(10):
+            a.step()
+            b.step()
+        assert a.variables() == b.variables()
+
+    def test_different_seeds_diverge(self):
+        a = MachineSimulator(EMCO_SPEC, seed=1)
+        b = MachineSimulator(EMCO_SPEC, seed=2)
+        for _ in range(10):
+            a.step()
+            b.step()
+        assert a.variables() != b.variables()
+
+    def test_string_variables_stay_in_vocabulary(self):
+        sim = MachineSimulator(UR5_SPEC, seed=5)
+        for _ in range(50):
+            sim.step()
+        assert sim.read("robot_mode") in (
+            "idle", "running", "paused", "error", "manual", "automatic",
+            "maintenance")
+
+    def test_step_fires_listeners(self, emco):
+        events = []
+        emco.on_change(lambda n, v: events.append(n))
+        emco.step()
+        assert events  # real variables drift every step

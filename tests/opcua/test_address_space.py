@@ -1,0 +1,176 @@
+"""Address space, node id, and node behavior tests."""
+
+import pytest
+
+from repro.opcua import (AddressSpace, AddressSpaceError, Argument,
+                         MethodNode, NodeId, NodeIdError, ObjectNode,
+                         QualifiedName, VariableNode)
+
+
+class TestNodeId:
+    def test_string_rendering_numeric(self):
+        assert str(NodeId(0, 85)) == "ns=0;i=85"
+
+    def test_string_rendering_string_id(self):
+        assert str(NodeId(2, "emco/actualX")) == "ns=2;s=emco/actualX"
+
+    def test_parse_numeric(self):
+        assert NodeId.parse("ns=0;i=85") == NodeId(0, 85)
+
+    def test_parse_string(self):
+        assert NodeId.parse("ns=2;s=emco.x") == NodeId(2, "emco.x")
+
+    def test_parse_malformed(self):
+        for bad in ("", "85", "ns=x;i=1", "ns=1;q=2", "ns=1;s="):
+            with pytest.raises(NodeIdError):
+                NodeId.parse(bad)
+
+    def test_negative_namespace_rejected(self):
+        with pytest.raises(NodeIdError):
+            NodeId(-1, 1)
+
+    def test_hashable_and_ordered(self):
+        ids = {NodeId(0, 1), NodeId(0, 1), NodeId(0, 2)}
+        assert len(ids) == 2
+        assert NodeId(0, 1) < NodeId(0, 2)
+
+
+class TestQualifiedName:
+    def test_rendering(self):
+        assert str(QualifiedName(2, "Machine")) == "2:Machine"
+
+    def test_parse_with_namespace(self):
+        assert QualifiedName.parse("2:Machine") == QualifiedName(2, "Machine")
+
+    def test_parse_plain(self):
+        assert QualifiedName.parse("Machine") == QualifiedName(0, "Machine")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(NodeIdError):
+            QualifiedName(0, "")
+
+
+@pytest.fixture
+def space():
+    return AddressSpace()
+
+
+class TestAddressSpace:
+    def test_objects_folder_preinstalled(self, space):
+        assert space.objects.browse_name.name == "Objects"
+        assert len(space) == 1
+
+    def test_add_and_get(self, space):
+        node = ObjectNode(NodeId(1, "m"), QualifiedName(1, "m"))
+        space.add(space.objects, node)
+        assert space.get(NodeId(1, "m")) is node
+
+    def test_duplicate_node_id_rejected(self, space):
+        space.add(space.objects, ObjectNode(NodeId(1, "m"),
+                                            QualifiedName(1, "m")))
+        with pytest.raises(AddressSpaceError):
+            space.add(space.objects, ObjectNode(NodeId(1, "m"),
+                                                QualifiedName(1, "m2")))
+
+    def test_get_unknown_raises(self, space):
+        with pytest.raises(AddressSpaceError):
+            space.get(NodeId(9, "nope"))
+
+    def test_find_returns_none(self, space):
+        assert space.find(NodeId(9, "nope")) is None
+
+    def test_browse_path(self, space):
+        machine = space.add(space.objects,
+                            ObjectNode(NodeId(1, "emco"),
+                                       QualifiedName(1, "emco")))
+        data = space.add(machine, ObjectNode(NodeId(1, "emco/data"),
+                                             QualifiedName(1, "data")))
+        space.add(data, VariableNode(NodeId(1, "emco/data/x"),
+                                     QualifiedName(1, "x")))
+        assert space.browse_path("emco/data/x").node_id == \
+            NodeId(1, "emco/data/x")
+
+    def test_browse_path_broken(self, space):
+        with pytest.raises(AddressSpaceError, match="broken at"):
+            space.browse_path("missing/child")
+
+    def test_variables_and_methods_listing(self, space):
+        machine = space.add(space.objects,
+                            ObjectNode(NodeId(1, "m"), QualifiedName(1, "m")))
+        space.add(machine, VariableNode(NodeId(1, "v"), QualifiedName(1, "v")))
+        space.add(machine, MethodNode(NodeId(1, "f"), QualifiedName(1, "f")))
+        assert len(space.variables()) == 1
+        assert len(space.methods()) == 1
+
+
+class TestVariableNode:
+    def test_initial_value(self):
+        node = VariableNode(NodeId(1, "v"), QualifiedName(1, "v"),
+                            data_type="Double", initial_value=1.5)
+        assert node.value == 1.5
+        assert node.read().status == "Good"
+
+    def test_write_updates_value_and_timestamps(self):
+        node = VariableNode(NodeId(1, "v"), QualifiedName(1, "v"))
+        node.write(42, timestamp=10.0)
+        assert node.value == 42
+        assert node.read().source_timestamp == 10.0
+
+    def test_readonly_variable(self):
+        node = VariableNode(NodeId(1, "v"), QualifiedName(1, "v"),
+                            writable=False)
+        with pytest.raises(AddressSpaceError):
+            node.write(1)
+
+    def test_change_listener(self):
+        node = VariableNode(NodeId(1, "v"), QualifiedName(1, "v"))
+        seen = []
+        node.on_change(lambda n, dv: seen.append(dv.value))
+        node.write(1)
+        node.write(2)
+        assert seen == [1, 2]
+
+    def test_remove_listener(self):
+        node = VariableNode(NodeId(1, "v"), QualifiedName(1, "v"))
+        seen = []
+        listener = lambda n, dv: seen.append(dv.value)  # noqa: E731
+        node.on_change(listener)
+        node.remove_listener(listener)
+        node.write(1)
+        assert seen == []
+
+
+class TestMethodNode:
+    def make(self, handler=None, n_in=1, n_out=1):
+        return MethodNode(
+            NodeId(1, "m"), QualifiedName(1, "m"), handler=handler,
+            input_arguments=[Argument(f"in{i}") for i in range(n_in)],
+            output_arguments=[Argument(f"out{i}") for i in range(n_out)])
+
+    def test_call_dispatches_to_handler(self):
+        method = self.make(handler=lambda x: (x * 2,))
+        assert method.call(21) == (42,)
+        assert method.call_count == 1
+
+    def test_scalar_return_normalized_to_tuple(self):
+        method = self.make(handler=lambda x: x + 1)
+        assert method.call(1) == (2,)
+
+    def test_no_handler_raises(self):
+        with pytest.raises(AddressSpaceError, match="no bound handler"):
+            self.make().call(1)
+
+    def test_wrong_arity_rejected(self):
+        method = self.make(handler=lambda x: (x,))
+        with pytest.raises(AddressSpaceError, match="expects 1 argument"):
+            method.call(1, 2)
+
+    def test_wrong_output_count_rejected(self):
+        method = self.make(handler=lambda x: (1, 2), n_out=1)
+        with pytest.raises(AddressSpaceError, match="must return 1"):
+            method.call(1)
+
+    def test_void_method(self):
+        method = MethodNode(NodeId(1, "m"), QualifiedName(1, "m"),
+                            handler=lambda: None)
+        assert method.call() == ()

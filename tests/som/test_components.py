@@ -1,0 +1,172 @@
+"""Component tests: workcell server, broker bridge, historian, world."""
+
+import pytest
+
+from repro.codegen import generate_configuration, topic_root
+from repro.machines.specs import EMCO_SPEC, SPEA_SPEC
+from repro.icelab.model_gen import load_icelab_model
+from repro.som import (FactoryWorld, HistorianComponent,
+                       UaBrokerBridgeComponent, WorkcellServerComponent)
+
+
+SPECS = [EMCO_SPEC, SPEA_SPEC]
+
+
+@pytest.fixture(scope="module")
+def generation():
+    model = load_icelab_model(SPECS)
+    return generate_configuration(model, namespace="test")
+
+
+@pytest.fixture
+def world():
+    world = FactoryWorld.for_specs(SPECS, seed=11)
+    yield world
+    world.driver_factory.shutdown()
+
+
+def start_servers(generation, world):
+    servers = []
+    for config in generation.server_configs.values():
+        component = WorkcellServerComponent(config, world)
+        component.start()
+        servers.append(component)
+    return servers
+
+
+class TestWorkcellServer:
+    def test_server_exposes_machine_nodes(self, generation, world):
+        servers = start_servers(generation, world)
+        wc02 = next(s for s in servers
+                    if s.config["workcell"] == "workCell02")
+        space = wc02.server.space
+        assert space.browse_path("emco/data/actual_X") is not None
+        assert space.browse_path("emco/services/is_ready") is not None
+        for server in servers:
+            server.stop()
+
+    def test_machine_changes_mirrored(self, generation, world):
+        servers = start_servers(generation, world)
+        wc02 = next(s for s in servers
+                    if s.config["workcell"] == "workCell02")
+        world.simulators["emco"].write("actual_X", 7.5)
+        node = wc02.server.space.browse_path("emco/data/actual_X")
+        assert node.value == 7.5
+        assert wc02.mirrored_writes >= 1
+        for server in servers:
+            server.stop()
+
+    def test_method_forwarded_to_machine(self, generation, world):
+        servers = start_servers(generation, world)
+        wc02 = next(s for s in servers
+                    if s.config["workcell"] == "workCell02")
+        method = wc02.server.space.browse_path("emco/services/is_ready")
+        assert method.call() == (True,)
+        assert world.simulators["emco"].call_log[-1][0] == "is_ready"
+        for server in servers:
+            server.stop()
+
+    def test_unknown_machine_fails(self, generation):
+        lonely = FactoryWorld()  # no simulators
+        config = next(iter(generation.server_configs.values()))
+        component = WorkcellServerComponent(config, lonely)
+        with pytest.raises(Exception, match="plant floor"):
+            component.start()
+
+
+class TestBridge:
+    @pytest.fixture
+    def running(self, generation, world):
+        servers = start_servers(generation, world)
+        bridges = []
+        for config in generation.client_configs:
+            bridge = UaBrokerBridgeComponent(config, world)
+            bridge.start()
+            bridges.append(bridge)
+        yield world, bridges
+        for bridge in bridges:
+            bridge.stop()
+        for server in servers:
+            server.stop()
+
+    def test_initial_values_published_retained(self, running):
+        world, bridges = running
+        root = topic_root(
+            next(iter(bridges)).config and None or None) if False else None
+        seen = []
+        world.broker.subscribe("probe", "#", lambda t, p: seen.append(t))
+        # retained initial samples arrive on subscribe
+        data_topics = [t for t in seen if "/data/" in t]
+        assert len(data_topics) == EMCO_SPEC.variable_count + \
+            SPEA_SPEC.variable_count
+
+    def test_variable_change_forwarded(self, running):
+        world, bridges = running
+        payloads = []
+        world.broker.subscribe(
+            "probe", "icelab/iceproductionline/+/emco/data/actual_X",
+            lambda t, p: payloads.append(p), receive_retained=False)
+        world.simulators["emco"].write("actual_X", 3.25)
+        assert payloads
+        assert payloads[-1]["value"] == 3.25
+
+    def test_service_request_served(self, running):
+        world, bridges = running
+        from repro.broker import BrokerClient
+        client = BrokerClient(world.broker, "tester")
+        bridge = next(b for b in bridges
+                      if any(m["machine"] == "emco"
+                             for m in b.config["machines"]))
+        emco_config = next(m for m in bridge.config["machines"]
+                           if m["machine"] == "emco")
+        method = next(m for m in emco_config["methods"]
+                      if m["method"] == "is_ready")
+        reply = client.request(method["topic"], {"args": []})
+        assert reply == {"ok": True, "outputs": [True]}
+        assert bridge.served_calls == 1
+
+    def test_service_request_bad_arity(self, running):
+        world, bridges = running
+        from repro.broker import BrokerClient
+        client = BrokerClient(world.broker, "tester")
+        bridge = next(b for b in bridges
+                      if any(m["machine"] == "emco"
+                             for m in b.config["machines"]))
+        emco_config = next(m for m in bridge.config["machines"]
+                           if m["machine"] == "emco")
+        method = next(m for m in emco_config["methods"]
+                      if m["method"] == "move_to")
+        reply = client.request(method["topic"], {"args": [1.0]})
+        assert reply["ok"] is False
+        assert "expected 3" in reply["error"]
+
+
+class TestHistorianComponent:
+    def test_records_into_store(self, generation, world):
+        servers = start_servers(generation, world)
+        bridges = [UaBrokerBridgeComponent(c, world)
+                   for c in generation.client_configs]
+        historians = [HistorianComponent(c, world)
+                      for c in generation.storage_configs]
+        for historian in historians:
+            historian.start()
+        for bridge in bridges:
+            bridge.start()
+        world.step()
+        assert world.store.stats()["points"] > 0
+        assert sum(h.records for h in historians) > 0
+        for component in bridges + historians + servers:
+            component.stop()
+
+
+class TestFactoryWorld:
+    def test_for_specs_builds_simulators(self):
+        world = FactoryWorld.for_specs(SPECS)
+        assert set(world.simulators) == {"emco", "spea"}
+
+    def test_step_advances_all(self):
+        world = FactoryWorld.for_specs(SPECS, seed=1)
+        before = world.simulators["emco"].variables()
+        world.step()
+        assert world.clock == 1.0
+        assert world.simulators["emco"].variables() != before

@@ -1,0 +1,92 @@
+"""KPI monitor tests (ISA-95 aggregated information)."""
+
+import pytest
+
+from repro.icelab import run_icelab
+from repro.som import KpiMonitor
+
+
+@pytest.fixture(scope="module")
+def deployed():
+    result = run_icelab(smoke_steps=4, seed=9)
+    yield result
+    result.shutdown()
+
+
+@pytest.fixture(scope="module")
+def monitor(deployed):
+    return KpiMonitor(deployed.world.store, deployed.topology)
+
+
+class TestWorkcellKpi:
+    def test_full_availability_after_smoke(self, monitor):
+        kpi = monitor.workcell_kpi("workCell02")
+        assert kpi.machines_total == 2  # emco + ur5
+        assert kpi.machines_reporting == 2
+        assert kpi.availability == 1.0
+
+    def test_active_variables_counted(self, monitor):
+        kpi = monitor.workcell_kpi("workCell02")
+        assert kpi.variables_active == 34 + 99
+
+    def test_samples_accumulate(self, monitor):
+        kpi = monitor.workcell_kpi("workCell06")
+        assert kpi.samples > 296  # conveyor alone floods the store
+
+    def test_energy_aggregation(self, monitor):
+        # ur5 (power_consumption) and conveyor (power_consumption)
+        kpi02 = monitor.workcell_kpi("workCell02")
+        assert kpi02.energy_w >= 0.0
+        # energy comes only from *_power/energy variables
+        kpi05 = monitor.workcell_kpi("workCell05")
+        assert kpi05.energy_w == 0.0  # warehouse has no power variable
+
+    def test_time_window_filters(self, monitor, deployed):
+        now = deployed.world.clock
+        future = monitor.workcell_kpi("workCell02", start=now + 1000)
+        assert future.samples == 0
+        assert future.availability == 0.0
+
+    def test_unknown_workcell(self, monitor):
+        with pytest.raises(KeyError):
+            monitor.workcell_kpi("workCell99")
+
+
+class TestLineKpi:
+    def test_line_aggregates_all_cells(self, monitor):
+        line = monitor.line_kpi()
+        assert line.production_line == "ICEProductionLine"
+        assert len(line.workcells) == 6
+        assert line.machines_total == 10
+        assert line.machines_reporting == 10
+        assert line.availability == 1.0
+
+    def test_total_samples(self, monitor, deployed):
+        line = monitor.line_kpi()
+        assert line.total_samples == deployed.world.store.stats()["points"]
+
+    def test_render(self, monitor):
+        text = monitor.line_kpi().render()
+        assert "availability 100%" in text
+        assert "workCell06" in text
+
+
+class TestStaleMachines:
+    def test_none_stale_right_after_run(self, monitor, deployed):
+        # everything sampled within the smoke window
+        assert monitor.stale_machines(newer_than=0.0) == []
+
+    def test_all_stale_in_future_window(self, monitor, deployed):
+        stale = monitor.stale_machines(
+            newer_than=deployed.world.clock + 1000)
+        assert len(stale) == 10
+
+    def test_spea_goes_stale_without_steps(self, deployed, monitor):
+        # advance the wall clock, then step only the conveyor: other
+        # machines stop reporting fresh samples
+        now = deployed.world.clock
+        deployed.world.clock = now + 1.0
+        deployed.world.simulators["conveyor"].step()
+        stale = monitor.stale_machines(newer_than=now + 0.5)
+        assert "conveyor" not in stale
+        assert "spea" in stale

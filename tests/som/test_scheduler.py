@@ -1,0 +1,123 @@
+"""Scheduler tests: correctness invariants + execution on the ICE lab."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.som import (ProductionProcess, Schedule, Scheduler,
+                       SchedulingError)
+
+
+def process(name, steps):
+    p = ProductionProcess(name)
+    for machine, service in steps:
+        p.add_step(machine, service)
+    return p
+
+
+class TestScheduleBasics:
+    def test_single_process_sequential(self):
+        p = process("job", [("a", "s1"), ("a", "s2"), ("b", "s3")])
+        schedule = Scheduler().schedule([p])
+        entries = schedule.for_process("job")
+        assert [e.start for e in entries] == [0.0, 1.0, 2.0]
+        assert schedule.makespan == 3.0
+        assert schedule.validate() == []
+
+    def test_independent_processes_run_in_parallel(self):
+        p1 = process("j1", [("a", "s")] * 2)
+        p2 = process("j2", [("b", "s")] * 2)
+        schedule = Scheduler().schedule([p1, p2])
+        assert schedule.makespan == 2.0  # no shared machine
+
+    def test_shared_machine_serializes(self):
+        p1 = process("j1", [("mill", "s")])
+        p2 = process("j2", [("mill", "s")])
+        schedule = Scheduler().schedule([p1, p2])
+        assert schedule.makespan == 2.0
+        timeline = schedule.for_machine("mill")
+        assert timeline[0].end <= timeline[1].start
+
+    def test_durations_respected(self):
+        p = process("job", [("mill", "long"), ("mill", "short")])
+        scheduler = Scheduler(durations={"mill.long": 5.0})
+        schedule = scheduler.schedule([p])
+        assert schedule.makespan == 6.0
+
+    def test_empty_input(self):
+        assert Scheduler().schedule([]).makespan == 0.0
+
+    def test_duplicate_process_names_rejected(self):
+        with pytest.raises(SchedulingError):
+            Scheduler().schedule([process("x", [("a", "s")]),
+                                  process("x", [("a", "s")])])
+
+    def test_deterministic(self):
+        processes = [process(f"j{i}", [("m1", "a"), ("m2", "b")])
+                     for i in range(4)]
+        first = Scheduler().schedule(processes)
+        second = Scheduler().schedule(processes)
+        assert [(e.process, e.start) for e in first.entries] == \
+            [(e.process, e.start) for e in second.entries]
+
+    def test_render(self):
+        schedule = Scheduler().schedule(
+            [process("job", [("mill", "go")])])
+        text = schedule.render()
+        assert "makespan 1" in text
+        assert "mill" in text
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(
+    st.lists(st.tuples(st.sampled_from(["m1", "m2", "m3"]),
+                       st.sampled_from(["s1", "s2"])),
+             min_size=1, max_size=5),
+    min_size=1, max_size=5))
+def test_schedule_invariants(step_lists):
+    processes = [process(f"p{i}", steps)
+                 for i, steps in enumerate(step_lists)]
+    schedule = Scheduler().schedule(processes)
+    # every step scheduled exactly once
+    assert len(schedule.entries) == sum(len(p) for p in processes)
+    # validator finds no machine overlap or order violation
+    assert schedule.validate() == []
+    # makespan bounded: between the critical path and the serial total
+    total = sum(len(p) for p in processes)
+    longest = max(len(p) for p in processes)
+    per_machine = {}
+    for steps in step_lists:
+        for machine, _ in steps:
+            per_machine[machine] = per_machine.get(machine, 0) + 1
+    bottleneck = max(per_machine.values())
+    assert max(longest, bottleneck) <= schedule.makespan <= total
+
+
+class TestExecutionOnIceLab:
+    @pytest.fixture(scope="class")
+    def deployed(self):
+        from repro.icelab import run_icelab
+        result = run_icelab(smoke_steps=2, seed=21)
+        yield result
+        result.shutdown()
+
+    def test_batch_of_jobs_executes(self, deployed):
+        jobs = [
+            (ProductionProcess("mill-A")
+             .add_step("warehouse", "fetch_tray", 1)
+             .add_step("kairos1", "dock")
+             .add_step("emco", "start_program")),
+            (ProductionProcess("mill-B")
+             .add_step("warehouse", "fetch_tray", 2)
+             .add_step("kairos2", "dock")
+             .add_step("emco", "start_program")),
+            (ProductionProcess("inspect")
+             .add_step("qcPc", "inspect", "unit")
+             .add_step("conveyor", "route_pallet", 1, 3)),
+        ]
+        outcome = Scheduler().execute(jobs, deployed.orchestrator)
+        assert outcome["failed"] == 0
+        assert outcome["executed"] == 8
+        schedule = outcome["schedule"]
+        # warehouse and emco are contended across the two mill jobs
+        warehouse_slots = schedule.for_machine("warehouse")
+        assert warehouse_slots[0].end <= warehouse_slots[1].start

@@ -1,0 +1,111 @@
+"""Retention pruning and windowed downsampling tests."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.storage import StorageError, TimeSeriesStore
+
+
+@pytest.fixture
+def store():
+    s = TimeSeriesStore()
+    for i in range(10):
+        s.write("m", float(i), timestamp=float(i), tags={"machine": "a"})
+    return s
+
+
+class TestPrune:
+    def test_prune_drops_old_points(self, store):
+        dropped = store.prune(before=5.0)
+        assert dropped == 5
+        points = store.query("m")
+        assert [p.timestamp for p in points] == [5.0, 6.0, 7.0, 8.0, 9.0]
+
+    def test_prune_removes_empty_series(self, store):
+        store.prune(before=100.0)
+        assert store.series_count == 0
+
+    def test_prune_noop(self, store):
+        assert store.prune(before=0.0) == 0
+        assert store.series_count == 1
+
+    def test_prune_idempotent(self, store):
+        store.prune(before=5.0)
+        assert store.prune(before=5.0) == 0
+
+
+class TestDownsample:
+    def test_mean_per_window(self, store):
+        points = store.downsample("m", window=5.0)
+        assert [(p.timestamp, p.value) for p in points] == [
+            (0.0, 2.0), (5.0, 7.0)]
+
+    def test_custom_reducer(self, store):
+        points = store.downsample("m", window=5.0, reducer=max)
+        assert [p.value for p in points] == [4.0, 9.0]
+
+    def test_window_alignment(self):
+        store = TimeSeriesStore()
+        store.write("m", 1.0, timestamp=7.2)
+        store.write("m", 3.0, timestamp=7.9)
+        points = store.downsample("m", window=2.0)
+        assert points[0].timestamp == 6.0
+        assert points[0].value == 2.0
+
+    def test_non_numeric_points_skipped(self):
+        store = TimeSeriesStore()
+        store.write("m", "text", timestamp=0.0)
+        store.write("m", True, timestamp=0.5)
+        store.write("m", 4.0, timestamp=1.0)
+        points = store.downsample("m", window=10.0)
+        assert [p.value for p in points] == [4.0]
+
+    def test_tag_filter(self, store):
+        store.write("m", 100.0, timestamp=0.0, tags={"machine": "b"})
+        points = store.downsample("m", window=100.0,
+                                  tags={"machine": "b"})
+        assert [p.value for p in points] == [100.0]
+
+    def test_bad_window_rejected(self, store):
+        with pytest.raises(StorageError):
+            store.downsample("m", window=0.0)
+
+    def test_empty_result(self):
+        assert TimeSeriesStore().downsample("nothing", window=1.0) == []
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.tuples(
+    st.floats(min_value=0, max_value=1000, allow_nan=False),
+    st.floats(min_value=-100, max_value=100, allow_nan=False)),
+    min_size=1, max_size=40),
+    st.floats(min_value=0.5, max_value=50))
+def test_downsample_properties(samples, window):
+    store = TimeSeriesStore()
+    for timestamp, value in samples:
+        store.write("m", value, timestamp=timestamp)
+    points = store.downsample("m", window=window)
+    # windows are ordered, aligned, and means stay within value bounds
+    timestamps = [p.timestamp for p in points]
+    assert timestamps == sorted(timestamps)
+    values = [v for _, v in samples]
+    for point in points:
+        remainder = point.timestamp % window
+        # float alignment: remainder is ~0 or ~window
+        assert min(remainder, window - remainder) < 1e-6 * max(1.0, window)
+        assert min(values) - 1e-9 <= point.value <= max(values) + 1e-9
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.floats(min_value=0, max_value=100, allow_nan=False),
+                min_size=1, max_size=30),
+       st.floats(min_value=0, max_value=100))
+def test_prune_properties(timestamps, cutoff):
+    store = TimeSeriesStore()
+    for timestamp in timestamps:
+        store.write("m", 1.0, timestamp=timestamp)
+    total = len(timestamps)
+    dropped = store.prune(before=cutoff)
+    remaining = len(store.query("m"))
+    assert dropped + remaining == total
+    assert all(p.timestamp >= cutoff for p in store.query("m"))

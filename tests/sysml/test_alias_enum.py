@@ -1,0 +1,138 @@
+"""Alias and enumeration-definition tests."""
+
+import pytest
+
+from repro.sysml import (EnumerationDefinition, ResolutionError, load_model,
+                         model_from_dict, model_to_dict, print_model,
+                         validate_model)
+
+
+class TestAlias:
+    def test_alias_resolves_as_type(self):
+        model = load_model("""
+            package Lib { part def Machine { attribute a : Real; } }
+            alias M for Lib::Machine;
+            part m : M;
+        """)
+        usage = model.find("m")
+        assert usage.typ.qualified_name == "Lib::Machine"
+
+    def test_alias_inside_package(self):
+        model = load_model("""
+            package Lib { part def Machine; }
+            package App {
+                alias M for Lib::Machine;
+                part m : M;
+            }
+        """)
+        assert model.find("App::m").typ.qualified_name == "Lib::Machine"
+
+    def test_alias_to_alias_flattens(self):
+        model = load_model("""
+            part def Thing;
+            alias A for Thing;
+            alias B for A;
+            part t : B;
+        """)
+        assert model.find("t").typ.name == "Thing"
+
+    def test_unresolvable_alias_raises(self):
+        with pytest.raises(ResolutionError, match="alias target"):
+            load_model("alias X for Missing::Thing;")
+
+    def test_alias_printed_and_reparsed(self):
+        model = load_model("""
+            part def Thing;
+            alias T for Thing;
+            part x : T;
+        """)
+        printed = print_model(model)
+        assert "alias T for Thing;" in printed
+        reparsed = load_model(printed, include_stdlib=False)
+        assert reparsed.find("x").typ.name == "Thing"
+
+    def test_alias_interchange_roundtrip(self):
+        model = load_model("""
+            part def Thing;
+            alias T for Thing;
+        """)
+        rebuilt = model_from_dict(model_to_dict(model))
+        assert model_to_dict(rebuilt) == model_to_dict(model)
+
+
+class TestEnumDefinition:
+    SOURCE = """
+        enum def MachineState {
+            doc /* operational states */
+            idle;
+            running;
+            error;
+        }
+        part def M { attribute state : MachineState = idle; }
+    """
+
+    def test_enum_parses_with_literals(self):
+        model = load_model(self.SOURCE)
+        enum = model.find("MachineState")
+        assert isinstance(enum, EnumerationDefinition)
+        assert [l.name for l in enum.literals] == ["idle", "running",
+                                                   "error"]
+        assert enum.documentation == "operational states"
+
+    def test_literal_lookup(self):
+        model = load_model(self.SOURCE)
+        enum = model.find("MachineState")
+        assert enum.literal("running") is not None
+        assert enum.literal("flying") is None
+
+    def test_valid_literal_assignment_passes(self):
+        model = load_model(self.SOURCE + """
+            part m : M { :>> state = running; }
+        """)
+        report = validate_model(model)
+        assert "enum-value" not in {d.rule for d in report.errors}
+
+    def test_invalid_literal_rejected(self):
+        model = load_model(self.SOURCE + """
+            part m : M { :>> state = flying; }
+        """)
+        report = validate_model(model)
+        errors = [d for d in report.errors if d.rule == "enum-value"]
+        assert errors
+        assert "flying" in errors[0].message
+
+    def test_non_literal_value_rejected(self):
+        model = load_model(self.SOURCE + """
+            part m : M { :>> state = 'idle'; }
+        """)
+        report = validate_model(model)
+        assert any(d.rule == "enum-value" for d in report.errors)
+
+    def test_enum_printed_and_reparsed(self):
+        model = load_model(self.SOURCE)
+        printed = print_model(model)
+        assert "enum def MachineState {" in printed
+        assert "    idle;" in printed
+        reparsed = load_model(printed, include_stdlib=False)
+        assert [l.name for l in reparsed.find("MachineState").literals] \
+            == ["idle", "running", "error"]
+
+    def test_enum_interchange_roundtrip(self):
+        model = load_model(self.SOURCE)
+        rebuilt = model_from_dict(model_to_dict(model))
+        enum = rebuilt.find("MachineState")
+        assert [l.name for l in enum.literals] == ["idle", "running",
+                                                   "error"]
+
+    def test_enum_through_alias(self):
+        model = load_model(self.SOURCE + """
+            alias State for MachineState;
+            part def N { attribute s : State = error; }
+        """)
+        assert validate_model(model).ok
+        bad = load_model(self.SOURCE + """
+            alias State for MachineState;
+            part def N { attribute s : State = nope; }
+        """)
+        assert any(d.rule == "enum-value"
+                   for d in validate_model(bad).errors)

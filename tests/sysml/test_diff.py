@@ -1,0 +1,140 @@
+"""Model-diff tests."""
+
+import pytest
+
+from repro.sysml import diff_models, load_model
+
+BASE = """
+package Lib {
+    part def Machine {
+        attribute speed : Real;
+        attribute mode : String;
+    }
+}
+part m : Lib::Machine {
+    :>> speed = 10.0;
+}
+"""
+
+
+def load(text=BASE):
+    return load_model(text)
+
+
+class TestNoChanges:
+    def test_identical_models_empty_diff(self):
+        diff = diff_models(load(), load())
+        assert diff.is_empty
+        assert len(diff) == 0
+        assert diff.render() == "(no changes)"
+
+    def test_stdlib_excluded_by_default(self):
+        diff = diff_models(load(), load())
+        assert not diff.touching("ScalarValues")
+
+
+class TestAdditions:
+    def test_added_attribute(self):
+        new = load(BASE.replace(
+            "attribute mode : String;",
+            "attribute mode : String;\n        attribute temp : Real;"))
+        diff = diff_models(load(), new)
+        assert [c.path for c in diff.added] == ["Lib::Machine::temp"]
+        assert diff.removed == [] and diff.modified == []
+
+    def test_added_machine_part(self):
+        new = load(BASE + "\npart m2 : Lib::Machine;")
+        diff = diff_models(load(), new)
+        assert [c.path for c in diff.added] == ["m2"]
+
+    def test_touching_filter(self):
+        new = load(BASE + "\npart m2 : Lib::Machine;")
+        diff = diff_models(load(), new)
+        assert diff.touching("m2")
+        assert not diff.touching("Lib")
+
+
+class TestRemovals:
+    def test_removed_attribute(self):
+        new = load(BASE.replace("        attribute mode : String;\n", ""))
+        diff = diff_models(load(), new)
+        assert [c.path for c in diff.removed] == ["Lib::Machine::mode"]
+
+
+class TestModifications:
+    def test_changed_value(self):
+        new = load(BASE.replace("10.0", "99.5"))
+        diff = diff_models(load(), new)
+        assert len(diff.modified) == 1
+        change = diff.modified[0]
+        assert change.path == "m::speed"
+        assert "99.5" in change.detail
+
+    def test_changed_type(self):
+        new = load(BASE.replace("attribute speed : Real;",
+                                "attribute speed : Integer;"))
+        diff = diff_models(load(), new)
+        assert any(c.path == "Lib::Machine::speed"
+                   for c in diff.modified)
+
+    def test_changed_direction(self):
+        base = """
+        port def P { in attribute value : Real; }
+        """
+        new_text = base.replace("in attribute", "out attribute")
+        diff = diff_models(load(base), load(new_text))
+        assert any("direction" in c.detail for c in diff.modified)
+
+    def test_abstract_toggle(self):
+        diff = diff_models(load("part def D;"),
+                           load("abstract part def D;"))
+        assert any("abstract" in c.detail for c in diff.modified)
+
+
+class TestAnonymousConnectors:
+    SOURCE = """
+    port def P { in attribute value : Real; }
+    part def M {
+        attribute x : Real;
+        port p : P;
+        %s
+    }
+    """
+
+    def test_added_bind_detected(self):
+        old = load(self.SOURCE % "")
+        new = load(self.SOURCE % "bind p.value = x;")
+        diff = diff_models(old, new)
+        assert any(c.kind == "added" and c.element_type == "Connector"
+                   and "p.value" in str(c.detail) for c in diff.changes)
+
+    def test_removed_bind_detected(self):
+        old = load(self.SOURCE % "bind p.value = x;")
+        new = load(self.SOURCE % "")
+        diff = diff_models(old, new)
+        assert any(c.kind == "removed" for c in diff.changes)
+
+    def test_same_binds_no_diff(self):
+        old = load(self.SOURCE % "bind p.value = x;")
+        new = load(self.SOURCE % "bind p.value = x;")
+        assert diff_models(old, new).is_empty
+
+
+class TestIceLabDiff:
+    def test_icelab_self_diff_empty(self):
+        from repro.icelab import icelab_model
+        assert diff_models(icelab_model(), icelab_model()).is_empty
+
+    def test_icelab_machine_edit_localized(self):
+        from repro.icelab import icelab_model
+        from repro.icelab.model_gen import icelab_sources
+        from repro.machines.specs import ICE_LAB_SPECS
+        import copy
+        specs = [copy.deepcopy(s) for s in ICE_LAB_SPECS]
+        emco = next(s for s in specs if s.name == "emco")
+        emco.driver.parameters["ip"] = "10.197.99.99"
+        old = icelab_model()
+        new = load_model(*icelab_sources(specs))
+        diff = diff_models(old, new)
+        assert 0 < len(diff) <= 3
+        assert all("emco" in c.path for c in diff.changes)

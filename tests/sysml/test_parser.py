@@ -1,0 +1,387 @@
+"""Unit tests for the SysML v2 parser (AST level)."""
+
+import pytest
+
+from repro.sysml import ast_nodes as ast
+from repro.sysml.errors import ParseError
+from repro.sysml.parser import parse
+
+
+def only(tree):
+    assert len(tree.members) == 1
+    return tree.members[0]
+
+
+class TestPackagesAndImports:
+    def test_empty_package(self):
+        node = only(parse("package P { }"))
+        assert isinstance(node, ast.PackageNode)
+        assert node.name == "P"
+        assert node.members == []
+
+    def test_nested_packages(self):
+        node = only(parse("package A { package B { } }"))
+        inner = node.members[0]
+        assert isinstance(inner, ast.PackageNode)
+        assert inner.name == "B"
+
+    def test_wildcard_import(self):
+        node = only(parse("import ISA95::*;"))
+        assert isinstance(node, ast.ImportNode)
+        assert str(node.name) == "ISA95"
+        assert node.wildcard
+
+    def test_specific_import(self):
+        node = only(parse("import ISA95::Machine;"))
+        assert str(node.name) == "ISA95::Machine"
+        assert not node.wildcard
+
+    def test_recursive_import(self):
+        node = only(parse("import ISA95::*::*;"))
+        assert node.wildcard and node.recursive
+
+
+class TestDefinitions:
+    def test_simple_part_def(self):
+        node = only(parse("part def Machine;"))
+        assert isinstance(node, ast.DefinitionNode)
+        assert node.kind == "part"
+        assert node.name == "Machine"
+        assert not node.is_abstract
+
+    def test_abstract_part_def(self):
+        node = only(parse("abstract part def Driver;"))
+        assert node.is_abstract
+
+    def test_specialization_shorthand(self):
+        node = only(parse("part def EMCODriver :> MachineDriver;"))
+        assert [str(q) for q in node.specializes] == ["MachineDriver"]
+
+    def test_specialization_keyword(self):
+        node = only(parse("part def A specializes B { }"))
+        assert [str(q) for q in node.specializes] == ["B"]
+
+    def test_multiple_specializations(self):
+        node = only(parse("part def C :> A, B;"))
+        assert [str(q) for q in node.specializes] == ["A", "B"]
+
+    def test_qualified_specialization(self):
+        node = only(parse("part def X :> ISA95::Machine;"))
+        assert [str(q) for q in node.specializes] == ["ISA95::Machine"]
+
+    def test_all_definition_kinds(self):
+        for kind in ("part", "attribute", "port", "action", "interface",
+                     "connection", "item"):
+            node = only(parse(f"{kind} def D;"))
+            assert node.kind == kind
+
+    def test_nested_definitions(self):
+        node = only(parse("part def A { part def B { port def C; } }"))
+        inner = node.members[0]
+        assert inner.name == "B"
+        assert inner.members[0].kind == "port"
+
+    def test_doc_in_definition(self):
+        node = only(parse("part def A { doc /* docs here */ }"))
+        assert node.doc == "docs here"
+
+
+class TestUsages:
+    def test_typed_part_usage(self):
+        node = only(parse("part emco : EMCO;"))
+        assert isinstance(node, ast.UsageNode)
+        assert node.kind == "part"
+        assert node.name == "emco"
+        assert str(node.type.name) == "EMCO"
+
+    def test_ref_part_with_multiplicity(self):
+        node = only(parse("ref part machines : Machine [*];"))
+        assert node.is_ref
+        assert node.multiplicity.lower == 0
+        assert node.multiplicity.upper is None
+
+    def test_exact_multiplicity(self):
+        node = only(parse("part wheel : Wheel [4];"))
+        assert node.multiplicity.lower == 4
+        assert node.multiplicity.upper == 4
+
+    def test_range_multiplicity(self):
+        node = only(parse("part axle : Axle [1..2];"))
+        assert node.multiplicity.lower == 1
+        assert node.multiplicity.upper == 2
+
+    def test_open_range_multiplicity(self):
+        node = only(parse("part axle : Axle [1..*];"))
+        assert node.multiplicity.lower == 1
+        assert node.multiplicity.upper is None
+
+    def test_attribute_with_value(self):
+        node = only(parse("attribute ip : String = '10.0.0.1';"))
+        assert node.kind == "attribute"
+        assert isinstance(node.value, ast.Literal)
+        assert node.value.value == "10.0.0.1"
+
+    def test_attribute_with_integer_value(self):
+        node = only(parse("attribute ip_port : Integer = 5557;"))
+        assert node.value.value == 5557
+
+    def test_attribute_with_real_value(self):
+        node = only(parse("attribute x : Real = 3.19;"))
+        assert node.value.value == pytest.approx(3.19)
+
+    def test_attribute_with_boolean_value(self):
+        node = only(parse("attribute ok : Boolean = true;"))
+        assert node.value.value is True
+
+    def test_conjugated_port_usage(self):
+        node = only(parse("port p : ~EMCOVar;"))
+        assert node.type.conjugated
+
+    def test_postfix_conjugation(self):
+        node = only(parse("port p : EMCOVar~;"))
+        assert node.type.conjugated
+
+    def test_directed_attribute(self):
+        node = only(parse("in attribute value : Real;"))
+        assert node.direction == "in"
+
+    def test_out_action(self):
+        node = only(parse("out action operation { out ready : Boolean; }"))
+        assert node.kind == "action"
+        assert node.direction == "out"
+        param = node.members[0]
+        assert param.kind == "attribute"
+        assert param.direction == "out"
+        assert param.name == "ready"
+
+    def test_parameter_named_like_a_kind_keyword(self):
+        # regression: 'in item : String;' must be a parameter named
+        # 'item', not an anonymous item usage
+        node = only(parse("in item : String;"))
+        assert node.kind == "attribute"
+        assert node.name == "item"
+        assert node.direction == "in"
+        node = only(parse("out port : Integer;"))
+        assert node.name == "port"
+
+    def test_bare_parameter_declaration(self):
+        node = only(parse("out ready : Boolean;"))
+        assert node.kind == "attribute"
+        assert node.direction == "out"
+
+    def test_usage_specializes(self):
+        node = only(parse("part p :> base;"))
+        assert [str(q) for q in node.specializes] == ["base"]
+
+    def test_usage_redefines_keyword(self):
+        node = only(parse("attribute value redefines value : Double;"))
+        assert [str(q) for q in node.redefines] == ["value"]
+        assert str(node.type.name) == "Double"
+
+    def test_anonymous_usage_with_type(self):
+        node = only(parse("part : EMCO;"))
+        assert node.name is None
+
+
+class TestShorthandRedefinition:
+    def test_value_redefinition(self):
+        node = only(parse(":>> ip = '10.197.12.11';"))
+        assert node.kind == "redefinition"
+        assert [str(q) for q in node.redefines] == ["ip"]
+        assert node.value.value == "10.197.12.11"
+
+    def test_redefinition_with_type(self):
+        node = only(parse(":>> value : Double;"))
+        assert str(node.type.name) == "Double"
+
+    def test_redefinition_with_body(self):
+        node = only(parse(":>> status { attribute detail : String; }"))
+        assert len(node.members) == 1
+
+
+class TestConnectorsAndBinds:
+    def test_bind(self):
+        node = only(parse("bind p.value = actualX;"))
+        assert isinstance(node, ast.BindNode)
+        assert str(node.left) == "p.value"
+        assert str(node.right) == "actualX"
+
+    def test_anonymous_connect(self):
+        node = only(parse("connect emco.data to driver.vars;"))
+        assert isinstance(node, ast.ConnectNode)
+        assert node.kind == "connection"
+        assert node.name is None
+
+    def test_named_typed_connection(self):
+        node = only(parse(
+            "connection c : DataChannel connect emco.data to driver.vars;"))
+        assert node.name == "c"
+        assert str(node.type.name) == "DataChannel"
+
+    def test_interface_connect(self):
+        node = only(parse(
+            "interface : DataInterface connect machine.p to driver.p;"))
+        assert node.kind == "interface"
+        assert node.name is None
+        assert str(node.type.name) == "DataInterface"
+
+    def test_interface_def_with_ends(self):
+        node = only(parse("""
+            interface def DataInterface {
+                end machineEnd : ~EMCOVar;
+                end driverEnd : EMCOVar;
+            }
+        """))
+        assert isinstance(node, ast.DefinitionNode)
+        ends = [m for m in node.members if isinstance(m, ast.EndNode)]
+        assert len(ends) == 2
+        assert ends[0].type.conjugated
+
+    def test_plain_interface_usage_without_connect(self):
+        node = only(parse("interface iface : DataInterface;"))
+        assert isinstance(node, ast.UsageNode)
+        assert node.kind == "interface"
+
+
+class TestPerformAndAssignments:
+    def test_perform_with_assignment(self):
+        node = only(parse("""
+            perform pp_is_ready.operation {
+                out ready = call_is_ready.ready;
+            }
+        """))
+        assert isinstance(node, ast.PerformNode)
+        assert str(node.target) == "pp_is_ready.operation"
+        assignment = node.members[0]
+        assert isinstance(assignment, ast.AssignmentNode)
+        assert assignment.direction == "out"
+        assert assignment.name == "ready"
+        assert str(assignment.value.chain) == "call_is_ready.ready"
+
+    def test_perform_without_body(self):
+        node = only(parse("perform startup.init;"))
+        assert node.members == []
+
+
+class TestErrors:
+    def test_missing_semicolon(self):
+        with pytest.raises(ParseError):
+            parse("part def A { attribute x : T }")
+
+    def test_unterminated_body(self):
+        with pytest.raises(ParseError):
+            parse("part def A {")
+
+    def test_junk_member(self):
+        with pytest.raises(ParseError):
+            parse("part def A { = ; }")
+
+    def test_bad_import(self):
+        with pytest.raises(ParseError):
+            parse("import ;")
+
+    def test_error_carries_location(self):
+        with pytest.raises(ParseError) as exc:
+            parse("part def A {\n  to to;\n}")
+        assert exc.value.location.line == 2
+
+
+class TestPaperListings:
+    """The paper's Codes 1-5 must parse (modulo elided '...' bodies)."""
+
+    def test_code1_hierarchy(self):
+        tree = parse("""
+            part def Topology {
+                part def Enterprise {
+                    part def Site {
+                        part def Area {
+                            part def ProductionLine {
+                                attribute def ProductionLineVariables;
+                                part def Workcell {
+                                    ref part machines : Machine [*];
+                                    part def WorkCellVariables;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        """)
+        assert only(tree).name == "Topology"
+
+    def test_code2_driver_specialization(self):
+        tree = parse("""
+            part def EMCODriver :> MachineDriver {
+                part def EMCOParameters :> DriverParameters {
+                    attribute ip : String;
+                    attribute ip_port : Integer;
+                    attribute program_file_path : String;
+                }
+                part def EMCOVariables :> DriverVariables {
+                    port def EMCOVar { in attribute value : Real; }
+                    part def AxesPositions;
+                    part def SystemStatus;
+                }
+                part def EMCOMethods :> DriverMethods {
+                    port def EMCOMethod {
+                        attribute description : String;
+                        out action operation { out ready : Boolean; }
+                    }
+                }
+            }
+        """)
+        node = only(tree)
+        assert node.name == "EMCODriver"
+        assert len(node.members) == 3
+
+    def test_code4_instantiation(self):
+        tree = parse("""
+            part ICETopology : Topology {
+                part UniVR : Enterprise {
+                    part workCell02 : Workcell {
+                        part emco : EMCO {
+                            ref part emcoDriver;
+                            part emcoMachineData : EMCOMachineData {
+                                part emcoAxesPosition : AxesPositions {
+                                    attribute actualX : Double;
+                                    bind actual_X_EMCOVar_conj.value = actualX;
+                                }
+                            }
+                            part emcoServices : EMCOServices {
+                                action isReady { out ready : Boolean; }
+                            }
+                        }
+                    }
+                }
+            }
+        """)
+        assert only(tree).name == "ICETopology"
+
+    def test_code5_driver_instantiation(self):
+        tree = parse("""
+            part emcoDriver : EMCODriver {
+                part emcoParameters : EMCOParameters {
+                    :>> ip = '10.197.12.11';
+                    :>> ip_port = 5557;
+                    :>> program_file_path = 'path/program/file';
+                }
+                part emcoVariables : EMCOVariables {
+                    part emcoSystemStatus : SystemStatus;
+                    part emcoAxesPositions : AxesPositions {
+                        attribute actualX : Double;
+                        port pp_actual_X_EMCOVar : EMCOVar;
+                        bind pp_actual_X_EMCOVar.value = actualX;
+                    }
+                }
+                part emcoMethods : EMCOMethods {
+                    action call_is_ready {
+                        out ready : Boolean;
+                        perform pp_is_ready_EMCOMthd.operation {
+                            out ready = call_is_ready.ready;
+                        }
+                    }
+                    port pp_is_ready_EMCOMthd : EMCOMethod;
+                }
+            }
+        """)
+        assert only(tree).name == "emcoDriver"

@@ -1,0 +1,102 @@
+"""Tests for the model metric/navigation queries used by Table I."""
+
+from repro.sysml import (count_definition_closure, definitions_in,
+                         elaborate, instance_counts, load_model,
+                         model_summary, scope_counts, specializations_of,
+                         usages_in, usages_typed_by)
+from repro.sysml.queries import instance_counts_of_tree
+
+
+class TestStructuralQueries:
+    def test_definitions_in_scope(self, emco_model):
+        emco_pkg = emco_model.find("EMCO")
+        part_defs = definitions_in(emco_pkg, "part")
+        names = {d.name for d in part_defs}
+        assert {"EMCODriver", "EMCOParameters", "EMCOVariables",
+                "EMCOMethods", "EMCO", "EMCOMachineData",
+                "EMCOServices"} <= names
+
+    def test_port_definitions_in_scope(self, emco_model):
+        emco_pkg = emco_model.find("EMCO")
+        port_defs = definitions_in(emco_pkg, "port")
+        assert {d.name for d in port_defs} == {"EMCOVar", "EMCOMethod"}
+
+    def test_usages_in_scope(self, emco_model):
+        driver = emco_model.find("emcoDriver")
+        attribute_usages = usages_in(driver, "attribute")
+        assert any(u.name == "actualX" for u in attribute_usages)
+
+    def test_usages_typed_by_definition(self, emco_model):
+        machine_def = emco_model.find("ISA95::Machine")
+        usages = usages_typed_by(emco_model, machine_def)
+        assert any(u.name == "emco" for u in usages)
+
+    def test_usages_typed_by_respects_transitivity_flag(self, emco_model):
+        machine_def = emco_model.find("ISA95::Machine")
+        direct = usages_typed_by(emco_model, machine_def, transitive=False)
+        assert not any(u.name == "emco" for u in direct)
+
+    def test_specializations_of(self, emco_model):
+        driver_def = emco_model.find("ISA95::Driver")
+        specialized = {d.name for d in
+                       specializations_of(emco_model, driver_def)}
+        assert {"MachineDriver", "GenericDriver", "EMCODriver"} <= specialized
+
+
+class TestInstanceCounts:
+    def test_counts_for_emco_driver(self, emco_model):
+        driver = emco_model.find("emcoDriver")
+        counts = instance_counts(driver)
+        # emcoDriver + emcoParameters/emcoVariables/emcoMethods +
+        # emcoSystemStatus + emcoAxesPositions = 6 parts
+        assert counts.part_instances == 6
+        # 3 parameters + actualX + port internals (value, description,
+        # identifier) + action out param
+        assert counts.attribute_instances >= 7
+        assert counts.port_instances == 2
+        assert counts.binding_connectors == 1
+
+    def test_counts_addition(self, emco_model):
+        driver = emco_model.find("emcoDriver")
+        counts = instance_counts(driver)
+        doubled = counts + counts
+        assert doubled.part_instances == 2 * counts.part_instances
+        assert doubled.port_instances == 2 * counts.port_instances
+
+    def test_counts_of_tree_matches_walk(self, emco_model):
+        driver = emco_model.find("emcoDriver")
+        tree = elaborate(driver)
+        counts = instance_counts_of_tree(tree)
+        assert counts.part_instances == tree.count_kind("part")
+
+
+class TestDefinitionClosure:
+    def test_emco_closure_counts_driver_and_machine_defs(self, emco_model):
+        emco = emco_model.find(
+            "ICETopology::UniVR::Verona::ICELab::ICEProductionLine"
+            "::workCell02::emco")
+        closure = count_definition_closure(emco)
+        # EMCO + EMCOMachineData + EMCOServices + machine-side
+        # AxesPositions/SystemStatus >= 5
+        assert closure >= 5
+
+    def test_closure_of_untyped_usage_is_zero(self):
+        model = load_model("part lonely;")
+        assert count_definition_closure(model.find("lonely")) == 0
+
+
+class TestScopeCounts:
+    def test_scope_counts_combines_defs_and_instances(self, emco_model):
+        driver = emco_model.find("emcoDriver")
+        counts = scope_counts(emco_model, driver)
+        assert counts.part_definitions > 0
+        assert counts.part_instances == 6
+
+
+class TestModelSummary:
+    def test_summary_keys(self, emco_model):
+        summary = model_summary(emco_model)
+        assert summary["PartDefinition"] >= 10
+        assert summary["PortDefinition"] >= 2
+        assert summary["BindingConnector"] == 2
+        assert summary["Package"] >= 3  # ISA95, EMCO, stdlib

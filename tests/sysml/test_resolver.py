@@ -1,0 +1,217 @@
+"""Tests for name resolution (specializations, typings, chains, imports)."""
+
+import pytest
+
+from repro.sysml import (BindingConnector, PartDefinition, PerformAction,
+                         ResolutionError, load_model)
+
+
+class TestSpecializationResolution:
+    def test_simple_specialization(self):
+        model = load_model("""
+            abstract part def Driver;
+            part def EMCODriver :> Driver;
+        """)
+        emco = model.find("EMCODriver")
+        driver = model.find("Driver")
+        assert emco.specializations == [driver]
+
+    def test_transitive_supertypes(self, emco_model):
+        emco_driver = emco_model.find("EMCO::EMCODriver")
+        names = [t.name for t in emco_driver.all_supertypes()]
+        assert names == ["MachineDriver", "Driver"]
+
+    def test_conforms_to(self, emco_model):
+        emco_driver = emco_model.find("EMCO::EMCODriver")
+        driver = emco_model.find("ISA95::Driver")
+        assert emco_driver.conforms_to(driver)
+        assert not driver.conforms_to(emco_driver)
+
+    def test_unresolvable_specialization_raises(self):
+        with pytest.raises(ResolutionError):
+            load_model("part def A :> Nowhere;")
+
+    def test_qualified_specialization_target(self):
+        model = load_model("""
+            package Lib { abstract part def Base; }
+            part def X :> Lib::Base;
+        """)
+        x = model.find("X")
+        assert x.specializations[0].qualified_name == "Lib::Base"
+
+
+class TestTypingResolution:
+    def test_usage_typed_by_definition(self, emco_model):
+        emco = emco_model.find(
+            "ICETopology::UniVR::Verona::ICELab::ICEProductionLine"
+            "::workCell02::emco")
+        assert emco.typ.qualified_name == "EMCO::EMCO"
+
+    def test_scalar_type_from_stdlib(self, emco_model):
+        ip = emco_model.find("EMCO::EMCODriver::EMCOParameters::ip")
+        assert ip.typ.qualified_name == "ScalarValues::String"
+
+    def test_conjugated_typing(self, emco_model):
+        port = emco_model.find(
+            "ICETopology::UniVR::Verona::ICELab::ICEProductionLine"
+            "::workCell02::emco::emcoMachineData::emcoAxesPosition"
+            "::actual_X_EMCOVar_conj")
+        assert port.conjugated
+        assert port.typ.name == "EMCOVar"
+
+    def test_unresolvable_type_raises(self):
+        with pytest.raises(ResolutionError):
+            load_model("part x : Missing;")
+
+    def test_typing_resolves_through_wildcard_import(self):
+        model = load_model("""
+            package Lib { part def Thing; }
+            package App {
+                import Lib::*;
+                part thing : Thing;
+            }
+        """)
+        thing = model.find("App::thing")
+        assert thing.typ.qualified_name == "Lib::Thing"
+
+    def test_specific_import(self):
+        model = load_model("""
+            package Lib { part def Thing; }
+            package App {
+                import Lib::Thing;
+                part thing : Thing;
+            }
+        """)
+        assert model.find("App::thing").typ.name == "Thing"
+
+    def test_recursive_import(self):
+        model = load_model("""
+            package Lib { package Deep { part def Thing; } }
+            package App {
+                import Lib::*::*;
+                part thing : Thing;
+            }
+        """)
+        assert model.find("App::thing").typ.name == "Thing"
+
+    def test_inherited_member_visible_through_typing(self, emco_model):
+        # emcoParameters : EMCOParameters exposes the def's 'ip'
+        params = emco_model.find("emcoDriver::emcoParameters")
+        assert "ip" in params.effective_members()
+        assert "ip_port" in params.effective_members()
+
+
+class TestRedefinitionResolution:
+    def test_shorthand_redefinition_gets_name_and_target(self, emco_model):
+        params = emco_model.find("emcoDriver::emcoParameters")
+        ip = params.member("ip")
+        assert ip is not None
+        assert ip.redefines[0].qualified_name == \
+            "EMCO::EMCODriver::EMCOParameters::ip"
+
+    def test_redefinition_value(self, emco_model):
+        params = emco_model.find("emcoDriver::emcoParameters")
+        assert params.member("ip").value.value == "10.197.12.11"
+        assert params.member("ip_port").value.value == 5557
+
+    def test_unresolvable_redefinition_raises(self):
+        with pytest.raises(ResolutionError):
+            load_model("""
+                part def P { attribute a : String; }
+                part p : P { :>> nonexistent = 'x'; }
+            """)
+
+
+class TestChainResolution:
+    def test_bind_endpoints(self, emco_model):
+        binds = [b for b in emco_model.elements_of_type(BindingConnector)]
+        assert len(binds) == 2
+        for bind in binds:
+            assert bind.left is not None
+            assert bind.right is not None
+
+    def test_bind_reaches_port_internal_attribute(self, emco_model):
+        bind = next(
+            b for b in emco_model.elements_of_type(BindingConnector)
+            if str(b.left_chain) == "pp_actual_X_EMCOVar.value")
+        assert bind.left.name == "value"
+        assert bind.right.name == "actualX"
+
+    def test_perform_target_is_action(self, emco_model):
+        perform = next(iter(emco_model.elements_of_type(PerformAction)))
+        assert perform.target.name == "operation"
+        assert perform.target.kind == "action"
+
+    def test_unresolvable_chain_raises(self):
+        with pytest.raises(ResolutionError):
+            load_model("""
+                part p {
+                    attribute a : ScalarValues::String;
+                    bind a = missing.chain;
+                }
+            """)
+
+    def test_chain_middle_member_missing(self):
+        with pytest.raises(ResolutionError) as exc:
+            load_model("""
+                part p {
+                    attribute a : ScalarValues::String;
+                    part q { attribute b : ScalarValues::String; }
+                    bind a = q.nope;
+                }
+            """)
+        assert "no member 'nope'" in str(exc.value)
+
+
+class TestScoping:
+    def test_inner_scope_shadows_outer(self):
+        model = load_model("""
+            part def Thing { attribute tag : String; }
+            package Outer {
+                part def Thing;
+                part x : Thing;
+            }
+        """)
+        x = model.find("Outer::x")
+        assert x.typ.qualified_name == "Outer::Thing"
+
+    def test_sibling_package_not_visible_without_import(self):
+        with pytest.raises(ResolutionError):
+            load_model("""
+                package A { part def Secret; }
+                package B { part s : Secret; }
+            """)
+
+    def test_import_does_not_leak_to_siblings(self):
+        with pytest.raises(ResolutionError):
+            load_model("""
+                package Lib { part def Thing; }
+                package A { import Lib::*; }
+                package B { part t : Thing; }
+            """)
+
+    def test_model_root_members_globally_visible(self):
+        model = load_model("""
+            part def Global;
+            package P { part g : Global; }
+        """)
+        assert model.find("P::g").typ.name == "Global"
+
+
+class TestMultiSourceModels:
+    def test_model_built_from_multiple_texts(self):
+        model = load_model(
+            "package Lib { part def M; }",
+            "part m : Lib::M;",
+        )
+        assert model.find("m").typ.qualified_name == "Lib::M"
+
+    def test_stdlib_can_be_disabled(self):
+        with pytest.raises(ResolutionError):
+            load_model("attribute a : String;", include_stdlib=False)
+
+    def test_stdlib_scalar_hierarchy(self):
+        model = load_model("")
+        integer = model.find("ScalarValues::Integer")
+        real = model.find("ScalarValues::Real")
+        assert integer.conforms_to(real)

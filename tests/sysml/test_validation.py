@@ -1,0 +1,263 @@
+"""Tests for the model well-formedness rules."""
+
+import pytest
+
+from repro.sysml import load_model, validate_model
+from repro.sysml.errors import ValidationError
+
+
+def rules_of(report):
+    return {d.rule for d in report}
+
+
+def errors_of(report):
+    return {d.rule for d in report.errors}
+
+
+class TestAbstractInstantiation:
+    def test_direct_instantiation_of_abstract_def_rejected(self):
+        model = load_model("""
+            abstract part def Driver;
+            part d : Driver;
+        """)
+        assert "abstract-instantiation" in errors_of(validate_model(model))
+
+    def test_specialized_instantiation_accepted(self):
+        model = load_model("""
+            abstract part def Driver;
+            part def EMCODriver :> Driver;
+            part d : EMCODriver;
+        """)
+        assert "abstract-instantiation" not in rules_of(validate_model(model))
+
+    def test_ref_to_abstract_def_accepted(self):
+        # workcells reference abstract Machine[*] in the paper's Code 1
+        model = load_model("""
+            abstract part def Machine;
+            part def Workcell { ref part machines : Machine [*]; }
+            part w : Workcell;
+        """)
+        assert "abstract-instantiation" not in errors_of(validate_model(model))
+
+    def test_paper_example_validates_cleanly(self, emco_model):
+        report = validate_model(emco_model)
+        assert report.ok, str(report)
+
+
+class TestSpecializationRules:
+    def test_cycle_detected(self):
+        model = load_model("""
+            part def A :> B;
+            part def B :> A;
+        """)
+        assert "cyclic-specialization" in errors_of(validate_model(model))
+
+    def test_self_cycle_detected(self):
+        model = load_model("part def A :> A;")
+        assert "cyclic-specialization" in errors_of(validate_model(model))
+
+    def test_cross_kind_specialization_rejected(self):
+        model = load_model("""
+            port def P;
+            part def X :> P;
+        """)
+        assert "specialization-kind" in errors_of(validate_model(model))
+
+    def test_same_kind_specialization_ok(self):
+        model = load_model("""
+            abstract part def A;
+            part def B :> A;
+        """)
+        assert "specialization-kind" not in rules_of(validate_model(model))
+
+
+class TestRedefinitionRules:
+    def test_non_conforming_redefinition_type_rejected(self):
+        model = load_model("""
+            part def P { attribute x : Real; }
+            part p : P {
+                attribute x :>> x : String;
+            }
+        """)
+        assert "redefinition-type" in errors_of(validate_model(model))
+
+    def test_conforming_redefinition_accepted(self):
+        # Integer specializes Real in the scalar library
+        model = load_model("""
+            part def P { attribute x : Real; }
+            part p : P {
+                attribute x :>> x : Integer;
+            }
+        """)
+        assert "redefinition-type" not in rules_of(validate_model(model))
+
+    def test_untyped_redefinition_not_flagged(self):
+        model = load_model("""
+            part def P { attribute x : Real; }
+            part p : P { :>> x = 1.5; }
+        """)
+        assert "redefinition-type" not in rules_of(validate_model(model))
+
+
+class TestConjugationRules:
+    def test_conjugating_part_def_rejected(self):
+        model = load_model("""
+            part def NotAPort;
+            part def M { port p : ~NotAPort; }
+        """)
+        assert "conjugation-target" in errors_of(validate_model(model))
+
+    def test_conjugating_port_def_ok(self):
+        model = load_model("""
+            port def Var { in attribute value : Real; }
+            part def M { port p : ~Var; }
+        """)
+        assert "conjugation-target" not in rules_of(validate_model(model))
+
+
+class TestMultiplicityRules:
+    def test_inverted_bounds_rejected(self):
+        model = load_model("""
+            part def W;
+            part def C { part w : W [3..1]; }
+        """)
+        assert "multiplicity-bounds" in errors_of(validate_model(model))
+
+    def test_star_upper_ok(self):
+        model = load_model("""
+            part def W;
+            part def C { ref part w : W [*]; }
+        """)
+        assert "multiplicity-bounds" not in rules_of(validate_model(model))
+
+
+class TestConnectorRules:
+    GOOD = """
+        port def Var { in attribute value : Real; }
+        part def Machine { port data : ~Var; }
+        part def Driver { port vars : Var; }
+        part system {
+            part m : Machine;
+            part d : Driver;
+            connect m.data to d.vars;
+        }
+    """
+
+    def test_matching_port_types_ok(self):
+        model = load_model(self.GOOD)
+        report = validate_model(model)
+        assert "connector-port-type" not in rules_of(report)
+
+    def test_mismatched_port_types_rejected(self):
+        model = load_model("""
+            port def VarA { in attribute value : Real; }
+            port def VarB { in attribute value : Real; }
+            part def Machine { port data : ~VarA; }
+            part def Driver { port vars : VarB; }
+            part system {
+                part m : Machine;
+                part d : Driver;
+                connect m.data to d.vars;
+            }
+        """)
+        assert "connector-port-type" in errors_of(validate_model(model))
+
+    def test_same_conjugation_warned(self):
+        model = load_model("""
+            port def Var { in attribute value : Real; }
+            part def Machine { port data : Var; }
+            part def Driver { port vars : Var; }
+            part system {
+                part m : Machine;
+                part d : Driver;
+                connect m.data to d.vars;
+            }
+        """)
+        report = validate_model(model)
+        assert "connector-conjugation" in {d.rule for d in report.warnings}
+
+    def test_specialized_port_types_conform(self):
+        model = load_model("""
+            port def Var { in attribute value : Real; }
+            port def FastVar :> Var;
+            part def Machine { port data : ~FastVar; }
+            part def Driver { port vars : Var; }
+            part system {
+                part m : Machine;
+                part d : Driver;
+                connect m.data to d.vars;
+            }
+        """)
+        assert "connector-port-type" not in errors_of(validate_model(model))
+
+
+class TestBindingRules:
+    def test_cross_kind_bind_rejected(self):
+        model = load_model("""
+            part def Inner;
+            part def M {
+                attribute a : Real;
+                part q : Inner;
+                bind q = a;
+            }
+        """)
+        assert "binding-kind" in errors_of(validate_model(model))
+
+    def test_attribute_to_attribute_bind_ok(self, emco_model):
+        report = validate_model(emco_model)
+        assert "binding-kind" not in rules_of(report)
+
+
+class TestStructuralRules:
+    def test_duplicate_members_rejected(self):
+        model = load_model("""
+            part def M {
+                attribute x : Real;
+                attribute x : String;
+            }
+        """)
+        assert "duplicate-member" in errors_of(validate_model(model))
+
+    def test_empty_definition_warned(self):
+        model = load_model("part def Stub;")
+        report = validate_model(model)
+        assert "empty-definition" in {d.rule for d in report.warnings}
+
+    def test_abstract_empty_definition_not_warned(self):
+        model = load_model("abstract part def Base;")
+        report = validate_model(model)
+        assert "empty-definition" not in rules_of(report)
+
+    def test_untyped_ref_warned(self):
+        model = load_model("part def M { ref part anything; }")
+        report = validate_model(model)
+        assert "dangling-ref" in {d.rule for d in report.warnings}
+
+
+class TestDiagnosticReport:
+    def test_raise_if_errors(self):
+        model = load_model("""
+            abstract part def Driver;
+            part d : Driver;
+        """)
+        report = validate_model(model)
+        with pytest.raises(ValidationError):
+            report.raise_if_errors()
+
+    def test_ok_report_does_not_raise(self, emco_model):
+        validate_model(emco_model).raise_if_errors()
+
+    def test_diagnostics_carry_element_names(self):
+        model = load_model("""
+            abstract part def Driver;
+            part d : Driver;
+        """)
+        report = validate_model(model)
+        diag = next(d for d in report.errors
+                    if d.rule == "abstract-instantiation")
+        assert diag.element == "d"
+
+    def test_report_string_rendering(self):
+        model = load_model("part def Stub;")
+        text = str(validate_model(model))
+        assert "empty-definition" in text

@@ -1,0 +1,172 @@
+"""Template engine tests."""
+
+import pytest
+
+from repro.templates import Template, TemplateError, k8s_name, render
+
+
+class TestSubstitution:
+    def test_simple(self):
+        assert render("hello {{ name }}", {"name": "world"}) == "hello world"
+
+    def test_dotted_path(self):
+        assert render("{{ machine.driver.ip }}",
+                      {"machine": {"driver": {"ip": "10.0.0.1"}}}) == \
+            "10.0.0.1"
+
+    def test_list_index(self):
+        assert render("{{ items.1 }}", {"items": ["a", "b"]}) == "b"
+
+    def test_attribute_access(self):
+        class Thing:
+            name = "emco"
+        assert render("{{ thing.name }}", {"thing": Thing()}) == "emco"
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(TemplateError, match="unknown name"):
+            render("{{ nope }}", {})
+
+    def test_none_renders_empty(self):
+        assert render("[{{ x }}]", {"x": None}) == "[]"
+
+    def test_integer_rendering(self):
+        assert render("port: {{ port }}", {"port": 4840}) == "port: 4840"
+
+
+class TestFilters:
+    def test_upper_lower(self):
+        assert render("{{ n | upper }}", {"n": "abc"}) == "ABC"
+        assert render("{{ n | lower }}", {"n": "ABC"}) == "abc"
+
+    def test_k8s_name(self):
+        assert k8s_name("EMCO Milling #2") == "emco-milling-2"
+        assert render("{{ n | k8s_name }}", {"n": "UR5e_Cobot"}) == \
+            "ur5e-cobot"
+
+    def test_k8s_name_length_cap(self):
+        assert len(k8s_name("x" * 100)) == 63
+
+    def test_k8s_name_empty_rejected(self):
+        with pytest.raises(TemplateError):
+            k8s_name("###")
+
+    def test_json_filter(self):
+        assert render("{{ cfg | json }}", {"cfg": {"b": 1, "a": 2}}) == \
+            '{"a":2,"b":1}'
+
+    def test_yaml_str_filter_quotes_when_needed(self):
+        assert render("{{ v | yaml_str }}", {"v": "true"}) == '"true"'
+        assert render("{{ v | yaml_str }}", {"v": "plain"}) == "plain"
+
+    def test_filter_chain(self):
+        assert render("{{ n | k8s_name | upper }}", {"n": "a b"}) == "A-B"
+
+    def test_indent_filter(self):
+        assert render("{{ text | indent:2 }}", {"text": "a\nb"}) == "a\n  b"
+
+    def test_length_filter(self):
+        assert render("{{ items | length }}", {"items": [1, 2, 3]}) == "3"
+
+    def test_unknown_filter(self):
+        with pytest.raises(TemplateError, match="unknown filter"):
+            render("{{ x | banana }}", {"x": 1})
+
+
+class TestForLoops:
+    def test_iteration(self):
+        assert render("{% for x in items %}{{ x }},{% endfor %}",
+                      {"items": [1, 2, 3]}) == "1,2,3,"
+
+    def test_loop_variables(self):
+        out = render(
+            "{% for x in items %}{{ loop.index }}:{{ x }} {% endfor %}",
+            {"items": ["a", "b"]})
+        assert out == "0:a 1:b "
+
+    def test_loop_first_last(self):
+        out = render(
+            "{% for x in items %}"
+            "{% if loop.first %}[{% endif %}{{ x }}"
+            "{% if loop.last %}]{% endif %}{% endfor %}",
+            {"items": [1, 2, 3]})
+        assert out == "[123]"
+
+    def test_nested_loops(self):
+        out = render(
+            "{% for row in grid %}{% for cell in row %}{{ cell }}"
+            "{% endfor %};{% endfor %}",
+            {"grid": [[1, 2], [3]]})
+        assert out == "12;3;"
+
+    def test_iterating_non_sequence_rejected(self):
+        with pytest.raises(TemplateError, match="cannot iterate"):
+            render("{% for x in n %}{% endfor %}", {"n": 5})
+
+    def test_missing_endfor(self):
+        with pytest.raises(TemplateError):
+            Template("{% for x in items %}{{ x }}")
+
+
+class TestConditionals:
+    def test_if_true(self):
+        assert render("{% if flag %}yes{% endif %}", {"flag": True}) == "yes"
+
+    def test_if_false(self):
+        assert render("{% if flag %}yes{% endif %}", {"flag": False}) == ""
+
+    def test_if_else(self):
+        template = "{% if flag %}a{% else %}b{% endif %}"
+        assert render(template, {"flag": 1}) == "a"
+        assert render(template, {"flag": 0}) == "b"
+
+    def test_if_not(self):
+        assert render("{% if not flag %}off{% endif %}", {"flag": False}) == \
+            "off"
+
+    def test_missing_name_is_falsy(self):
+        assert render("{% if ghost %}yes{% else %}no{% endif %}", {}) == "no"
+
+    def test_truthiness_of_collections(self):
+        template = "{% if items %}has{% else %}none{% endif %}"
+        assert render(template, {"items": [1]}) == "has"
+        assert render(template, {"items": []}) == "none"
+
+    def test_mismatched_closing_tag(self):
+        with pytest.raises(TemplateError):
+            Template("{% for x in items %}{% endif %}")
+
+
+class TestK8sTemplates:
+    def test_builtin_templates_render_valid_yaml(self):
+        from repro.templates import get_template
+        from repro.yamlgen import parse_documents
+        context = {
+            "namespace": "icelab",
+            "broker_url": "mqtt://broker:1883",
+            "database_url": "ts://factorydb:8086",
+            "component": {
+                "name": "wc02 EMCO server",
+                "kind": "opcua-server",
+                "image": "icelab/opcua-server:1.0",
+                "replicas": 1,
+                "port": 4840,
+                "cpu_request": "100m",
+                "memory_request": "128Mi",
+                "config_json": {"machine": "emco", "variables": 34},
+            },
+        }
+        for kind in ("opcua-server", "opcua-client", "historian"):
+            documents = parse_documents(get_template(kind).render(context))
+            assert documents, kind
+            kinds = [d["kind"] for d in documents]
+            assert "ConfigMap" in kinds
+            assert "Deployment" in kinds
+            if kind == "opcua-server":
+                assert "Service" in kinds
+            for document in documents:
+                assert document["metadata"]["namespace"] == "icelab"
+
+    def test_unknown_template_kind(self):
+        from repro.templates import get_template
+        with pytest.raises(KeyError):
+            get_template("banana")

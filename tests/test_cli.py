@@ -1,0 +1,92 @@
+"""CLI smoke tests (each subcommand runs in-process)."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_model_to_file(self, tmp_path, capsys):
+        out = tmp_path / "icelab.sysml"
+        assert main(["model", "--out", str(out)]) == 0
+        assert "part ICETopology" in out.read_text()
+
+    def test_validate_builtin(self, capsys):
+        assert main(["validate"]) == 0
+        assert "well-formed" in capsys.readouterr().out
+
+    def test_validate_file_with_error(self, tmp_path, capsys):
+        bad = tmp_path / "bad.sysml"
+        bad.write_text("part x : Missing;")
+        assert main(["validate", str(bad)]) == 1
+        assert "ERROR" in capsys.readouterr().out
+
+    def test_validate_file_ok(self, tmp_path, capsys):
+        good = tmp_path / "good.sysml"
+        good.write_text("part def M { attribute a : Real; } part m : M;")
+        assert main(["validate", str(good)]) == 0
+
+    def test_generate(self, tmp_path, capsys):
+        assert main(["generate", "--out", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "opcua_servers: 6" in out
+        assert "opcua_clients: 4" in out
+        assert (tmp_path / "manifests").exists()
+
+    def test_generate_capacity_knob(self, capsys):
+        assert main(["generate", "--capacity", "600"]) == 0
+        assert "opcua_clients: 1" in capsys.readouterr().out
+
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "conveyor" in out
+        assert "OPC UA clients: 4" in out
+
+    def test_figures(self, capsys):
+        assert main(["figures"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 1" in out and "Figure 2" in out
+
+    def test_figures_dot(self, capsys):
+        assert main(["figures", "--dot"]) == 0
+        assert "digraph" in capsys.readouterr().out
+
+    def test_deploy(self, capsys):
+        assert main(["deploy", "--steps", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "RESULT: OK" in out
+
+    def test_compare(self, capsys):
+        assert main(["compare"]) == 0
+        assert "catch rate" in capsys.readouterr().out
+
+    def test_convert_roundtrip(self, tmp_path, capsys):
+        sysml = tmp_path / "m.sysml"
+        sysml.write_text("part def M { attribute a : Real; } part m : M;")
+        json_path = tmp_path / "m.json"
+        assert main(["convert", str(sysml), str(json_path)]) == 0
+        back = tmp_path / "back.sysml"
+        assert main(["convert", str(json_path), str(back)]) == 0
+        assert "part m : M" in back.read_text()
+
+    def test_handbook_to_file(self, tmp_path):
+        out = tmp_path / "handbook.md"
+        assert main(["handbook", "--out", str(out)]) == 0
+        text = out.read_text()
+        assert text.startswith("# ICE Laboratory handbook")
+        assert "### conveyor" in text
+
+    def test_verify(self, capsys):
+        assert main(["verify", "--steps", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "consistent" in out
+
+    def test_deploy_prints_kpis(self, capsys):
+        assert main(["deploy", "--steps", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "availability 100%" in out
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,41 @@
+"""Every example script must run to completion (deliverable check)."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_exist():
+    assert len(EXAMPLES) >= 3  # the deliverable floor; we ship six
+    assert "quickstart.py" in EXAMPLES
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs(script, capsys, monkeypatch):
+    monkeypatch.setattr(sys, "argv", [script])
+    runpy.run_path(str(EXAMPLES_DIR / script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{script} produced no output"
+
+
+def test_quickstart_output_shape(capsys, monkeypatch):
+    monkeypatch.setattr(sys, "argv", ["quickstart.py"])
+    runpy.run_path(str(EXAMPLES_DIR / "quickstart.py"),
+                   run_name="__main__")
+    out = capsys.readouterr().out
+    assert "model is well-formed" in out or "no findings" in out
+    assert "OPC UA server" in out
+
+
+def test_full_deployment_reports_success(capsys, monkeypatch):
+    monkeypatch.setattr(sys, "argv", ["icelab_full_deployment.py"])
+    runpy.run_path(str(EXAMPLES_DIR / "icelab_full_deployment.py"),
+                   run_name="__main__")
+    out = capsys.readouterr().out
+    assert "deployment SUCCESSFUL" in out
+    assert "OPC UA servers: 6" in out
