@@ -7,9 +7,10 @@ in the captured output block on failure).
 
 import pytest
 
-from repro.codegen import generate_configuration
+from repro.codegen import PipelineOptions, generate_configuration
 from repro.icelab import icelab_model
 from repro.isa95 import extract_topology
+from repro.obs import Tracer
 
 
 @pytest.fixture(scope="session")
@@ -25,7 +26,25 @@ def topology(model):
 
 @pytest.fixture(scope="session")
 def generation(model):
-    return generate_configuration(model, namespace="icelab")
+    """A traced generation run; ``generation.trace`` carries phase data."""
+    options = PipelineOptions(namespace="icelab", tracer=Tracer())
+    return generate_configuration(model, options=options)
+
+
+def record_phases(benchmark, trace) -> None:
+    """Attach per-phase wall times to the bench JSON (``extra_info``).
+
+    ``pytest-benchmark --benchmark-json=out.json`` then carries a
+    ``phases`` mapping per benchmark, so a perf PR can attribute its
+    win to parse/resolve/topology/validate/step1/step2 instead of the
+    end-to-end number alone.
+    """
+    if trace is None:
+        return
+    benchmark.extra_info["phases"] = {
+        name: round(seconds, 6)
+        for name, seconds in trace.phase_seconds().items()}
+    benchmark.extra_info["span_count"] = trace.span_count
 
 
 def print_comparison(title: str, rows: list[tuple]) -> None:

@@ -12,9 +12,10 @@ import copy
 
 import pytest
 
-from conftest import print_comparison
-from repro.codegen import (GenerationPipeline, generate_configuration,
-                           regenerate)
+from conftest import print_comparison, record_phases
+from repro.codegen import (GenerationPipeline, PipelineOptions,
+                           generate_configuration, regenerate)
+from repro.obs import Tracer
 from repro.icelab.model_gen import icelab_sources, load_icelab_model
 from repro.isa95.levels import VariableSpec
 from repro.machines.specs import ICE_LAB_SPECS
@@ -24,7 +25,8 @@ from repro.sysml import load_model
 @pytest.fixture(scope="module")
 def baseline():
     model = load_icelab_model()
-    return model, generate_configuration(model, namespace="icelab")
+    return model, generate_configuration(
+        model, options=PipelineOptions(namespace="icelab"))
 
 
 def _edit(name, mutate):
@@ -48,7 +50,7 @@ EDITS = [
 
 def test_incremental_reuse_fraction(baseline):
     old_model, previous = baseline
-    pipeline = GenerationPipeline(namespace="icelab")
+    pipeline = GenerationPipeline(PipelineOptions(namespace="icelab"))
     rows = []
     for name, specs in EDITS:
         new_model = load_model(*icelab_sources(specs))
@@ -66,7 +68,7 @@ def test_incremental_reuse_fraction(baseline):
 
 def test_noop_edit_reuses_everything(baseline):
     old_model, previous = baseline
-    pipeline = GenerationPipeline(namespace="icelab")
+    pipeline = GenerationPipeline(PipelineOptions(namespace="icelab"))
     new_model = load_icelab_model()
     incremental = regenerate(previous, old_model, new_model, pipeline)
     assert incremental.fully_reused
@@ -76,10 +78,15 @@ def test_incremental_vs_full_benchmark(benchmark, baseline):
     """Wall-time of diff+regenerate (it still re-runs generation; the
     win is redeploy avoidance, not CPU — this documents that honestly)."""
     old_model, previous = baseline
-    pipeline = GenerationPipeline(namespace="icelab")
+    pipeline = GenerationPipeline(PipelineOptions(namespace="icelab"))
     _, specs = EDITS[0]
     new_model = load_model(*icelab_sources(specs))
 
     incremental = benchmark(regenerate, previous, old_model, new_model,
                             pipeline)
     assert incremental.changed_machines == ["emco"]
+    # one traced run attributes the incremental wall time to phases
+    tracer = Tracer()
+    with tracer.activate():
+        regenerate(previous, old_model, new_model, pipeline)
+    record_phases(benchmark, tracer.trace())

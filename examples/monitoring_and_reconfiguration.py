@@ -14,7 +14,8 @@ Run with:  python examples/monitoring_and_reconfiguration.py
 
 import copy
 
-from repro.codegen import GenerationPipeline, regenerate
+from repro.codegen import (GenerationPipeline, PipelineOptions,
+                           regenerate)
 from repro.icelab import run_icelab
 from repro.icelab.model_gen import icelab_sources
 from repro.isa95.levels import VariableSpec
@@ -59,8 +60,9 @@ def main() -> None:
     warehouse.categories["Storage"].append(
         VariableSpec("humidity", "Real", unit="%"))
     new_model = load_model(*icelab_sources(specs))
-    incremental = regenerate(result.generation, result.model, new_model,
-                             GenerationPipeline(namespace="icelab"))
+    incremental = regenerate(
+        result.generation, result.model, new_model,
+        GenerationPipeline(PipelineOptions(namespace="icelab")))
     print(f"model diff: {len(incremental.diff)} change(s)")
     for change in incremental.diff.changes[:5]:
         print(f"  {change}")

@@ -13,7 +13,7 @@ Run with:  python examples/quickstart.py
 
 import json
 
-from repro.codegen import generate_configuration
+from repro.codegen import PipelineOptions, generate_configuration
 from repro.isa95 import ISA95_LIBRARY_SOURCE, extract_topology
 from repro.sysml import load_model, validate_model
 
@@ -111,7 +111,8 @@ def main() -> None:
               f"driver={driver.protocol} {driver.parameters}")
 
     print("\n== 4. generate the configuration ==")
-    result = generate_configuration(model, namespace="quickstart")
+    result = generate_configuration(
+        model, options=PipelineOptions(namespace="quickstart"))
     print(f"{result.opcua_server_count} OPC UA server(s), "
           f"{result.opcua_client_count} client(s), "
           f"{result.config_size_kb:.1f} KB in "

@@ -16,10 +16,15 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable
 
+from ..obs import METRICS
 from .topics import topic_matches, validate_filter, validate_topic
 
 Payload = object
 Handler = Callable[[str, Payload], None]
+
+_PUBLISHED = METRICS.counter("broker.messages_published")
+_DELIVERED = METRICS.counter("broker.messages_delivered")
+_SUBSCRIBED = METRICS.counter("broker.subscriptions_created")
 
 
 @dataclass(frozen=True)
@@ -76,6 +81,7 @@ class MessageBroker:
         subscription_id = next(self._subscription_ids)
         subscription = Subscription(client_id, topic_filter, handler)
         self._subscriptions[subscription_id] = subscription
+        _SUBSCRIBED.inc()
         if receive_retained:
             for topic, message in sorted(self._retained.items()):
                 if subscription.matches(topic):
@@ -105,6 +111,7 @@ class MessageBroker:
         validate_topic(topic)
         message = Message(topic, payload, next(self._sequence))
         self.published_count += 1
+        _PUBLISHED.inc()
         if retain:
             self._retained[topic] = message
         receivers = 0
@@ -116,6 +123,7 @@ class MessageBroker:
 
     def _deliver(self, subscription: Subscription, message: Message) -> None:
         self.delivered_count += 1
+        _DELIVERED.inc()
         subscription.delivered += 1
         if subscription.handler is not None:
             subscription.handler(message.topic, message.payload)

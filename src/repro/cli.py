@@ -5,7 +5,10 @@ Subcommands
 ``model``     emit the generated ICE-lab SysML v2 model (textual notation)
 ``validate``  parse + validate a .sysml file (or the built-in ICE lab)
 ``generate``  run the two-step configuration pipeline, optionally writing
-              all JSON/YAML files to a directory
+              all JSON/YAML files to a directory; ``--trace`` prints the
+              span tree, ``--trace=FILE`` writes the trace JSON
+``trace``     run the full front end + generation with telemetry on and
+              report the span tree (or JSON) plus process metrics
 ``deploy``    run the full Figure-1 flow on the simulated cluster and
               print the smoke report
 ``table1``    print the reproduced Table I
@@ -52,10 +55,18 @@ def _cmd_validate(args) -> int:
 
 
 def _cmd_generate(args) -> int:
-    from .codegen import generate_configuration
+    from .codegen import PipelineOptions, generate_configuration
     from .icelab import icelab_model
-    result = generate_configuration(icelab_model(), capacity=args.capacity,
-                                    namespace=args.namespace)
+    from .obs import Tracer
+    tracer = Tracer() if args.trace is not None else None
+    options = PipelineOptions(capacity=args.capacity,
+                              namespace=args.namespace, tracer=tracer)
+    if tracer is not None:
+        with tracer.activate():
+            model = icelab_model()
+            result = generate_configuration(model, options=options)
+    else:
+        result = generate_configuration(icelab_model(), options=options)
     for key, value in result.summary().items():
         print(f"{key:>20}: {value}")
     for group in result.groups:
@@ -65,6 +76,65 @@ def _cmd_generate(args) -> int:
     if args.out:
         written = result.write_to(args.out)
         print(f"wrote {len(written)} files under {args.out}")
+    if tracer is not None:
+        trace = tracer.trace()
+        if args.trace == "-":
+            print()
+            print("=== pipeline trace ===")
+            print(trace.render())
+        else:
+            with open(args.trace, "w") as handle:
+                handle.write(trace.to_json() + "\n")
+            print(f"wrote trace JSON to {args.trace}")
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    """Run the full flow (parse -> ... -> step2) with telemetry on."""
+    import json as _json
+
+    from .codegen import PipelineOptions, generate_configuration
+    from .obs import METRICS, Tracer
+    from .sysml import load_model
+    from .sysml.errors import SysMLError
+
+    if args.file:
+        with open(args.file) as handle:
+            sources = [handle.read()]
+        filenames = [args.file]
+    else:
+        from .icelab import icelab_sources
+        sources = icelab_sources()
+        filenames = None
+
+    tracer = Tracer()
+    try:
+        with tracer.activate():
+            model = load_model(*sources, filenames=filenames)
+            result = generate_configuration(
+                model, options=PipelineOptions(capacity=args.capacity,
+                                               namespace=args.namespace))
+    except SysMLError as exc:
+        print(f"ERROR: {exc}")
+        return 1
+    trace = tracer.trace()
+    if args.json:
+        document = trace.to_dict()
+        document["result"] = result.summary()
+        text = _json.dumps(document, indent=2, default=str)
+    else:
+        lines = ["=== pipeline trace ===", trace.render(), "",
+                 "=== phases ==="]
+        for name, seconds in trace.phase_seconds().items():
+            lines.append(f"{name:>12}: {seconds * 1e3:9.2f}ms")
+        lines += ["", "=== metrics ===", METRICS.to_json()]
+        text = "\n".join(lines)
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(text + "\n")
+        print(f"wrote {len(text)} bytes to {args.out}")
+    else:
+        print(text)
     return 0
 
 
@@ -92,11 +162,12 @@ def _cmd_deploy(args) -> int:
 
 
 def _cmd_table1(args) -> int:
-    from .codegen import generate_configuration
+    from .codegen import PipelineOptions, generate_configuration
     from .icelab import icelab_model
     from .pipeline import build_table1_report
     model = icelab_model()
-    generation = generate_configuration(model, capacity=args.capacity)
+    generation = generate_configuration(
+        model, options=PipelineOptions(capacity=args.capacity))
     report = build_table1_report(model, generation.topology, generation)
     print(report.render())
     return 0
@@ -128,9 +199,11 @@ def _cmd_convert(args) -> int:
 
 
 def _cmd_handbook(args) -> int:
-    from .codegen import generate_configuration, generate_handbook
+    from .codegen import (PipelineOptions, generate_configuration,
+                          generate_handbook)
     from .icelab import icelab_model
-    result = generate_configuration(icelab_model(), namespace="icelab")
+    result = generate_configuration(
+        icelab_model(), options=PipelineOptions(namespace="icelab"))
     text = generate_handbook(result, title="ICE Laboratory handbook")
     if args.out:
         with open(args.out, "w") as handle:
@@ -181,7 +254,22 @@ def build_parser() -> argparse.ArgumentParser:
                             help="max points per OPC UA client")
     p_generate.add_argument("--namespace", default="icelab")
     p_generate.add_argument("--out", help="directory for generated files")
+    p_generate.add_argument(
+        "--trace", nargs="?", const="-", default=None, metavar="FILE",
+        help="record pipeline telemetry; prints the span tree, or "
+             "writes trace JSON to FILE when given")
     p_generate.set_defaults(func=_cmd_generate)
+
+    p_trace = subparsers.add_parser(
+        "trace", help="run front end + generation with telemetry on")
+    p_trace.add_argument("file", nargs="?",
+                         help=".sysml file (default: built-in ICE lab)")
+    p_trace.add_argument("--capacity", type=int, default=120)
+    p_trace.add_argument("--namespace", default="icelab")
+    p_trace.add_argument("--json", action="store_true",
+                         help="emit the full trace as JSON")
+    p_trace.add_argument("--out", help="write the report to a file")
+    p_trace.set_defaults(func=_cmd_trace)
 
     p_deploy = subparsers.add_parser("deploy",
                                      help="full simulated deployment")

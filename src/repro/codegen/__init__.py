@@ -7,6 +7,7 @@ from .grouping import (ClientGroup, DEFAULT_CLIENT_CAPACITY, GroupingError,
                        group_machines, grouping_stats, lower_bound_clients)
 from .machine_config import (WORKCELL_SERVER_PORT, machine_config,
                              workcell_endpoint, workcell_server_config)
+from .options import PipelineOptions
 from .pipeline import (COMPONENT_IMAGES, GenerationPipeline,
                        GenerationResult, generate_configuration)
 from .storage_config import storage_config
@@ -14,7 +15,7 @@ from .storage_config import storage_config
 __all__ = [
     "COMPONENT_IMAGES", "ClientGroup", "DEFAULT_CLIENT_CAPACITY",
     "IncrementalResult", "changed_machine_names", "generate_handbook",
-    "regenerate",
+    "regenerate", "PipelineOptions",
     "GenerationPipeline", "GenerationResult", "GroupingError",
     "WORKCELL_SERVER_PORT", "client_config", "generate_configuration",
     "group_machines", "grouping_stats", "lower_bound_clients",

@@ -64,28 +64,40 @@ def group_machines(machines: list[MachineInfo],
     """
     if capacity <= 0:
         raise GroupingError(f"capacity must be positive, got {capacity}")
-    ordered = sorted(machines, key=lambda m: (-m.point_count, m.name))
-    groups: list[ClientGroup] = []
-    for machine in ordered:
-        if machine.point_count > capacity:
-            group = ClientGroup(index=0, capacity=capacity, oversized=True)
-            group.machines.append(machine)
-            groups.append(group)
-            continue
-        placed = False
-        for group in groups:
-            if group.oversized:
-                continue
-            if group.points + machine.point_count <= capacity:
+    from ..obs import span as _span
+    fit_checks = 0
+    with _span("grouping") as s:
+        ordered = sorted(machines, key=lambda m: (-m.point_count, m.name))
+        groups: list[ClientGroup] = []
+        for machine in ordered:
+            if machine.point_count > capacity:
+                group = ClientGroup(index=0, capacity=capacity,
+                                    oversized=True)
                 group.machines.append(machine)
-                placed = True
-                break
-        if not placed:
-            group = ClientGroup(index=0, capacity=capacity)
-            group.machines.append(machine)
-            groups.append(group)
-    for index, group in enumerate(groups, start=1):
-        group.index = index
+                groups.append(group)
+                continue
+            placed = False
+            for group in groups:
+                if group.oversized:
+                    continue
+                fit_checks += 1
+                if group.points + machine.point_count <= capacity:
+                    group.machines.append(machine)
+                    placed = True
+                    break
+            if not placed:
+                group = ClientGroup(index=0, capacity=capacity)
+                group.machines.append(machine)
+                groups.append(group)
+        for index, group in enumerate(groups, start=1):
+            group.index = index
+        if s.enabled:
+            s.set("machines", len(machines))
+            s.set("capacity", capacity)
+            s.set("groups", len(groups))
+            s.set("oversized",
+                  sum(1 for g in groups if g.oversized))
+            s.set("fit_checks", fit_checks)
     return groups
 
 

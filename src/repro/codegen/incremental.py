@@ -14,13 +14,17 @@ from dataclasses import dataclass, field
 
 from ..isa95.levels import FactoryTopology, MachineInfo
 from ..isa95.topology import extract_topology
+from ..obs import METRICS, Summarizable, span
 from ..sysml.diff import ModelDiff, diff_models
 from ..sysml.elements import Model
 from .pipeline import GenerationPipeline, GenerationResult
 
+_REUSED = METRICS.counter("incremental.manifests_reused")
+_REGENERATED = METRICS.counter("incremental.manifests_regenerated")
+
 
 @dataclass
-class IncrementalResult:
+class IncrementalResult(Summarizable):
     """Outcome of an incremental regeneration."""
 
     result: GenerationResult
@@ -85,40 +89,49 @@ def regenerate(previous: GenerationResult, old_model: Model,
     redeploy.
     """
     pipeline = pipeline or GenerationPipeline()
-    diff = diff_models(old_model, new_model)
-    new_topology = extract_topology(new_model)
-    changed = changed_machine_names(previous.topology, new_topology)
-    fresh = pipeline.run_on_topology(new_topology)
+    with span("incremental") as inc:
+        diff = diff_models(old_model, new_model)
+        new_topology = extract_topology(new_model)
+        changed = changed_machine_names(previous.topology, new_topology)
+        fresh = pipeline.run_on_topology(new_topology)
 
-    changed_set = set(changed)
-    changed_workcells = {m.workcell for m in new_topology.machines
-                         if m.name in changed_set}
-    changed_workcells |= {m.workcell for m in previous.topology.machines
-                          if m.name in changed_set}
-    # groups whose membership or member contents changed
-    changed_groups: set[str] = set()
-    previous_membership = {tuple(c["machines"] and
-                                 [m["machine"] for m in c["machines"]]):
-                           c["client"]
-                           for c in previous.client_configs}
-    for config in fresh.client_configs:
-        members = tuple(m["machine"] for m in config["machines"])
-        if previous_membership.get(members) != config["client"] or \
-                changed_set.intersection(members):
-            changed_groups.add(config["client"])
+        changed_set = set(changed)
+        changed_workcells = {m.workcell for m in new_topology.machines
+                             if m.name in changed_set}
+        changed_workcells |= {m.workcell
+                              for m in previous.topology.machines
+                              if m.name in changed_set}
+        # groups whose membership or member contents changed
+        changed_groups: set[str] = set()
+        previous_membership = {tuple(c["machines"] and
+                                     [m["machine"]
+                                      for m in c["machines"]]):
+                               c["client"]
+                               for c in previous.client_configs}
+        for config in fresh.client_configs:
+            members = tuple(m["machine"] for m in config["machines"])
+            if previous_membership.get(members) != config["client"] or \
+                    changed_set.intersection(members):
+                changed_groups.add(config["client"])
 
-    regenerated: list[str] = []
-    reused: list[str] = []
-    merged_manifests: dict[str, str] = {}
-    for filename, text in fresh.manifests.items():
-        previous_text = previous.manifests.get(filename)
-        if previous_text == text:
-            merged_manifests[filename] = previous_text
-            reused.append(filename)
-        else:
-            merged_manifests[filename] = text
-            regenerated.append(filename)
-    fresh.manifests = merged_manifests
+        regenerated: list[str] = []
+        reused: list[str] = []
+        merged_manifests: dict[str, str] = {}
+        for filename, text in fresh.manifests.items():
+            previous_text = previous.manifests.get(filename)
+            if previous_text == text:
+                merged_manifests[filename] = previous_text
+                reused.append(filename)
+            else:
+                merged_manifests[filename] = text
+                regenerated.append(filename)
+        fresh.manifests = merged_manifests
+        fresh.invalidate_size_cache()
+        _REUSED.inc(len(reused))
+        _REGENERATED.inc(len(regenerated))
+        inc.set("changed_machines", len(changed))
+        inc.set("regenerated", len(regenerated))
+        inc.set("reused", len(reused))
     return IncrementalResult(
         result=fresh,
         diff=diff,

@@ -1,0 +1,88 @@
+"""The canonical pipeline configuration object.
+
+:class:`PipelineOptions` replaces the keyword-argument sprawl that used
+to live on :class:`~repro.codegen.pipeline.GenerationPipeline` and
+:func:`~repro.codegen.pipeline.generate_configuration`. It is frozen
+(safe to share between pipelines and threads), round-trips through
+``to_dict``/``from_dict``, and carries the optional
+:class:`~repro.obs.Tracer` that turns on pipeline telemetry.
+
+The old per-call keyword arguments keep working through a shim that
+emits :class:`DeprecationWarning`; see :func:`options_from_legacy_kwargs`.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, field, fields, replace
+
+from ..obs import Tracer
+from .grouping import DEFAULT_CLIENT_CAPACITY
+
+
+@dataclass(frozen=True)
+class PipelineOptions:
+    """Everything configurable about one generation pipeline run."""
+
+    capacity: int = DEFAULT_CLIENT_CAPACITY
+    namespace: str = "factory"
+    broker_url: str = "mqtt://broker:1883"
+    database_url: str = "ts://factorydb:8086"
+    validate: bool = True
+    #: Tracer collecting the run's :class:`~repro.obs.PipelineTrace`;
+    #: ``None`` leaves telemetry off (or inherits an ambient tracer).
+    tracer: Tracer | None = field(default=None, compare=False)
+
+    def replace(self, **changes) -> "PipelineOptions":
+        """A copy with *changes* applied (frozen-dataclass update)."""
+        return replace(self, **changes)
+
+    def to_dict(self) -> dict[str, object]:
+        """Serializable form; the (unserializable) tracer is omitted."""
+        return {
+            "capacity": self.capacity,
+            "namespace": self.namespace,
+            "broker_url": self.broker_url,
+            "database_url": self.database_url,
+            "validate": self.validate,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, object], *,
+                  tracer: Tracer | None = None) -> "PipelineOptions":
+        known = {f.name for f in fields(cls)} - {"tracer"}
+        unknown = set(data) - known
+        if unknown:
+            raise TypeError(
+                f"unknown pipeline option(s): {', '.join(sorted(unknown))}")
+        return cls(tracer=tracer, **data)  # type: ignore[arg-type]
+
+
+_LEGACY_KEYS = ("capacity", "namespace", "broker_url", "database_url",
+                "validate", "tracer")
+
+
+def options_from_legacy_kwargs(options: PipelineOptions | None,
+                               kwargs: dict[str, object], *,
+                               api: str) -> PipelineOptions:
+    """Resolve the ``options=`` parameter against deprecated kwargs.
+
+    Passing bare keyword arguments (the pre-``PipelineOptions`` API)
+    still works but warns; mixing both styles is an error.
+    """
+    if not kwargs:
+        return options if options is not None else PipelineOptions()
+    unknown = set(kwargs) - set(_LEGACY_KEYS)
+    if unknown:
+        raise TypeError(
+            f"{api}() got unexpected keyword argument(s): "
+            f"{', '.join(sorted(unknown))}")
+    if options is not None:
+        raise TypeError(
+            f"{api}() takes either 'options' or legacy keyword "
+            f"arguments, not both")
+    warnings.warn(
+        f"passing {', '.join(sorted(kwargs))} to {api}() directly is "
+        f"deprecated; pass options=PipelineOptions(...) instead",
+        DeprecationWarning, stacklevel=3)
+    return PipelineOptions(**kwargs)  # type: ignore[arg-type]

@@ -8,6 +8,15 @@ Step 2: intermediate JSON -> Kubernetes YAML via templates.
 :func:`generate_configuration` runs both steps, measures the generation
 time, and reports the same quantities as the last row of Table I
 (generation time, #OPC UA servers, #clients, configuration size).
+
+The canonical entry point is ``generate_configuration(model,
+options=PipelineOptions(...))``; the old keyword arguments keep working
+through a :class:`DeprecationWarning` shim. When the options carry a
+:class:`~repro.obs.Tracer` (or one is ambiently active), every phase is
+recorded as a span — ``generate`` > ``topology`` / ``validate`` /
+``step1`` (per machine, grouping) / ``step2`` (per rendered template) —
+and the resulting :class:`~repro.obs.PipelineTrace` is attached to the
+:class:`GenerationResult`.
 """
 
 from __future__ import annotations
@@ -20,13 +29,15 @@ from pathlib import Path
 from ..isa95.levels import FactoryTopology
 from ..isa95.topology import extract_topology
 from ..isa95.validation import validate_topology
+from ..obs import PipelineTrace, Summarizable, activation, span
 from ..sysml.elements import Model
 from ..sysml.errors import ValidationError
 from ..templates.engine import k8s_name
 from ..templates.library import get_template
 from .client_config import client_config
-from .grouping import (ClientGroup, DEFAULT_CLIENT_CAPACITY, group_machines)
+from .grouping import ClientGroup, group_machines
 from .machine_config import machine_config, workcell_server_config
+from .options import PipelineOptions, options_from_legacy_kwargs
 from .storage_config import storage_config
 
 #: Container images of the deployed software stack components.
@@ -38,7 +49,7 @@ COMPONENT_IMAGES = {
 
 
 @dataclass
-class GenerationResult:
+class GenerationResult(Summarizable):
     """Everything the pipeline produced, plus metrics."""
 
     topology: FactoryTopology
@@ -51,6 +62,11 @@ class GenerationResult:
     generation_seconds: float = 0.0
     step1_seconds: float = 0.0
     step2_seconds: float = 0.0
+    #: Per-phase telemetry of this run (None when tracing was off).
+    trace: PipelineTrace | None = field(default=None, repr=False,
+                                        compare=False)
+    _size_cache: int | None = field(default=None, repr=False,
+                                    compare=False)
 
     # -- Table I, last row -------------------------------------------------
 
@@ -64,14 +80,22 @@ class GenerationResult:
 
     @property
     def config_size_bytes(self) -> int:
-        total = sum(len(json.dumps(c, indent=2)) for c in
-                    self._all_json_configs())
-        total += sum(len(text) for text in self.manifests.values())
-        return total
+        # memoized: Table I checks and summary() hit this repeatedly,
+        # and each computation re-serializes every config
+        if self._size_cache is None:
+            total = sum(len(json.dumps(c, indent=2)) for c in
+                        self._all_json_configs())
+            total += sum(len(text) for text in self.manifests.values())
+            self._size_cache = total
+        return self._size_cache
 
     @property
     def config_size_kb(self) -> float:
         return self.config_size_bytes / 1024.0
+
+    def invalidate_size_cache(self) -> None:
+        """Call after mutating configs/manifests in place."""
+        self._size_cache = None
 
     def _all_json_configs(self) -> list[dict]:
         return (list(self.machine_configs.values())
@@ -123,33 +147,64 @@ def _write_json(path: Path, config: dict) -> Path:
 
 
 class GenerationPipeline:
-    """Configurable pipeline instance."""
+    """Configurable pipeline instance.
 
-    def __init__(self, *, capacity: int = DEFAULT_CLIENT_CAPACITY,
-                 namespace: str = "factory",
-                 broker_url: str = "mqtt://broker:1883",
-                 database_url: str = "ts://factorydb:8086",
-                 validate: bool = True):
-        self.capacity = capacity
-        self.namespace = namespace
-        self.broker_url = broker_url
-        self.database_url = database_url
-        self.validate = validate
+    Construct with a :class:`PipelineOptions`; the old per-keyword form
+    (``GenerationPipeline(capacity=..., namespace=...)``) still works
+    but emits a :class:`DeprecationWarning`.
+    """
+
+    def __init__(self, options: PipelineOptions | None = None, **legacy):
+        self.options = options_from_legacy_kwargs(
+            options, legacy, api="GenerationPipeline")
+
+    # -- legacy attribute surface -----------------------------------------
+
+    @property
+    def capacity(self) -> int:
+        return self.options.capacity
+
+    @property
+    def namespace(self) -> str:
+        return self.options.namespace
+
+    @property
+    def broker_url(self) -> str:
+        return self.options.broker_url
+
+    @property
+    def database_url(self) -> str:
+        return self.options.database_url
+
+    @property
+    def validate(self) -> bool:
+        return self.options.validate
 
     # -- entry points ---------------------------------------------------------
 
     def run_on_model(self, model: Model) -> GenerationResult:
-        started = time.perf_counter()
-        topology = extract_topology(model)
-        result = self._run(topology, extraction_started=started)
+        with activation(self.options.tracer) as tracer:
+            started = time.perf_counter()
+            with span("generate"):
+                topology = extract_topology(model)
+                result = self._run(topology, extraction_started=started)
+            if tracer.enabled:
+                result.trace = tracer.trace()
         return result
 
-    def run_on_topology(self, topology: FactoryTopology) -> GenerationResult:
-        return self._run(topology, extraction_started=time.perf_counter())
+    def run_on_topology(self, topology: FactoryTopology
+                        ) -> GenerationResult:
+        with activation(self.options.tracer) as tracer:
+            with span("generate"):
+                result = self._run(topology,
+                                   extraction_started=time.perf_counter())
+            if tracer.enabled:
+                result.trace = tracer.trace()
+        return result
 
     def _run(self, topology: FactoryTopology,
              extraction_started: float) -> GenerationResult:
-        if self.validate:
+        if self.options.validate:
             report = validate_topology(topology)
             if not report.ok:
                 raise ValidationError(
@@ -157,10 +212,17 @@ class GenerationPipeline:
                     + "; ".join(str(d) for d in report.errors))
         result = GenerationResult(topology=topology)
         step1_started = time.perf_counter()
-        self._step1(topology, result)
+        with span("step1") as s:
+            self._step1(topology, result)
+            s.set("machines", len(result.machine_configs))
+            s.set("servers", len(result.server_configs))
+            s.set("clients", len(result.client_configs))
         result.step1_seconds = time.perf_counter() - step1_started
         step2_started = time.perf_counter()
-        self._step2(result)
+        with span("step2") as s:
+            self._step2(result)
+            s.set("manifests", len(result.manifests))
+            s.set("bytes", sum(len(t) for t in result.manifests.values()))
         result.step2_seconds = time.perf_counter() - step2_started
         result.generation_seconds = time.perf_counter() - extraction_started
         return result
@@ -170,22 +232,31 @@ class GenerationPipeline:
     def _step1(self, topology: FactoryTopology,
                result: GenerationResult) -> None:
         for machine in topology.machines:
-            result.machine_configs[machine.name] = machine_config(
-                machine, topology)
-        for workcell in topology.workcells:
-            if not workcell.machines:
-                continue
-            configs = [result.machine_configs[m.name]
-                       for m in workcell.machines]
-            result.server_configs[workcell.name] = workcell_server_config(
-                workcell.name, configs)
-        result.groups = group_machines(topology.machines, self.capacity)
-        for group in result.groups:
-            result.client_configs.append(
-                client_config(group, topology, self.broker_url))
-            result.storage_configs.append(
-                storage_config(group, topology, self.broker_url,
-                               self.database_url))
+            with span(f"machine:{machine.name}") as s:
+                config = machine_config(machine, topology)
+                result.machine_configs[machine.name] = config
+                s.set("points", machine.point_count)
+        with span("servers") as s:
+            for workcell in topology.workcells:
+                if not workcell.machines:
+                    continue
+                configs = [result.machine_configs[m.name]
+                           for m in workcell.machines]
+                result.server_configs[workcell.name] = \
+                    workcell_server_config(workcell.name, configs)
+            s.set("servers", len(result.server_configs))
+        result.groups = group_machines(topology.machines,
+                                       self.options.capacity)
+        with span("clients") as s:
+            for group in result.groups:
+                result.client_configs.append(
+                    client_config(group, topology,
+                                  self.options.broker_url))
+                result.storage_configs.append(
+                    storage_config(group, topology,
+                                   self.options.broker_url,
+                                   self.options.database_url))
+            s.set("groups", len(result.groups))
 
     # -- step 2: Kubernetes YAML -----------------------------------------------------
 
@@ -206,9 +277,9 @@ class GenerationPipeline:
     def _render(self, kind: str, name: str, config: dict,
                 *, port: int | None = None) -> str:
         context = {
-            "namespace": self.namespace,
-            "broker_url": self.broker_url,
-            "database_url": self.database_url,
+            "namespace": self.options.namespace,
+            "broker_url": self.options.broker_url,
+            "database_url": self.options.database_url,
             "component": {
                 "name": name,
                 "kind": kind,
@@ -220,17 +291,22 @@ class GenerationPipeline:
                 "config_json": config,
             },
         }
-        return get_template(kind).render(context)
+        with span(f"render:{k8s_name(name)}") as s:
+            text = get_template(kind).render(context)
+            s.set("template", kind)
+            s.set("bytes", len(text))
+        return text
 
 
-def generate_configuration(model: Model, *,
-                           capacity: int = DEFAULT_CLIENT_CAPACITY,
-                           namespace: str = "factory",
-                           broker_url: str = "mqtt://broker:1883",
-                           database_url: str = "ts://factorydb:8086",
-                           validate: bool = True) -> GenerationResult:
-    """Run the full two-step pipeline on a resolved SysML model."""
-    pipeline = GenerationPipeline(
-        capacity=capacity, namespace=namespace, broker_url=broker_url,
-        database_url=database_url, validate=validate)
-    return pipeline.run_on_model(model)
+def generate_configuration(model: Model,
+                           options: PipelineOptions | None = None,
+                           **legacy) -> GenerationResult:
+    """Run the full two-step pipeline on a resolved SysML model.
+
+    Canonical form: ``generate_configuration(model, options=...)``.
+    Legacy keyword arguments (``capacity=``, ``namespace=``, ...) are
+    still accepted but emit a :class:`DeprecationWarning`.
+    """
+    resolved = options_from_legacy_kwargs(options, legacy,
+                                          api="generate_configuration")
+    return GenerationPipeline(resolved).run_on_model(model)

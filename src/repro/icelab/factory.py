@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from ..codegen import DEFAULT_CLIENT_CAPACITY, GenerationResult, \
-    generate_configuration
+    PipelineOptions, generate_configuration
 from ..isa95 import FactoryTopology, extract_topology
 from ..machines.specs import ICE_LAB_SPECS
 from ..pipeline import EndToEndResult, run_factory
@@ -25,8 +25,9 @@ def generate_icelab_configuration(
         *, capacity: int = DEFAULT_CLIENT_CAPACITY,
         namespace: str = "icelab") -> GenerationResult:
     """Run the paper's generation pipeline on the ICE-lab model."""
-    return generate_configuration(icelab_model(), capacity=capacity,
-                                  namespace=namespace)
+    return generate_configuration(
+        icelab_model(), options=PipelineOptions(capacity=capacity,
+                                                namespace=namespace))
 
 
 def run_icelab(*, capacity: int = DEFAULT_CLIENT_CAPACITY,

@@ -9,6 +9,7 @@ neutral :class:`~repro.isa95.levels.FactoryTopology` records.
 
 from __future__ import annotations
 
+from ..obs import span as _span
 from ..sysml.elements import Model, Package, PartUsage, Usage
 from ..sysml.errors import SysMLError
 from ..sysml.instances import InstanceNode, elaborate, propagate_bindings
@@ -50,16 +51,25 @@ class TopologyExtractor:
     # -- public API ----------------------------------------------------------
 
     def extract(self) -> FactoryTopology:
-        root_usage = self._find_topology_root()
-        root = elaborate(root_usage)
-        propagate_bindings(root)
-        topology = FactoryTopology()
-        self._walk_hierarchy(root, topology, context={})
-        if not topology.workcells:
-            raise TopologyError(
-                f"topology '{root_usage.qualified_name}' contains no "
-                f"workcells")
-        self._attach_drivers(topology)
+        with _span("topology") as s:
+            root_usage = self._find_topology_root()
+            with _span("elaborate"):
+                root = elaborate(root_usage)
+                propagate_bindings(root)
+            topology = FactoryTopology()
+            with _span("walk"):
+                self._walk_hierarchy(root, topology, context={})
+            if not topology.workcells:
+                raise TopologyError(
+                    f"topology '{root_usage.qualified_name}' contains no "
+                    f"workcells")
+            with _span("drivers"):
+                self._attach_drivers(topology)
+            if s.enabled:
+                s.set("workcells", len(topology.workcells))
+                s.set("machines", len(topology.machines))
+                s.set("variables", sum(len(m.variables)
+                                       for m in topology.machines))
         return topology
 
     # -- root discovery ----------------------------------------------------------

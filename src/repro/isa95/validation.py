@@ -9,6 +9,7 @@ resource names), and the hierarchy must be complete.
 
 from __future__ import annotations
 
+from ..obs import span as _span
 from ..sysml.errors import DiagnosticReport
 from .levels import FactoryTopology
 
@@ -19,6 +20,15 @@ _PROPRIETARY_REQUIRED_PARAMETERS = ("ip", "ip_port")
 
 
 def validate_topology(topology: FactoryTopology) -> DiagnosticReport:
+    with _span("validate") as s:
+        report = _validate_topology(topology)
+        if s.enabled:
+            s.set("errors", len(report.errors))
+            s.set("warnings", len(report.warnings))
+    return report
+
+
+def _validate_topology(topology: FactoryTopology) -> DiagnosticReport:
     report = DiagnosticReport()
     _check_hierarchy_complete(topology, report)
     _check_unique_names(topology, report)

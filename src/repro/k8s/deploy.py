@@ -8,12 +8,16 @@ order ``kubectl apply -f dir/`` would need too.
 
 from __future__ import annotations
 
+from ..obs import METRICS, span as _span
 from ..som.components import (FactoryWorld, HistorianComponent,
                               UaBrokerBridgeComponent,
                               WorkcellServerComponent)
 from ..yamlgen import parse_documents
 from .cluster import Cluster, ClusterError
 from .resources import Pod
+
+_DOCUMENTS_APPLIED = METRICS.counter("k8s.documents_applied")
+_DEPLOYS = METRICS.counter("k8s.deployments_run")
 
 _COMPONENT_CLASSES = {
     "opcua-server": WorkcellServerComponent,
@@ -121,10 +125,17 @@ def deploy_manifests(cluster: Cluster,
     Deployments ordered server -> client -> historian so each component
     finds its upstream already running.
     """
-    documents: list[dict] = []
-    for filename in sorted(manifests):
-        for document in parse_documents(manifests[filename]):
-            if document is not None:
-                documents.append(document)
-    return [cluster.apply_manifest(document)
-            for document in sorted(documents, key=_apply_order)]
+    with _span("deploy") as s:
+        documents: list[dict] = []
+        for filename in sorted(manifests):
+            for document in parse_documents(manifests[filename]):
+                if document is not None:
+                    documents.append(document)
+        applied = [cluster.apply_manifest(document)
+                   for document in sorted(documents, key=_apply_order)]
+        _DEPLOYS.inc()
+        _DOCUMENTS_APPLIED.inc(len(applied))
+        if s.enabled:
+            s.set("manifests", len(manifests))
+            s.set("documents", len(applied))
+    return applied

@@ -1,0 +1,151 @@
+"""Process-wide metrics registry: counters, gauges, histograms.
+
+Unlike spans (scoped to one traced operation), metrics accumulate for
+the lifetime of the process and cover the runtime components too —
+broker message counts, OPC UA session operations, pods deployed.
+Instrumented modules bind their instruments once at import time::
+
+    _PUBLISHED = METRICS.counter("broker.messages_published")
+    ...
+    _PUBLISHED.inc()
+
+so the hot-path cost is a single integer add. ``METRICS.snapshot()``
+returns a plain dict suitable for JSON export; tests call
+``METRICS.reset()`` between scenarios.
+"""
+
+from __future__ import annotations
+
+import json
+
+
+class Counter:
+    """Monotonically increasing event count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def reset(self) -> None:
+        self.value = 0
+
+    def snapshot(self) -> int:
+        return self.value
+
+
+class Gauge:
+    """A value that goes up and down (current sessions, pods running)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def inc(self, amount: float = 1) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1) -> None:
+        self.value -= amount
+
+    def reset(self) -> None:
+        self.value = 0.0
+
+    def snapshot(self) -> float:
+        return self.value
+
+
+class Histogram:
+    """Collects observations and reports count/mean/p50/p95/max."""
+
+    __slots__ = ("name", "values")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.values: list[float] = []
+
+    def observe(self, value: float) -> None:
+        self.values.append(value)
+
+    def reset(self) -> None:
+        self.values.clear()
+
+    def percentile(self, fraction: float) -> float:
+        """Nearest-rank percentile; 0.0 for an empty histogram."""
+        if not self.values:
+            return 0.0
+        ordered = sorted(self.values)
+        rank = max(0, min(len(ordered) - 1,
+                          round(fraction * (len(ordered) - 1))))
+        return ordered[rank]
+
+    def snapshot(self) -> dict[str, float]:
+        if not self.values:
+            return {"count": 0, "mean": 0.0, "p50": 0.0, "p95": 0.0,
+                    "max": 0.0}
+        return {
+            "count": len(self.values),
+            "mean": sum(self.values) / len(self.values),
+            "p50": self.percentile(0.50),
+            "p95": self.percentile(0.95),
+            "max": max(self.values),
+        }
+
+
+class MetricsRegistry:
+    """Keeps one instrument per name; idempotent accessors."""
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        instrument = self._counters.get(name)
+        if instrument is None:
+            instrument = self._counters[name] = Counter(name)
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            instrument = self._gauges[name] = Gauge(name)
+        return instrument
+
+    def histogram(self, name: str) -> Histogram:
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            instrument = self._histograms[name] = Histogram(name)
+        return instrument
+
+    def snapshot(self) -> dict[str, object]:
+        """All instruments as a JSON-serializable mapping."""
+        out: dict[str, object] = {}
+        for name, counter in sorted(self._counters.items()):
+            out[name] = counter.snapshot()
+        for name, gauge in sorted(self._gauges.items()):
+            out[name] = gauge.snapshot()
+        for name, histogram in sorted(self._histograms.items()):
+            out[name] = histogram.snapshot()
+        return out
+
+    def to_json(self, *, indent: int | None = 2) -> str:
+        return json.dumps(self.snapshot(), indent=indent)
+
+    def reset(self) -> None:
+        """Zero every instrument (instruments stay registered)."""
+        for group in (self._counters, self._gauges, self._histograms):
+            for instrument in group.values():
+                instrument.reset()
+
+
+#: The process-wide registry all instrumented modules share.
+METRICS = MetricsRegistry()

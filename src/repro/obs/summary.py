@@ -1,0 +1,24 @@
+"""The ``summary() -> dict`` / ``to_json()`` reporting protocol.
+
+Every result-like object the toolchain produces — generation results,
+incremental regeneration results, validation reports, pipeline traces —
+mixes this in so the CLI and benchmarks can treat them uniformly
+instead of special-casing each type.
+"""
+
+from __future__ import annotations
+
+import json
+
+
+class Summarizable:
+    """Mixin: implement :meth:`summary`, inherit :meth:`to_json`."""
+
+    def summary(self) -> dict[str, object]:
+        """A flat, JSON-serializable digest of this object."""
+        raise NotImplementedError(
+            f"{type(self).__name__} must implement summary()")
+
+    def to_json(self, *, indent: int | None = 2) -> str:
+        """The summary as a JSON document (override for richer exports)."""
+        return json.dumps(self.summary(), indent=indent, default=str)

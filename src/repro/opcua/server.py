@@ -13,11 +13,18 @@ from __future__ import annotations
 import itertools
 from typing import Callable
 
+from ..obs import METRICS
 from .address_space import (AddressSpace, AddressSpaceError, Argument,
                             MethodNode, Node, ObjectNode, VariableNode)
 from .network import UaNetwork, default_network
 from .nodeids import NodeId, QualifiedName
 from .subscription import DataChangeNotification, Subscription
+
+_SESSIONS = METRICS.counter("opcua.sessions_created")
+_READS = METRICS.counter("opcua.reads")
+_WRITES = METRICS.counter("opcua.writes")
+_CALLS = METRICS.counter("opcua.calls")
+_SUBSCRIPTIONS = METRICS.counter("opcua.subscriptions_created")
 
 
 class SessionError(RuntimeError):
@@ -109,6 +116,7 @@ class OpcUaServer:
                 f"server {self.endpoint} is not running")
         session = Session(next(self._session_ids), self, client_name)
         self._sessions[session.session_id] = session
+        _SESSIONS.inc()
         return session
 
     def _drop_session(self, session_id: int) -> None:
@@ -153,6 +161,7 @@ class Session:
 
     def read(self, node_id: NodeId):
         self._ensure_open()
+        _READS.inc()
         node = self.server.space.get(node_id)
         if not isinstance(node, VariableNode):
             raise AddressSpaceError(f"{node_id} is not a variable")
@@ -160,6 +169,7 @@ class Session:
 
     def write(self, node_id: NodeId, value: object) -> None:
         self._ensure_open()
+        _WRITES.inc()
         node = self.server.space.get(node_id)
         if not isinstance(node, VariableNode):
             raise AddressSpaceError(f"{node_id} is not a variable")
@@ -167,6 +177,7 @@ class Session:
 
     def call(self, node_id: NodeId, *args) -> tuple:
         self._ensure_open()
+        _CALLS.inc()
         node = self.server.space.get(node_id)
         if not isinstance(node, MethodNode):
             raise AddressSpaceError(f"{node_id} is not a method")
@@ -177,6 +188,7 @@ class Session:
             callback: Callable[[DataChangeNotification], None] | None = None
     ) -> Subscription:
         self._ensure_open()
+        _SUBSCRIPTIONS.inc()
         subscription = Subscription(next(self._subscription_ids), callback)
         self._subscriptions[subscription.subscription_id] = subscription
         return subscription

@@ -19,7 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..codegen import (DEFAULT_CLIENT_CAPACITY, GenerationResult,
-                       generate_configuration, topic_root)
+                       PipelineOptions, generate_configuration, topic_root)
 from ..isa95.levels import FactoryTopology
 from ..k8s import Cluster, deploy_manifests, make_component_factory
 from ..machines.catalog import MachineSpec
@@ -79,8 +79,9 @@ def run_factory(specs: list[MachineSpec], *,
     from ..icelab.model_gen import load_icelab_model
 
     model = load_icelab_model(specs)
-    generation = generate_configuration(model, capacity=capacity,
-                                        namespace=namespace)
+    generation = generate_configuration(
+        model, options=PipelineOptions(capacity=capacity,
+                                       namespace=namespace))
     world = FactoryWorld.for_specs(specs, seed=seed)
     cluster = Cluster(nodes=cluster_nodes,
                       component_factory=make_component_factory(world))

@@ -9,6 +9,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..obs.summary import Summarizable
+
 
 @dataclass(frozen=True)
 class SourceLocation:
@@ -70,7 +72,7 @@ class Diagnostic:
         return f"{self.severity}: {self.rule}: {self.message}{where} ({self.location})"
 
 
-class DiagnosticReport:
+class DiagnosticReport(Summarizable):
     """Accumulates diagnostics produced by a validation pass."""
 
     def __init__(self) -> None:
@@ -100,6 +102,19 @@ class DiagnosticReport:
 
     def extend(self, other: "DiagnosticReport") -> None:
         self.diagnostics.extend(other.diagnostics)
+
+    def summary(self) -> dict[str, object]:
+        return {
+            "ok": self.ok,
+            "errors": len(self.errors),
+            "warnings": len(self.warnings),
+            "diagnostics": [
+                {"severity": d.severity, "rule": d.rule,
+                 "message": d.message, "element": d.element,
+                 "location": str(d.location)}
+                for d in self.diagnostics
+            ],
+        }
 
     def raise_if_errors(self) -> None:
         """Raise a :class:`ValidationError` summarizing all errors, if any."""

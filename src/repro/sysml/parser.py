@@ -473,4 +473,12 @@ def _extract_doc(members: list[MemberNode]) -> str:
 
 def parse(text: str, filename: str = "<model>") -> ModelNode:
     """Parse SysML v2 textual notation into an AST."""
-    return Parser(text, filename).parse_model()
+    from ..obs import span
+    with span("parse", file=filename) as s:
+        parser = Parser(text, filename)
+        tree = parser.parse_model()
+        if s.enabled:
+            s.set("tokens", len(parser.tokens))
+            s.set("bytes", len(text))
+            s.set("members", len(tree.members))
+    return tree

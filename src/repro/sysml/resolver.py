@@ -19,6 +19,7 @@ Qualified names resolve their first segment that way and descend through
 
 from __future__ import annotations
 
+from ..obs import span as _span
 from .ast_nodes import FeatureChain, QualifiedName
 from .elements import (Assignment, BindingConnector, Connector, Definition,
                        Element, Import, Model, Namespace, PerformAction,
@@ -33,10 +34,19 @@ class Resolver:
         self.model = model
 
     def resolve(self) -> Model:
-        self._resolve_imports()
-        self._resolve_aliases()
-        self._resolve_types()
-        self._resolve_features()
+        with _span("resolve") as s:
+            with _span("imports"):
+                self._resolve_imports()
+            with _span("aliases"):
+                self._resolve_aliases()
+            with _span("types"):
+                self._resolve_types()
+            with _span("features"):
+                self._resolve_features()
+            if s.enabled:
+                s.set("passes", 4)
+                s.set("elements",
+                      sum(1 for _ in self.model.all_elements()))
         return self.model
 
     def _resolve_aliases(self) -> None:

@@ -2,13 +2,15 @@
 
 import pytest
 
-from repro.codegen import generate_configuration, generate_handbook
+from repro.codegen import (PipelineOptions, generate_configuration,
+                           generate_handbook)
 from repro.icelab import icelab_model
 
 
 @pytest.fixture(scope="module")
 def handbook():
-    result = generate_configuration(icelab_model(), namespace="icelab")
+    result = generate_configuration(
+        icelab_model(), options=PipelineOptions(namespace="icelab"))
     return generate_handbook(result, title="ICE Laboratory handbook")
 
 

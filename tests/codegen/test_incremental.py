@@ -4,8 +4,8 @@ import copy
 
 import pytest
 
-from repro.codegen import (GenerationPipeline, generate_configuration,
-                           regenerate)
+from repro.codegen import (GenerationPipeline, PipelineOptions,
+                           generate_configuration, regenerate)
 from repro.icelab.model_gen import icelab_sources, load_icelab_model
 from repro.machines.specs import ICE_LAB_SPECS
 from repro.sysml import load_model
@@ -20,14 +20,15 @@ def edited_specs(edit):
 @pytest.fixture(scope="module")
 def baseline():
     model = load_icelab_model()
-    result = generate_configuration(model, namespace="icelab")
+    result = generate_configuration(
+        model, options=PipelineOptions(namespace="icelab"))
     return model, result
 
 
 def run_incremental(baseline, specs):
     old_model, previous = baseline
     new_model = load_model(*icelab_sources(specs))
-    pipeline = GenerationPipeline(namespace="icelab")
+    pipeline = GenerationPipeline(PipelineOptions(namespace="icelab"))
     return regenerate(previous, old_model, new_model, pipeline)
 
 

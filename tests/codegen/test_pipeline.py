@@ -4,7 +4,7 @@ import json
 
 import pytest
 
-from repro.codegen import generate_configuration
+from repro.codegen import PipelineOptions, generate_configuration
 from repro.icelab import icelab_model
 from repro.sysml.errors import ValidationError
 from repro.yamlgen import parse_documents
@@ -17,7 +17,8 @@ def model():
 
 @pytest.fixture(scope="module")
 def result(model):
-    return generate_configuration(model, namespace="icelab")
+    return generate_configuration(
+        model, options=PipelineOptions(namespace="icelab"))
 
 
 class TestHeadlineNumbers:
@@ -162,12 +163,15 @@ class TestManifests:
 
 class TestCapacityKnob:
     def test_capacity_changes_client_count(self, model):
-        few = generate_configuration(model, capacity=600)
-        many = generate_configuration(model, capacity=40)
+        few = generate_configuration(model,
+                                     options=PipelineOptions(capacity=600))
+        many = generate_configuration(model,
+                                      options=PipelineOptions(capacity=40))
         assert few.opcua_client_count < many.opcua_client_count
 
     def test_validation_can_be_disabled(self, model):
-        result = generate_configuration(model, validate=False)
+        result = generate_configuration(
+            model, options=PipelineOptions(validate=False))
         assert result.opcua_client_count == 4
 
 

@@ -11,7 +11,8 @@ import json
 
 import pytest
 
-from repro.codegen import GenerationPipeline, regenerate
+from repro.codegen import (GenerationPipeline, PipelineOptions,
+                           regenerate)
 from repro.icelab import run_icelab
 from repro.icelab.model_gen import icelab_sources
 from repro.isa95.levels import VariableSpec
@@ -92,7 +93,8 @@ class TestLiveModelChange:
         new_model = load_model(*icelab_sources(specs))
         incremental = regenerate(deployed.generation, deployed.model,
                                  new_model,
-                                 GenerationPipeline(namespace="icelab"))
+                                 GenerationPipeline(
+                                     PipelineOptions(namespace="icelab")))
         assert incremental.changed_machines == ["warehouse"]
 
         # 2. the plant itself gains the sensor (new machine firmware)

@@ -1,0 +1,70 @@
+"""CLI telemetry surfaces: ``generate --trace`` and the ``trace`` command."""
+
+import json
+
+from repro.cli import main
+from repro.obs import TRACE_SCHEMA_VERSION
+
+
+class TestGenerateTrace:
+    def test_trace_prints_span_tree(self, capsys):
+        assert main(["generate", "--trace"]) == 0
+        out = capsys.readouterr().out
+        assert "=== pipeline trace ===" in out
+        assert "generate" in out
+        assert "step1" in out and "step2" in out
+        assert "machine:emco" in out
+        assert "├─" in out
+        # the ordinary summary still prints
+        assert "opcua_servers: 6" in out
+
+    def test_trace_to_file_writes_json(self, tmp_path, capsys):
+        target = tmp_path / "trace.json"
+        assert main(["generate", "--trace", str(target)]) == 0
+        assert f"wrote trace JSON to {target}" in capsys.readouterr().out
+        document = json.loads(target.read_text())
+        assert document["schema_version"] == TRACE_SCHEMA_VERSION
+        names = {s["name"] for s in document["spans"]}
+        assert "generate" in names
+
+    def test_untraced_generate_prints_no_tree(self, capsys):
+        assert main(["generate"]) == 0
+        assert "pipeline trace" not in capsys.readouterr().out
+
+
+class TestTraceCommand:
+    def test_report_sections(self, capsys):
+        assert main(["trace"]) == 0
+        out = capsys.readouterr().out
+        assert "=== pipeline trace ===" in out
+        assert "=== phases ===" in out
+        assert "=== metrics ===" in out
+        for phase in ("parse", "resolve", "topology", "validate",
+                      "step1", "step2"):
+            assert phase in out, phase
+
+    def test_json_output(self, capsys):
+        assert main(["trace", "--json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["schema_version"] == TRACE_SCHEMA_VERSION
+        assert document["result"]["opcua_servers"] == 6
+
+    def test_trace_a_file(self, tmp_path, capsys):
+        source = tmp_path / "icelab.sysml"
+        assert main(["model", "--out", str(source)]) == 0
+        capsys.readouterr()
+        assert main(["trace", str(source)]) == 0
+        out = capsys.readouterr().out
+        assert "parse" in out
+        assert str(source) in out  # the span names the traced file
+
+    def test_front_end_error_is_reported(self, tmp_path, capsys):
+        bad = tmp_path / "bad.sysml"
+        bad.write_text("part x : Missing;")
+        assert main(["trace", str(bad)]) == 1
+        assert "ERROR" in capsys.readouterr().out
+
+    def test_report_to_file(self, tmp_path, capsys):
+        target = tmp_path / "report.txt"
+        assert main(["trace", "--out", str(target)]) == 0
+        assert "=== phases ===" in target.read_text()

@@ -1,0 +1,90 @@
+"""Process-wide metrics registry: counters, gauges, histograms."""
+
+import json
+
+import pytest
+
+from repro.obs import METRICS, MetricsRegistry
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry()
+
+
+class TestCounter:
+    def test_inc_and_snapshot(self, registry):
+        counter = registry.counter("pipeline.runs")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+        assert registry.snapshot()["pipeline.runs"] == 5
+
+    def test_accessor_is_idempotent(self, registry):
+        a = registry.counter("same")
+        b = registry.counter("same")
+        assert a is b
+        a.inc()
+        assert b.value == 1
+
+    def test_reset(self, registry):
+        counter = registry.counter("c")
+        counter.inc(7)
+        registry.reset()
+        assert counter.value == 0
+
+
+class TestGauge:
+    def test_set_inc_dec(self, registry):
+        gauge = registry.gauge("pods.running")
+        gauge.set(10)
+        gauge.inc(3)
+        gauge.dec()
+        assert gauge.value == 12
+        assert registry.snapshot()["pods.running"] == 12
+
+
+class TestHistogram:
+    def test_percentiles_nearest_rank(self, registry):
+        histogram = registry.histogram("latency")
+        for value in range(1, 101):  # 1..100
+            histogram.observe(float(value))
+        snap = histogram.snapshot()
+        assert snap["count"] == 100
+        assert snap["p50"] == pytest.approx(50.0, abs=1.0)
+        assert snap["p95"] == pytest.approx(95.0, abs=1.0)
+        assert snap["max"] == 100.0
+        assert snap["mean"] == pytest.approx(50.5)
+
+    def test_empty_histogram_snapshot(self, registry):
+        snap = registry.histogram("empty").snapshot()
+        assert snap["count"] == 0
+
+    def test_single_observation(self, registry):
+        histogram = registry.histogram("one")
+        histogram.observe(3.5)
+        snap = histogram.snapshot()
+        assert snap["p50"] == 3.5
+        assert snap["p95"] == 3.5
+        assert snap["max"] == 3.5
+
+
+class TestRegistry:
+    def test_to_json_is_valid_json(self, registry):
+        registry.counter("a").inc()
+        registry.gauge("b").set(2)
+        registry.histogram("h").observe(1.0)
+        document = json.loads(registry.to_json())
+        assert document["a"] == 1
+        assert document["b"] == 2
+        assert document["h"]["count"] == 1
+
+    def test_global_registry_collects_pipeline_counters(self):
+        """The instrumented pipeline feeds the process-wide registry."""
+        from repro.codegen import generate_configuration
+        from repro.icelab import icelab_model
+
+        renders = METRICS.counter("templates.renders")
+        before = renders.value
+        generate_configuration(icelab_model())
+        assert renders.value > before

@@ -1,0 +1,114 @@
+"""PipelineOptions: the one configuration object for the pipeline.
+
+Covers the frozen dataclass semantics, dict round-trips, and the
+legacy-kwargs deprecation shim (old call sites keep working, warn).
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.codegen import (GenerationPipeline, PipelineOptions,
+                           generate_configuration)
+from repro.obs import Tracer
+
+
+@pytest.fixture(scope="module")
+def model():
+    from repro.icelab import icelab_model
+    return icelab_model()
+
+
+class TestDataclassSemantics:
+    def test_defaults(self):
+        options = PipelineOptions()
+        assert options.capacity == 120
+        assert options.namespace == "factory"
+        assert options.validate is True
+        assert options.tracer is None
+
+    def test_frozen(self):
+        options = PipelineOptions()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            options.capacity = 600
+
+    def test_replace(self):
+        options = PipelineOptions(namespace="icelab")
+        bigger = options.replace(capacity=600)
+        assert bigger.capacity == 600
+        assert bigger.namespace == "icelab"
+        assert options.capacity == 120  # original untouched
+
+    def test_equality_ignores_tracer(self):
+        assert (PipelineOptions(tracer=Tracer())
+                == PipelineOptions(tracer=None))
+
+    def test_round_trip(self):
+        options = PipelineOptions(capacity=300, namespace="plant",
+                                  validate=False)
+        restored = PipelineOptions.from_dict(options.to_dict())
+        assert restored == options
+
+    def test_to_dict_omits_tracer(self):
+        options = PipelineOptions(tracer=Tracer())
+        assert "tracer" not in options.to_dict()
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(TypeError, match="unknown"):
+            PipelineOptions.from_dict({"capicity": 600})
+
+    def test_from_dict_reattaches_tracer(self):
+        tracer = Tracer()
+        options = PipelineOptions.from_dict({"capacity": 60},
+                                            tracer=tracer)
+        assert options.capacity == 60
+        assert options.tracer is tracer
+
+
+class TestPipelineIntegration:
+    def test_pipeline_exposes_options(self):
+        options = PipelineOptions(capacity=600, namespace="icelab")
+        pipeline = GenerationPipeline(options)
+        assert pipeline.options is options
+        assert pipeline.capacity == 600
+        assert pipeline.namespace == "icelab"
+
+    def test_default_pipeline(self):
+        pipeline = GenerationPipeline()
+        assert pipeline.options == PipelineOptions()
+
+    def test_options_drive_generation(self, model):
+        result = generate_configuration(
+            model, options=PipelineOptions(capacity=600))
+        assert result.opcua_client_count == 1
+
+
+class TestLegacyShim:
+    def test_generate_configuration_kwargs_warn_but_work(self, model):
+        with pytest.warns(DeprecationWarning, match="PipelineOptions"):
+            result = generate_configuration(model, capacity=600)
+        assert result.opcua_client_count == 1
+
+    def test_pipeline_kwargs_warn_but_work(self, model):
+        with pytest.warns(DeprecationWarning, match="PipelineOptions"):
+            pipeline = GenerationPipeline(namespace="legacy",
+                                          capacity=240)
+        assert pipeline.options.namespace == "legacy"
+        assert pipeline.options.capacity == 240
+        result = pipeline.run_on_model(model)
+        assert result.opcua_server_count == 6
+
+    def test_mixing_options_and_kwargs_is_an_error(self, model):
+        with pytest.raises(TypeError, match="not both"):
+            generate_configuration(
+                model, options=PipelineOptions(), capacity=600)
+
+    def test_unknown_kwarg_is_an_error(self):
+        with pytest.raises(TypeError, match="unexpected"):
+            GenerationPipeline(capicity=600)
+
+    def test_no_warning_on_new_style(self, model, recwarn):
+        generate_configuration(model, options=PipelineOptions())
+        deprecations = [w for w in recwarn.list
+                        if issubclass(w.category, DeprecationWarning)]
+        assert not deprecations

@@ -11,7 +11,7 @@ import string
 
 from hypothesis import given, settings, strategies as st
 
-from repro.codegen import generate_configuration
+from repro.codegen import PipelineOptions, generate_configuration
 from repro.icelab.model_gen import load_icelab_model
 from repro.isa95.levels import VariableSpec
 from repro.machines.catalog import DriverSpec, MachineSpec, simple_service
@@ -60,7 +60,8 @@ def test_generated_models_always_validate(specs):
 @given(machine_specs(), st.integers(5, 200))
 def test_generation_invariants(specs, capacity):
     model = load_icelab_model(specs)
-    result = generate_configuration(model, capacity=capacity)
+    result = generate_configuration(
+        model, options=PipelineOptions(capacity=capacity))
     total_vars = sum(s.variable_count for s in specs)
     total_svcs = sum(s.service_count for s in specs)
 

@@ -2,7 +2,8 @@
 
 import pytest
 
-from repro.codegen import generate_configuration, topic_root
+from repro.codegen import (PipelineOptions, generate_configuration,
+                           topic_root)
 from repro.machines.specs import EMCO_SPEC, SPEA_SPEC
 from repro.icelab.model_gen import load_icelab_model
 from repro.som import (FactoryWorld, HistorianComponent,
@@ -15,7 +16,8 @@ SPECS = [EMCO_SPEC, SPEA_SPEC]
 @pytest.fixture(scope="module")
 def generation():
     model = load_icelab_model(SPECS)
-    return generate_configuration(model, namespace="test")
+    return generate_configuration(
+        model, options=PipelineOptions(namespace="test"))
 
 
 @pytest.fixture
