@@ -1,0 +1,23 @@
+"""Content-addressed artifact caching for the generation data path.
+
+The pipeline's units of work — per-source parse trees, the extracted
+topology, per-machine intermediate JSON, per-manifest YAML — are pure
+functions of their inputs, and between runs those inputs are
+overwhelmingly unchanged. :class:`ArtifactCache` stores each artifact
+on disk under a :func:`fingerprint` of its inputs (SHA-256 over
+canonical JSON plus a schema/version salt), so a warm run re-reads
+instead of re-computing.
+
+See DESIGN.md ("Artifact cache") for the fingerprint composition and
+invalidation rules.
+"""
+
+from .fingerprint import CACHE_SCHEMA_VERSION, canonical_json, fingerprint
+from .store import (ArtifactCache, CACHE_DIR_ENV, DEFAULT_CACHE_MAX_BYTES,
+                    default_cache_dir)
+
+__all__ = [
+    "ArtifactCache", "CACHE_DIR_ENV", "CACHE_SCHEMA_VERSION",
+    "DEFAULT_CACHE_MAX_BYTES", "canonical_json", "default_cache_dir",
+    "fingerprint",
+]

@@ -1,0 +1,215 @@
+"""Content-addressed, on-disk artifact cache.
+
+Artifacts are stored under ``<directory>/<key[:2]>/<key[2:]>`` where the
+key is a :func:`~repro.cache.fingerprint.fingerprint` of the producing
+inputs. The store offers three payload codecs — raw bytes, JSON and
+pickle — all sharing the same properties:
+
+* **corruption tolerant**: a truncated, unreadable or undecodable entry
+  counts as a miss and is deleted, never raised;
+* **atomic writes**: payloads land via a temp file + ``os.replace``, so
+  concurrent readers (worker threads, parallel runs) never observe a
+  partial artifact;
+* **size-bounded LRU**: after each put the store evicts
+  least-recently-used entries (by mtime, refreshed on every hit) until
+  the total payload size fits ``max_bytes``;
+* **observable**: ``cache.hits`` / ``cache.misses`` / ``cache.evictions``
+  counters in :data:`repro.obs.METRICS`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+from pathlib import Path
+
+from ..obs import METRICS
+
+_HITS = METRICS.counter("cache.hits")
+_MISSES = METRICS.counter("cache.misses")
+_EVICTIONS = METRICS.counter("cache.evictions")
+
+#: Default size bound — generous for manifests, small for a dev machine.
+DEFAULT_CACHE_MAX_BYTES = 256 * 1024 * 1024
+
+#: Environment variable naming the default cache directory.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR`` or ``~/.cache/repro-factory``."""
+    configured = os.environ.get(CACHE_DIR_ENV)
+    if configured:
+        return Path(configured).expanduser()
+    return Path("~/.cache/repro-factory").expanduser()
+
+
+class ArtifactCache:
+    """A content-addressed artifact store rooted at one directory."""
+
+    def __init__(self, directory: str | Path,
+                 max_bytes: int = DEFAULT_CACHE_MAX_BYTES):
+        self.directory = Path(directory)
+        self.max_bytes = max_bytes
+        self.directory.mkdir(parents=True, exist_ok=True)
+        # running size estimate so puts do not rescan the directory;
+        # seeded lazily, corrected by every real eviction scan
+        self._approx_bytes: int | None = None
+
+    # -- key layout ------------------------------------------------------
+
+    def _path(self, key: str) -> Path:
+        return self.directory / key[:2] / key[2:]
+
+    # -- raw loads/stores (no hit/miss accounting) -----------------------
+
+    def _load(self, key: str) -> bytes | None:
+        path = self._path(key)
+        try:
+            data = path.read_bytes()
+        except OSError:
+            return None
+        try:
+            os.utime(path)  # refresh LRU recency
+        except OSError:
+            pass
+        return data
+
+    def _store(self, key: str, data: bytes) -> None:
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.parent / f".{path.name}.{os.getpid()}.tmp"
+        try:
+            tmp.write_bytes(data)
+            os.replace(tmp, path)
+        except OSError:
+            tmp.unlink(missing_ok=True)
+            return
+        if self._approx_bytes is None:
+            self._approx_bytes = sum(size for _, size, _
+                                     in self._entries())
+        else:
+            self._approx_bytes += len(data)
+        if self._approx_bytes > self.max_bytes:
+            self._evict()
+
+    def discard(self, key: str) -> None:
+        """Drop one entry (used when a payload fails to decode)."""
+        self._path(key).unlink(missing_ok=True)
+
+    # -- payload codecs --------------------------------------------------
+
+    def get_bytes(self, key: str) -> bytes | None:
+        data = self._load(key)
+        (_HITS if data is not None else _MISSES).inc()
+        return data
+
+    def put_bytes(self, key: str, data: bytes) -> None:
+        self._store(key, data)
+
+    def get_text(self, key: str) -> str | None:
+        data = self._load(key)
+        if data is not None:
+            try:
+                text = data.decode("utf-8")
+            except UnicodeDecodeError:
+                self.discard(key)
+            else:
+                _HITS.inc()
+                return text
+        _MISSES.inc()
+        return None
+
+    def put_text(self, key: str, text: str) -> None:
+        self._store(key, text.encode("utf-8"))
+
+    def get_json(self, key: str) -> object | None:
+        data = self._load(key)
+        if data is not None:
+            try:
+                value = json.loads(data)
+            except ValueError:
+                self.discard(key)
+            else:
+                _HITS.inc()
+                return value
+        _MISSES.inc()
+        return None
+
+    def put_json(self, key: str, value: object) -> None:
+        # insertion order is preserved (NOT sorted): replayed artifacts
+        # must serialize byte-identically to freshly generated ones
+        self._store(key, json.dumps(value,
+                                    separators=(",", ":")).encode("utf-8"))
+
+    def get_object(self, key: str) -> object | None:
+        """Unpickle an artifact; any unpickling failure is a miss."""
+        data = self._load(key)
+        if data is not None:
+            try:
+                value = pickle.loads(data)
+            except Exception:
+                self.discard(key)
+            else:
+                _HITS.inc()
+                return value
+        _MISSES.inc()
+        return None
+
+    def put_object(self, key: str, value: object) -> None:
+        self._store(key, pickle.dumps(value,
+                                      protocol=pickle.HIGHEST_PROTOCOL))
+
+    # -- maintenance -----------------------------------------------------
+
+    def _entries(self) -> list[tuple[float, int, Path]]:
+        """(mtime, size, path) for every stored artifact."""
+        entries = []
+        for path in self.directory.glob("??/*"):
+            if path.name.endswith(".tmp"):
+                continue
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            entries.append((stat.st_mtime, stat.st_size, path))
+        return entries
+
+    def _evict(self) -> None:
+        entries = self._entries()
+        total = sum(size for _, size, _ in entries)
+        if total > self.max_bytes:
+            for _, size, path in sorted(entries):  # oldest first
+                path.unlink(missing_ok=True)
+                _EVICTIONS.inc()
+                total -= size
+                if total <= self.max_bytes:
+                    break
+        self._approx_bytes = total
+
+    def clear(self) -> int:
+        """Remove every artifact; returns the number removed."""
+        removed = 0
+        for _, _, path in self._entries():
+            path.unlink(missing_ok=True)
+            removed += 1
+        self._approx_bytes = 0
+        return removed
+
+    def stats(self) -> dict[str, object]:
+        """On-disk state plus this process's hit/miss/eviction counters."""
+        entries = self._entries()
+        return {
+            "directory": str(self.directory),
+            "entries": len(entries),
+            "total_bytes": sum(size for _, size, _ in entries),
+            "max_bytes": self.max_bytes,
+            "hits": _HITS.snapshot(),
+            "misses": _MISSES.snapshot(),
+            "evictions": _EVICTIONS.snapshot(),
+        }
+
+    def __repr__(self) -> str:
+        return (f"ArtifactCache({str(self.directory)!r}, "
+                f"max_bytes={self.max_bytes})")

@@ -54,19 +54,63 @@ def _cmd_validate(args) -> int:
     return 0 if report.ok else 1
 
 
+def _resolve_cache(args):
+    """The ArtifactCache requested via --cache/--cache-dir, or None."""
+    from .cache import ArtifactCache, default_cache_dir
+    directory = args.cache_dir
+    if directory is None and getattr(args, "cache", False):
+        directory = default_cache_dir()
+    if directory is None:
+        return None
+    max_bytes = getattr(args, "cache_max_bytes", None)
+    if max_bytes is not None:
+        return ArtifactCache(directory, max_bytes)
+    return ArtifactCache(directory)
+
+
+def _add_perf_arguments(parser) -> None:
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker-pool width for parse/step1/step2 fan-out "
+             "(0 = one per CPU; output is identical to serial)")
+    parser.add_argument(
+        "--cache", action="store_true",
+        help="cache artifacts under $REPRO_CACHE_DIR "
+             "(default ~/.cache/repro-factory)")
+    parser.add_argument("--cache-dir", metavar="PATH",
+                        help="cache artifacts under PATH")
+    parser.add_argument("--cache-max-bytes", type=int, default=None,
+                        metavar="N", help="LRU size bound of the cache")
+
+
+def _load_sources(sources, filenames, args, cache):
+    """Front end honoring the shared --jobs/--cache flags."""
+    from .sysml import load_model
+    return load_model(
+        *sources, filenames=filenames, cache=cache, jobs=args.jobs,
+        parse_mode="process" if getattr(args, "parse_processes", False)
+        else "thread")
+
+
 def _cmd_generate(args) -> int:
     from .codegen import PipelineOptions, generate_configuration
-    from .icelab import icelab_model
+    from .icelab import icelab_sources
     from .obs import Tracer
     tracer = Tracer() if args.trace is not None else None
-    options = PipelineOptions(capacity=args.capacity,
-                              namespace=args.namespace, tracer=tracer)
+    cache = _resolve_cache(args)
+    options = PipelineOptions(
+        capacity=args.capacity, namespace=args.namespace, tracer=tracer,
+        jobs=args.jobs,
+        cache_dir=str(cache.directory) if cache else None,
+        cache_max_bytes=(cache.max_bytes if cache
+                         else PipelineOptions().cache_max_bytes))
     if tracer is not None:
         with tracer.activate():
-            model = icelab_model()
+            model = _load_sources(icelab_sources(), None, args, cache)
             result = generate_configuration(model, options=options)
     else:
-        result = generate_configuration(icelab_model(), options=options)
+        model = _load_sources(icelab_sources(), None, args, cache)
+        result = generate_configuration(model, options=options)
     for key, value in result.summary().items():
         print(f"{key:>20}: {value}")
     for group in result.groups:
@@ -95,7 +139,6 @@ def _cmd_trace(args) -> int:
 
     from .codegen import PipelineOptions, generate_configuration
     from .obs import METRICS, Tracer
-    from .sysml import load_model
     from .sysml.errors import SysMLError
 
     if args.file:
@@ -107,13 +150,16 @@ def _cmd_trace(args) -> int:
         sources = icelab_sources()
         filenames = None
 
+    cache = _resolve_cache(args)
     tracer = Tracer()
     try:
         with tracer.activate():
-            model = load_model(*sources, filenames=filenames)
+            model = _load_sources(sources, filenames, args, cache)
             result = generate_configuration(
-                model, options=PipelineOptions(capacity=args.capacity,
-                                               namespace=args.namespace))
+                model, options=PipelineOptions(
+                    capacity=args.capacity, namespace=args.namespace,
+                    jobs=args.jobs,
+                    cache_dir=str(cache.directory) if cache else None))
     except SysMLError as exc:
         print(f"ERROR: {exc}")
         return 1
@@ -127,6 +173,17 @@ def _cmd_trace(args) -> int:
                  "=== phases ==="]
         for name, seconds in trace.phase_seconds().items():
             lines.append(f"{name:>12}: {seconds * 1e3:9.2f}ms")
+        snapshot = METRICS.snapshot()
+        cache_counters = {name: value
+                          for name, value in snapshot.items()
+                          if name.startswith("cache.")
+                          or name.startswith("parallel.")}
+        lines += ["", "=== cache/parallel ==="]
+        if cache_counters:
+            for name, value in cache_counters.items():
+                lines.append(f"{name:>20}: {value}")
+        else:
+            lines.append("(no cache/parallel activity)")
         lines += ["", "=== metrics ===", METRICS.to_json()]
         text = "\n".join(lines)
     if args.out:
@@ -231,6 +288,21 @@ def _cmd_compare(args) -> int:
     return 0
 
 
+def _cmd_cache(args) -> int:
+    from .cache import ArtifactCache, default_cache_dir
+    directory = args.cache_dir or default_cache_dir()
+    cache = (ArtifactCache(directory, args.cache_max_bytes)
+             if args.cache_max_bytes is not None
+             else ArtifactCache(directory))
+    if args.action == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} artifacts from {cache.directory}")
+        return 0
+    for key, value in cache.stats().items():
+        print(f"{key:>12}: {value}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-factory",
@@ -258,6 +330,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace", nargs="?", const="-", default=None, metavar="FILE",
         help="record pipeline telemetry; prints the span tree, or "
              "writes trace JSON to FILE when given")
+    _add_perf_arguments(p_generate)
+    p_generate.add_argument(
+        "--parse-processes", action="store_true",
+        help="parse sources on a process pool (CPU-bound fan-out)")
     p_generate.set_defaults(func=_cmd_generate)
 
     p_trace = subparsers.add_parser(
@@ -269,7 +345,21 @@ def build_parser() -> argparse.ArgumentParser:
     p_trace.add_argument("--json", action="store_true",
                          help="emit the full trace as JSON")
     p_trace.add_argument("--out", help="write the report to a file")
+    _add_perf_arguments(p_trace)
+    p_trace.add_argument(
+        "--parse-processes", action="store_true",
+        help="parse sources on a process pool (CPU-bound fan-out)")
     p_trace.set_defaults(func=_cmd_trace)
+
+    p_cache = subparsers.add_parser(
+        "cache", help="inspect or clear the artifact cache")
+    p_cache.add_argument("action", choices=("stats", "clear"))
+    p_cache.add_argument("--cache-dir", metavar="PATH",
+                         help="cache directory "
+                              "(default: $REPRO_CACHE_DIR or "
+                              "~/.cache/repro-factory)")
+    p_cache.add_argument("--cache-max-bytes", type=int, default=None)
+    p_cache.set_defaults(func=_cmd_cache)
 
     p_deploy = subparsers.add_parser("deploy",
                                      help="full simulated deployment")

@@ -16,6 +16,7 @@ from __future__ import annotations
 import warnings
 from dataclasses import dataclass, field, fields, replace
 
+from ..cache import DEFAULT_CACHE_MAX_BYTES
 from ..obs import Tracer
 from .grouping import DEFAULT_CLIENT_CAPACITY
 
@@ -29,6 +30,14 @@ class PipelineOptions:
     broker_url: str = "mqtt://broker:1883"
     database_url: str = "ts://factorydb:8086"
     validate: bool = True
+    #: Worker-pool width for the fan-out phases (per-machine configs,
+    #: per-manifest renders); ``1`` keeps every phase serial, ``0``
+    #: means one worker per CPU. Output is byte-identical either way.
+    jobs: int = 1
+    #: Artifact-cache directory; ``None`` disables caching.
+    cache_dir: str | None = None
+    #: LRU size bound of the artifact cache.
+    cache_max_bytes: int = DEFAULT_CACHE_MAX_BYTES
     #: Tracer collecting the run's :class:`~repro.obs.PipelineTrace`;
     #: ``None`` leaves telemetry off (or inherits an ambient tracer).
     tracer: Tracer | None = field(default=None, compare=False)
@@ -45,6 +54,9 @@ class PipelineOptions:
             "broker_url": self.broker_url,
             "database_url": self.database_url,
             "validate": self.validate,
+            "jobs": self.jobs,
+            "cache_dir": self.cache_dir,
+            "cache_max_bytes": self.cache_max_bytes,
         }
 
     @classmethod

@@ -17,23 +17,37 @@ recorded as a span — ``generate`` > ``topology`` / ``validate`` /
 ``step1`` (per machine, grouping) / ``step2`` (per rendered template) —
 and the resulting :class:`~repro.obs.PipelineTrace` is attached to the
 :class:`GenerationResult`.
+
+Two execution accelerators hang off :class:`PipelineOptions`:
+
+* ``jobs`` fans the independent units (per-machine configs in step 1,
+  per-manifest renders in step 2) out over a worker pool via
+  :mod:`repro.parallel` — results keep input order, so parallel output
+  is byte-for-byte identical to serial;
+* ``cache_dir`` enables the :mod:`repro.cache` artifact cache: the
+  extracted topology and the whole result set are keyed on the model's
+  source fingerprint, and each machine config / manifest is keyed on
+  its own inputs, so warm runs replay artifacts instead of recomputing
+  (hits/misses surface as ``cache.*`` counters in ``repro trace``).
 """
 
 from __future__ import annotations
 
 import json
 import time
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from pathlib import Path
 
-from ..isa95.levels import FactoryTopology
+from ..cache import ArtifactCache, fingerprint
+from ..isa95.levels import FactoryTopology, MachineInfo
 from ..isa95.topology import extract_topology
 from ..isa95.validation import validate_topology
 from ..obs import PipelineTrace, Summarizable, activation, span
+from ..parallel import map_ordered
 from ..sysml.elements import Model
 from ..sysml.errors import ValidationError
 from ..templates.engine import k8s_name
-from ..templates.library import get_template
+from ..templates.library import get_template, template_source
 from .client_config import client_config
 from .grouping import ClientGroup, group_machines
 from .machine_config import machine_config, workcell_server_config
@@ -46,6 +60,22 @@ COMPONENT_IMAGES = {
     "opcua-client": "factory/opcua-client:1.4.2",
     "historian": "factory/historian:1.2.0",
 }
+
+# Per-layer cache salts (see DESIGN.md, "Artifact cache"). Bump a salt
+# whenever the corresponding generator's output format changes.
+_TOPOLOGY_SALT = "isa95-topology/1"
+_STEP1_SALT = "machine-config/1"
+_STEP2_SALT = "manifest/1"
+_RESULT_SALT = "generation-result/1"
+
+
+def _render_environment() -> dict[str, object]:
+    """Everything besides configs that shapes manifest bytes — part of
+    the whole-result cache key, so editing a template or bumping an
+    image invalidates replayed runs."""
+    from ..templates.library import TEMPLATE_SOURCES
+    return {"images": COMPONENT_IMAGES,
+            "templates": dict(TEMPLATE_SOURCES)}
 
 
 @dataclass
@@ -123,8 +153,10 @@ class GenerationResult(Summarizable):
         json_dir.mkdir(parents=True, exist_ok=True)
         yaml_dir.mkdir(parents=True, exist_ok=True)
         for name, config in self.machine_configs.items():
-            written.append(_write_json(json_dir / f"machine-{name}.json",
-                                       config))
+            # sanitize: raw model names may carry characters that are
+            # unsafe or inconsistent with the server/client file naming
+            written.append(_write_json(
+                json_dir / f"machine-{k8s_name(name)}.json", config))
         for name, config in self.server_configs.items():
             written.append(_write_json(
                 json_dir / f"server-{k8s_name(name)}.json", config))
@@ -157,6 +189,10 @@ class GenerationPipeline:
     def __init__(self, options: PipelineOptions | None = None, **legacy):
         self.options = options_from_legacy_kwargs(
             options, legacy, api="GenerationPipeline")
+        self.cache: ArtifactCache | None = None
+        if self.options.cache_dir is not None:
+            self.cache = ArtifactCache(self.options.cache_dir,
+                                       self.options.cache_max_bytes)
 
     # -- legacy attribute surface -----------------------------------------
 
@@ -185,12 +221,64 @@ class GenerationPipeline:
     def run_on_model(self, model: Model) -> GenerationResult:
         with activation(self.options.tracer) as tracer:
             started = time.perf_counter()
-            with span("generate"):
-                topology = extract_topology(model)
-                result = self._run(topology, extraction_started=started)
+            with span("generate") as g:
+                result = self._generate_from_model(model, started, g)
             if tracer.enabled:
                 result.trace = tracer.trace()
         return result
+
+    def _generate_from_model(self, model: Model, started: float,
+                             generate_span) -> GenerationResult:
+        source_fp = getattr(model, "content_fingerprint", None)
+        topology = self._extract_topology(model, source_fp)
+        if self.cache is None or source_fp is None:
+            return self._run(topology, extraction_started=started)
+        # Whole-result layer: when the sources and every output-shaping
+        # option are unchanged, reuse the complete artifact set in one
+        # read instead of probing the per-unit layers.
+        key = fingerprint(source_fp, self._semantic_options(),
+                          _render_environment(), salt=_RESULT_SALT)
+        bundle = self.cache.get_object(key)
+        if bundle is not None:
+            self._validate(topology)
+            result = GenerationResult(topology=topology, **bundle)
+            result.generation_seconds = time.perf_counter() - started
+            generate_span.set("result_cache", "hit")
+            return result
+        result = self._run(topology, extraction_started=started)
+        self.cache.put_object(key, {
+            "machine_configs": result.machine_configs,
+            "server_configs": result.server_configs,
+            "client_configs": result.client_configs,
+            "storage_configs": result.storage_configs,
+            "groups": result.groups,
+            "manifests": result.manifests,
+        })
+        return result
+
+    def _extract_topology(self, model: Model,
+                          source_fp: str | None) -> FactoryTopology:
+        if self.cache is None or source_fp is None:
+            return extract_topology(model)
+        key = fingerprint(source_fp, salt=_TOPOLOGY_SALT)
+        cached = self.cache.get_object(key)
+        if isinstance(cached, FactoryTopology):
+            with span("topology", cached=True):
+                pass
+            return cached
+        topology = extract_topology(model)
+        self.cache.put_object(key, topology)
+        return topology
+
+    def _semantic_options(self) -> dict[str, object]:
+        """The options that shape output bytes — *not* jobs or cache
+        settings, so serial/parallel runs share cache entries."""
+        return {
+            "capacity": self.options.capacity,
+            "namespace": self.options.namespace,
+            "broker_url": self.options.broker_url,
+            "database_url": self.options.database_url,
+        }
 
     def run_on_topology(self, topology: FactoryTopology
                         ) -> GenerationResult:
@@ -202,14 +290,18 @@ class GenerationPipeline:
                 result.trace = tracer.trace()
         return result
 
+    def _validate(self, topology: FactoryTopology) -> None:
+        if not self.options.validate:
+            return
+        report = validate_topology(topology)
+        if not report.ok:
+            raise ValidationError(
+                "topology validation failed: "
+                + "; ".join(str(d) for d in report.errors))
+
     def _run(self, topology: FactoryTopology,
              extraction_started: float) -> GenerationResult:
-        if self.options.validate:
-            report = validate_topology(topology)
-            if not report.ok:
-                raise ValidationError(
-                    "topology validation failed: "
-                    + "; ".join(str(d) for d in report.errors))
+        self._validate(topology)
         result = GenerationResult(topology=topology)
         step1_started = time.perf_counter()
         with span("step1") as s:
@@ -231,11 +323,17 @@ class GenerationPipeline:
 
     def _step1(self, topology: FactoryTopology,
                result: GenerationResult) -> None:
-        for machine in topology.machines:
-            with span(f"machine:{machine.name}") as s:
-                config = machine_config(machine, topology)
-                result.machine_configs[machine.name] = config
-                s.set("points", machine.point_count)
+        def build(machine: MachineInfo) -> dict:
+            with span(f"machine:{machine.name}",
+                      points=machine.point_count):
+                return self._machine_config_cached(machine, topology)
+
+        configs = map_ordered(
+            build, topology.machines, jobs=self.options.jobs,
+            span_label=lambda machine, _i: f"machine:{machine.name}",
+            pool_span="step1-pool")
+        for machine, config in zip(topology.machines, configs):
+            result.machine_configs[machine.name] = config
         with span("servers") as s:
             for workcell in topology.workcells:
                 if not workcell.machines:
@@ -258,24 +356,66 @@ class GenerationPipeline:
                                    self.options.database_url))
             s.set("groups", len(result.groups))
 
+    def _machine_config_cached(self, machine: MachineInfo,
+                               topology: FactoryTopology) -> dict:
+        if self.cache is None:
+            return machine_config(machine, topology)
+        # key: the machine's full spec plus the hierarchy context that
+        # flows into its intermediate JSON — nothing else of the
+        # topology affects this artifact
+        line = next((wc.production_line for wc in topology.workcells
+                     if wc.name == machine.workcell), "")
+        key = fingerprint(
+            {"machine": asdict(machine),
+             "hierarchy": {"enterprise": topology.enterprise,
+                           "site": topology.site, "area": topology.area,
+                           "production_line": line}},
+            salt=_STEP1_SALT)
+        cached = self.cache.get_json(key)
+        if isinstance(cached, dict):
+            return cached
+        config = machine_config(machine, topology)
+        self.cache.put_json(key, config)
+        return config
+
     # -- step 2: Kubernetes YAML -----------------------------------------------------
 
     def _step2(self, result: GenerationResult) -> None:
-        for workcell_name, config in result.server_configs.items():
-            name = config["server"]
-            result.manifests[f"{name}.yaml"] = self._render(
-                "opcua-server", name, config, port=config["port"])
+        tasks: list[tuple[str, str, dict, int | None]] = []
+        for config in result.server_configs.values():
+            tasks.append(("opcua-server", config["server"], config,
+                          config["port"]))
         for config in result.client_configs:
-            name = config["client"]
-            result.manifests[f"{name}.yaml"] = self._render(
-                "opcua-client", name, config)
+            tasks.append(("opcua-client", config["client"], config, None))
         for config in result.storage_configs:
-            name = config["historian"]
-            result.manifests[f"{name}.yaml"] = self._render(
-                "historian", name, config)
+            tasks.append(("historian", config["historian"], config, None))
+        rendered = map_ordered(
+            self._render_task, tasks, jobs=self.options.jobs,
+            span_label=lambda task, _i: f"render:{k8s_name(task[1])}",
+            pool_span="step2-pool")
+        for (_, name, _, _), text in zip(tasks, rendered):
+            result.manifests[f"{name}.yaml"] = text
+
+    def _render_task(self, task: tuple[str, str, dict, int | None]) -> str:
+        kind, name, config, port = task
+        return self._render(kind, name, config, port=port)
 
     def _render(self, kind: str, name: str, config: dict,
                 *, port: int | None = None) -> str:
+        key = None
+        if self.cache is not None:
+            key = fingerprint(
+                {"kind": kind, "name": name, "port": port or 0,
+                 "config": config, "image": COMPONENT_IMAGES[kind],
+                 "template": template_source(kind),
+                 **self._semantic_options()},
+                salt=_STEP2_SALT)
+            cached = self.cache.get_text(key)
+            if cached is not None:
+                with span(f"render:{k8s_name(name)}", template=kind,
+                          cached=True):
+                    pass
+                return cached
         context = {
             "namespace": self.options.namespace,
             "broker_url": self.options.broker_url,
@@ -295,6 +435,8 @@ class GenerationPipeline:
             text = get_template(kind).render(context)
             s.set("template", kind)
             s.set("bytes", len(text))
+        if key is not None:
+            self.cache.put_text(key, text)
         return text
 
 

@@ -107,6 +107,9 @@ class NullTracer:
     def span(self, name: str, **attributes) -> _NullSpan:
         return NULL_SPAN
 
+    def attach(self, span) -> None:
+        pass
+
     @contextmanager
     def activate(self):
         """Deactivate tracing in the enclosed block."""
@@ -155,6 +158,18 @@ class Tracer:
             if top is span:
                 break
 
+    def attach(self, span: Span) -> None:
+        """Adopt an already-finished span as a child of the open span.
+
+        Worker pools record spans off-thread (where the ambient tracer
+        is not active) and fold them back here, so parallel phases keep
+        per-unit timings in the exported :class:`PipelineTrace`.
+        """
+        if self._stack:
+            self._stack[-1].children.append(span)
+        else:
+            self.roots.append(span)
+
     # -- activation ---------------------------------------------------------
 
     @contextmanager
@@ -182,6 +197,22 @@ def current_tracer() -> Tracer | NullTracer:
 def span(name: str, **attributes) -> Span | _NullSpan:
     """Open a span on the ambient tracer (no-op when tracing is off)."""
     return _ACTIVE_TRACER.get().span(name, **attributes)
+
+
+def record_span(name: str, seconds: float, **attributes) -> None:
+    """Attach a pre-timed span to the ambient tracer.
+
+    Used when the work happened somewhere the ambient tracer could not
+    follow (a worker thread or process): the caller measured *seconds*
+    itself and folds the result back into the trace tree after the fact.
+    No-op when tracing is off.
+    """
+    tracer = _ACTIVE_TRACER.get()
+    if not tracer.enabled:
+        return
+    recorded = tracer.span(name, **attributes)
+    recorded.duration = seconds
+    tracer.attach(recorded)
 
 
 @contextmanager

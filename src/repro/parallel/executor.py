@@ -1,0 +1,106 @@
+"""Deterministic fan-out over the pipeline's independent work units.
+
+:func:`map_ordered` is the one primitive: apply a function to every item
+of a list, possibly on a worker pool, and return the results **in input
+order** — so a parallel phase is byte-for-byte identical to its serial
+counterpart no matter how the scheduler interleaves workers.
+
+Execution modes:
+
+* ``serial`` (or ``jobs <= 1``) — plain in-process loop; the ambient
+  tracer stays active, so spans opened inside the function record
+  normally.
+* ``thread`` — :class:`~concurrent.futures.ThreadPoolExecutor`; suits
+  units that release the GIL or are cheap enough that pool mechanics
+  dominate correctness testing over wall-clock wins.
+* ``process`` — :class:`~concurrent.futures.ProcessPoolExecutor` with a
+  ``fork`` context where available; the right choice for CPU-bound
+  pure-Python units (parsing), at the cost of pickling task and result.
+
+Worker threads/processes do not see the caller's ambient tracer (the
+context variable does not cross the pool), so every unit's wall time is
+measured in the worker and folded back into the trace afterwards via
+:func:`repro.obs.record_span` — the per-worker spans the
+:class:`~repro.obs.PipelineTrace` reports for parallel phases.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Callable, Iterable, Sequence, TypeVar
+
+from ..obs import METRICS, record_span, span
+
+_TASKS = METRICS.counter("parallel.tasks")
+_POOLS = METRICS.counter("parallel.pools")
+
+_ITEM = TypeVar("_ITEM")
+_RESULT = TypeVar("_RESULT")
+
+
+def resolve_jobs(jobs: int | None) -> int:
+    """Normalize a jobs request: ``None``/``0`` means one per CPU."""
+    if not jobs or jobs <= 0:
+        return os.cpu_count() or 1
+    return jobs
+
+
+def _timed_call(task: tuple) -> tuple:
+    """Run one unit in a worker, returning (result, wall seconds).
+
+    Module-level so process pools can pickle it; the function and item
+    travel together as the task payload.
+    """
+    fn, item = task
+    started = time.perf_counter()
+    result = fn(item)
+    return result, time.perf_counter() - started
+
+
+def _make_pool(mode: str, jobs: int):
+    if mode == "process":
+        methods = multiprocessing.get_all_start_methods()
+        context = (multiprocessing.get_context("fork")
+                   if "fork" in methods else None)
+        return ProcessPoolExecutor(max_workers=jobs, mp_context=context)
+    if mode == "thread":
+        return ThreadPoolExecutor(max_workers=jobs)
+    raise ValueError(f"unknown executor mode {mode!r} "
+                     f"(expected 'serial', 'thread' or 'process')")
+
+
+def map_ordered(fn: Callable[[_ITEM], _RESULT],
+                items: Iterable[_ITEM], *,
+                jobs: int = 1,
+                mode: str = "thread",
+                span_label: Callable[[_ITEM, int], str] | None = None,
+                pool_span: str = "parallel") -> list[_RESULT]:
+    """Apply *fn* to every item, results in input order.
+
+    With ``jobs <= 1``, ``mode='serial'`` or fewer than two items, this
+    degenerates to a plain loop (no pool, ambient tracer intact).
+    Otherwise the items run on a ``jobs``-wide pool under a *pool_span*
+    span carrying ``jobs``/``mode``/``tasks`` attributes; when
+    *span_label* is given, each unit's worker-measured duration is
+    folded back as a child span named ``span_label(item, index)``.
+    """
+    work: Sequence[_ITEM] = list(items)
+    if mode == "serial" or jobs == 1 or len(work) <= 1:
+        return [fn(item) for item in work]
+    jobs = min(resolve_jobs(jobs), len(work))
+    _POOLS.inc()
+    _TASKS.inc(len(work))
+    with span(pool_span, jobs=jobs, mode=mode, tasks=len(work)):
+        chunksize = max(1, len(work) // (jobs * 4))
+        with _make_pool(mode, jobs) as pool:
+            timed = list(pool.map(_timed_call,
+                                  [(fn, item) for item in work],
+                                  chunksize=chunksize))
+        if span_label is not None:
+            for index, (_, seconds) in enumerate(timed):
+                record_span(span_label(work[index], index), seconds,
+                            worker_pool=pool_span)
+    return [result for result, _ in timed]

@@ -412,6 +412,12 @@ class Model(Namespace):
 
     def __init__(self) -> None:
         super().__init__(name=None)
+        #: Fingerprint of the source texts this model was loaded from
+        #: (set by :func:`~repro.sysml.resolver.load_model`); ``None``
+        #: for programmatically built models. Downstream caches key
+        #: derived artifacts (topology, generation results) on it, so
+        #: it goes stale if the model is mutated in place after loading.
+        self.content_fingerprint: str | None = None
 
     def all_elements(self) -> Iterator[Element]:
         yield from self.descendants()

@@ -19,9 +19,13 @@ TEXT_SUFFIXES = (".sysml", ".kerml", ".txt")
 JSON_SUFFIXES = (".json",)
 
 
-def load_model_file(path: str | Path, *, include_stdlib: bool = True
-                    ) -> Model:
-    """Load a model from a ``.sysml`` or ``.json`` file (by suffix)."""
+def load_model_file(path: str | Path, *, include_stdlib: bool = True,
+                    cache=None) -> Model:
+    """Load a model from a ``.sysml`` or ``.json`` file (by suffix).
+
+    *cache* (an :class:`~repro.cache.ArtifactCache`) reuses the parse
+    tree across runs when the file content is unchanged.
+    """
     path = Path(path)
     text = path.read_text()
     suffix = path.suffix.lower()
@@ -29,15 +33,21 @@ def load_model_file(path: str | Path, *, include_stdlib: bool = True
         return model_from_json(text)
     if suffix in TEXT_SUFFIXES or not suffix:
         return load_model(text, filenames=[str(path)],
-                          include_stdlib=include_stdlib)
+                          include_stdlib=include_stdlib, cache=cache)
     raise SysMLError(
         f"unknown model file suffix {suffix!r} "
         f"(expected one of {TEXT_SUFFIXES + JSON_SUFFIXES})")
 
 
-def load_model_files(*paths: str | Path,
-                     include_stdlib: bool = True) -> Model:
-    """Load several ``.sysml`` sources into one model."""
+def load_model_files(*paths: str | Path, include_stdlib: bool = True,
+                     cache=None, jobs: int = 1,
+                     parse_mode: str = "thread") -> Model:
+    """Load several ``.sysml`` sources into one model.
+
+    *cache*/*jobs*/*parse_mode* pass through to
+    :func:`~repro.sysml.resolver.load_model`: per-file parse trees are
+    cached on content, and cache misses parse on a worker pool.
+    """
     texts: list[str] = []
     names: list[str] = []
     for path in paths:
@@ -49,7 +59,8 @@ def load_model_files(*paths: str | Path,
         texts.append(path.read_text())
         names.append(str(path))
     return load_model(*texts, filenames=names,
-                      include_stdlib=include_stdlib)
+                      include_stdlib=include_stdlib, cache=cache,
+                      jobs=jobs, parse_mode=parse_mode)
 
 
 def save_model_file(model: Model, path: str | Path,

@@ -310,15 +310,72 @@ def resolve_model(model: Model) -> Model:
     return Resolver(model).resolve()
 
 
+#: Invalidation salt of cached parse trees: embeds the parser/AST
+#: generation, so grammar or node-layout changes never replay stale trees.
+PARSE_CACHE_SALT = "sysml-parse-tree/1"
+
+#: Salt of the whole-model fingerprint derived from the source texts.
+MODEL_FINGERPRINT_SALT = "sysml-model/1"
+
+
+def _parse_source(payload: tuple[str, str]):
+    """Parse one (text, filename) payload — module-level so process
+    pools can ship it to workers."""
+    from .parser import parse
+    text, name = payload
+    return parse(text, name)
+
+
+def _parse_sources(sources: list[str], names: list[str], *,
+                   cache=None, jobs: int = 1, parse_mode: str = "thread"
+                   ) -> list:
+    """Parse every source, reusing cached trees and fanning out misses.
+
+    Cache keys cover the source text *and* its filename (parse trees
+    embed source locations), salted with :data:`PARSE_CACHE_SALT`.
+    Results always come back in source order.
+    """
+    from ..obs import span as _obs_span
+    from ..parallel import map_ordered
+
+    keys: list[str | None] = [None] * len(sources)
+    trees: list = [None] * len(sources)
+    if cache is not None:
+        from ..cache import fingerprint
+        for index, (text, name) in enumerate(zip(sources, names)):
+            keys[index] = fingerprint(text, name, salt=PARSE_CACHE_SALT)
+            tree = cache.get_object(keys[index])
+            if tree is not None:
+                trees[index] = tree
+                with _obs_span("parse", file=name, cached=True):
+                    pass
+    missing = [index for index, tree in enumerate(trees) if tree is None]
+    parsed = map_ordered(
+        _parse_source, [(sources[i], names[i]) for i in missing],
+        jobs=jobs, mode=parse_mode,
+        span_label=lambda payload, _i: f"parse:{payload[1]}",
+        pool_span="parse-pool")
+    for index, tree in zip(missing, parsed):
+        trees[index] = tree
+        if cache is not None:
+            cache.put_object(keys[index], tree)
+    return trees
+
+
 def load_model(*texts: str, filenames: list[str] | None = None,
-               include_stdlib: bool = True) -> Model:
+               include_stdlib: bool = True, cache=None, jobs: int = 1,
+               parse_mode: str = "thread") -> Model:
     """Parse, build and resolve one or more textual-notation sources.
 
     The miniature standard library (``ScalarValues``, ``Base``) is
-    prepended unless *include_stdlib* is False.
+    prepended unless *include_stdlib* is False. With a *cache*
+    (:class:`~repro.cache.ArtifactCache`) per-source parse trees are
+    reused across runs, keyed on the source text; ``jobs > 1`` parses
+    independent sources on a worker pool (*parse_mode* ``'thread'`` or
+    ``'process'`` — processes pay pickling but sidestep the GIL for
+    this CPU-bound phase).
     """
     from .builder import build_model
-    from .parser import parse
     from .stdlib import SCALAR_VALUES_SOURCE
 
     from .elements import Package
@@ -330,7 +387,8 @@ def load_model(*texts: str, filenames: list[str] | None = None,
         names.insert(0, "<stdlib>")
     from .stdlib import IMPLICIT_LIBRARY_PACKAGES
 
-    trees = [parse(text, name) for text, name in zip(sources, names)]
+    trees = _parse_sources(sources, names, cache=cache, jobs=jobs,
+                           parse_mode=parse_mode)
     model = build_model(*trees)
     if include_stdlib:
         stdlib_root_count = len(trees[0].members)
@@ -344,4 +402,7 @@ def load_model(*texts: str, filenames: list[str] | None = None,
             if isinstance(element, Package) and \
                     element.name in IMPLICIT_LIBRARY_PACKAGES:
                 element.is_library = True
+    from ..cache import fingerprint as _fingerprint
+    model.content_fingerprint = _fingerprint(
+        [include_stdlib], *sources, *names, salt=MODEL_FINGERPRINT_SALT)
     return resolve_model(model)

@@ -16,6 +16,7 @@ Filters: ``upper``, ``lower``, ``k8s_name`` (DNS-1123 sanitization),
 
 from __future__ import annotations
 
+import functools
 import json
 import re
 import time
@@ -33,12 +34,21 @@ class TemplateError(ValueError):
 _TOKEN_RE = re.compile(r"({{.*?}}|{%.*?%})", re.DOTALL)
 
 
-def k8s_name(text: str) -> str:
-    """Sanitize into a DNS-1123 label (lowercase alnum and dashes)."""
-    cleaned = re.sub(r"[^a-z0-9-]+", "-", str(text).lower()).strip("-")
+@functools.lru_cache(maxsize=4096)
+def _k8s_name(text: str) -> str:
+    cleaned = re.sub(r"[^a-z0-9-]+", "-", text.lower()).strip("-")
     if not cleaned:
         raise TemplateError(f"cannot derive a k8s name from {text!r}")
     return cleaned[:63]
+
+
+def k8s_name(text: str) -> str:
+    """Sanitize into a DNS-1123 label (lowercase alnum and dashes).
+
+    Memoized: every render re-sanitizes the same handful of component
+    names (the ``| k8s_name`` filter fires several times per manifest).
+    """
+    return _k8s_name(str(text))
 
 
 def _yaml_str(value: object) -> str:

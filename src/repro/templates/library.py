@@ -15,6 +15,8 @@ Context contract (produced by :mod:`repro.codegen`):
 
 from __future__ import annotations
 
+import functools
+
 from .engine import Template
 
 OPCUA_SERVER_TEMPLATE = """\
@@ -196,17 +198,36 @@ spec:
             name: {{ component.name | k8s_name }}-config
 """
 
-TEMPLATES: dict[str, Template] = {
-    "opcua-server": Template(OPCUA_SERVER_TEMPLATE, "opcua-server"),
-    "opcua-client": Template(OPCUA_CLIENT_TEMPLATE, "opcua-client"),
-    "historian": Template(HISTORIAN_TEMPLATE, "historian"),
+#: Template sources by component kind; compiled lazily by
+#: :func:`get_template`.
+TEMPLATE_SOURCES: dict[str, str] = {
+    "opcua-server": OPCUA_SERVER_TEMPLATE,
+    "opcua-client": OPCUA_CLIENT_TEMPLATE,
+    "historian": HISTORIAN_TEMPLATE,
 }
 
 
+@functools.lru_cache(maxsize=None)
 def get_template(kind: str) -> Template:
+    """The compiled template for *kind*, compiled once per process."""
     try:
-        return TEMPLATES[kind]
+        source = TEMPLATE_SOURCES[kind]
     except KeyError:
         raise KeyError(
             f"no template for component kind {kind!r}; "
-            f"known: {sorted(TEMPLATES)}") from None
+            f"known: {sorted(TEMPLATE_SOURCES)}") from None
+    return Template(source, kind)
+
+
+def template_source(kind: str) -> str:
+    """The raw template text (cache keys fingerprint it)."""
+    get_template(kind)  # same unknown-kind error path
+    return TEMPLATE_SOURCES[kind]
+
+
+def __getattr__(name: str):
+    # TEMPLATES predates lazy compilation; keep it importable without
+    # forcing every template to compile at module import.
+    if name == "TEMPLATES":
+        return {kind: get_template(kind) for kind in TEMPLATE_SOURCES}
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,49 @@
+"""Fingerprint properties: stability, sensitivity, unambiguity."""
+
+from repro.cache import canonical_json, fingerprint
+
+
+class TestCanonicalJson:
+    def test_key_order_independent(self):
+        assert (canonical_json({"a": 1, "b": 2})
+                == canonical_json({"b": 2, "a": 1}))
+
+    def test_compact(self):
+        assert canonical_json({"a": [1, 2]}) == '{"a":[1,2]}'
+
+    def test_non_json_values_stringified(self):
+        class Odd:
+            def __str__(self):
+                return "odd"
+        assert canonical_json({"x": Odd()}) == '{"x":"odd"}'
+
+
+class TestFingerprint:
+    def test_stable_across_calls(self):
+        assert fingerprint("a", {"k": 1}) == fingerprint("a", {"k": 1})
+
+    def test_hex_sha256_shaped(self):
+        key = fingerprint("payload")
+        assert len(key) == 64
+        assert set(key) <= set("0123456789abcdef")
+
+    def test_sensitive_to_any_part(self):
+        base = fingerprint("a", "b")
+        assert fingerprint("a", "c") != base
+        assert fingerprint("x", "b") != base
+
+    def test_sensitive_to_salt(self):
+        assert (fingerprint("a", salt="layer/1")
+                != fingerprint("a", salt="layer/2"))
+
+    def test_part_boundaries_unambiguous(self):
+        # length-prefixing means concatenation can't collide
+        assert fingerprint("ab", "c") != fingerprint("a", "bc")
+        assert fingerprint("abc") != fingerprint("ab", "c")
+
+    def test_bytes_and_str_parts_accepted(self):
+        assert fingerprint(b"raw") == fingerprint("raw")
+
+    def test_dict_key_order_irrelevant(self):
+        assert (fingerprint({"a": 1, "b": 2})
+                == fingerprint({"b": 2, "a": 1}))

@@ -1,0 +1,103 @@
+"""map_ordered semantics: ordering, fallbacks, modes, span folding."""
+
+import threading
+import time
+
+import pytest
+
+from repro.obs import Tracer, activation, span
+from repro.parallel import map_ordered, resolve_jobs
+
+
+def _double(value):
+    return value * 2
+
+
+def _jittered_double(value):
+    # later items finish first: completion order != input order
+    time.sleep(0.02 * (5 - value) / 5)
+    return value * 2
+
+
+class TestOrdering:
+    def test_results_keep_input_order_despite_jitter(self):
+        items = list(range(5))
+        assert (map_ordered(_jittered_double, items, jobs=4)
+                == [0, 2, 4, 6, 8])
+
+    def test_thread_mode_matches_serial(self):
+        items = list(range(20))
+        serial = map_ordered(_double, items, mode="serial")
+        threaded = map_ordered(_double, items, jobs=4, mode="thread")
+        assert serial == threaded
+
+    def test_process_mode_matches_serial(self):
+        items = list(range(8))
+        assert (map_ordered(_double, items, jobs=2, mode="process")
+                == [v * 2 for v in items])
+
+
+class TestFallbacks:
+    def test_jobs_one_runs_in_caller_thread(self):
+        seen = []
+        map_ordered(lambda _: seen.append(threading.get_ident()),
+                    [1, 2, 3], jobs=1)
+        assert set(seen) == {threading.get_ident()}
+
+    def test_single_item_skips_pool(self):
+        seen = []
+        map_ordered(lambda _: seen.append(threading.get_ident()),
+                    ["only"], jobs=8)
+        assert seen == [threading.get_ident()]
+
+    def test_empty_input(self):
+        assert map_ordered(_double, [], jobs=4) == []
+
+    def test_unknown_mode_raises(self):
+        with pytest.raises(ValueError, match="unknown executor mode"):
+            map_ordered(_double, [1, 2], jobs=2, mode="fiber")
+
+
+class TestResolveJobs:
+    def test_explicit_value_passes_through(self):
+        assert resolve_jobs(3) == 3
+
+    def test_zero_and_none_mean_cpu_count(self):
+        assert resolve_jobs(0) >= 1
+        assert resolve_jobs(None) >= 1
+
+
+class TestSpanFolding:
+    def test_pool_span_and_per_item_spans_recorded(self):
+        tracer = Tracer()
+        with activation(tracer):
+            map_ordered(_double, [1, 2, 3], jobs=2,
+                        span_label=lambda item, _i: f"unit:{item}",
+                        pool_span="test-pool")
+        trace = tracer.trace()
+        pool = trace.find("test-pool")
+        assert pool is not None
+        assert pool.attributes["jobs"] == 2
+        assert pool.attributes["tasks"] == 3
+        labels = {record.name for record in trace.iter_spans()}
+        assert {"unit:1", "unit:2", "unit:3"} <= labels
+
+    def test_folded_spans_carry_worker_durations(self):
+        tracer = Tracer()
+        with activation(tracer):
+            map_ordered(lambda _: time.sleep(0.01), [1, 2], jobs=2,
+                        span_label=lambda item, _i: f"sleep:{item}",
+                        pool_span="sleep-pool")
+        spans = tracer.trace().find_all("sleep:")
+        assert len(spans) == 2
+        assert all(record.duration_s >= 0.005 for record in spans)
+
+    def test_serial_path_leaves_ambient_tracer_usable(self):
+        def unit(value):
+            with span("inner"):
+                return value
+
+        tracer = Tracer()
+        with activation(tracer):
+            map_ordered(unit, [1], jobs=1)
+        assert tracer.trace().find("inner") is not None

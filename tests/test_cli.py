@@ -90,3 +90,47 @@ class TestCli:
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestPerfSurface:
+    """--jobs / --cache-dir on generate, and the cache subcommand."""
+
+    def test_generate_with_jobs(self, capsys):
+        assert main(["generate", "--jobs", "2"]) == 0
+        assert "opcua_servers: 6" in capsys.readouterr().out
+
+    def test_generate_jobs_and_cache_match_serial(self, tmp_path, capsys):
+        serial_dir = tmp_path / "serial"
+        fast_dir = tmp_path / "fast"
+        assert main(["generate", "--out", str(serial_dir)]) == 0
+        assert main(["generate", "--out", str(fast_dir),
+                     "--jobs", "4",
+                     "--cache-dir", str(tmp_path / "cache")]) == 0
+        serial_files = sorted(p.relative_to(serial_dir)
+                              for p in serial_dir.rglob("*") if p.is_file())
+        fast_files = sorted(p.relative_to(fast_dir)
+                            for p in fast_dir.rglob("*") if p.is_file())
+        assert serial_files == fast_files
+        for rel in serial_files:
+            assert ((serial_dir / rel).read_bytes()
+                    == (fast_dir / rel).read_bytes())
+
+    def test_cache_stats_and_clear(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        assert main(["generate", "--cache-dir", cache_dir]) == 0
+        capsys.readouterr()
+        assert main(["cache", "stats", "--cache-dir", cache_dir]) == 0
+        out = capsys.readouterr().out
+        assert "entries" in out and cache_dir in out
+        assert main(["cache", "clear", "--cache-dir", cache_dir]) == 0
+        assert "removed" in capsys.readouterr().out
+        assert main(["cache", "stats", "--cache-dir", cache_dir]) == 0
+        assert "entries: 0" in capsys.readouterr().out
+
+    def test_trace_reports_cache_counters(self, tmp_path, capsys):
+        assert main(["trace", "--jobs", "2",
+                     "--cache-dir", str(tmp_path / "cache")]) == 0
+        out = capsys.readouterr().out
+        assert "cache/parallel" in out
+        assert "cache.misses" in out
+        assert "parallel.tasks" in out
