@@ -1,0 +1,133 @@
+"""Serving ablation (ours): closed-loop load against ``repro serve``.
+
+Eight concurrent clients each issue 25 requests against a real
+:class:`ServiceHTTPServer` on the loopback interface. The request mix
+cycles through five option variants, so the 200-request run carries
+heavy repetition — exactly the regime the single-flight coalescer and
+the result memo exist for.
+
+Hard claims asserted here:
+
+* the service executes the pipeline a handful of times, not 200
+  (``service.pipeline_executions`` ≪ ``service.requests``);
+* every response for a given variant is byte-identical — coalesced
+  followers, memo hits and fresh executions serialize the same bundle;
+* nothing is rejected at the default admission settings (the memo
+  absorbs repeats without consuming pipeline slots).
+
+The benchmarked quantity is a warm request (memo hit), and the bench
+JSON ``extra_info`` carries the load-phase latency distribution (p50 /
+p95) plus the execution-collapse ratio.
+"""
+
+import threading
+import time
+
+from repro.codegen import PipelineOptions
+from repro.icelab.model_gen import icelab_sources
+from repro.obs import METRICS, snapshot_delta
+from repro.service import ConfigurationService, ServiceClient, ServiceHTTPServer
+
+CLIENTS = 8
+REQUESTS_PER_CLIENT = 25
+VARIANTS = [{"namespace": f"line-{i}"} for i in range(5)]
+
+
+def percentile(values, q):
+    ordered = sorted(values)
+    return ordered[min(len(ordered) - 1, int(q * len(ordered)))]
+
+
+def test_closed_loop_load_collapses_executions(benchmark):
+    sources = icelab_sources()
+    service = ConfigurationService(PipelineOptions(), policy="block")
+    server = ServiceHTTPServer(("127.0.0.1", 0), service)
+    serve_thread = threading.Thread(target=server.serve_forever,
+                                    kwargs={"poll_interval": 0.05},
+                                    daemon=True)
+    serve_thread.start()
+    before = METRICS.snapshot()
+    latencies = []
+    bodies_by_variant = {}
+    failures = []
+    lock = threading.Lock()
+
+    def client_loop(worker):
+        with ServiceClient(port=server.port,
+                           client_id=f"client-{worker}") as client:
+            for i in range(REQUESTS_PER_CLIENT):
+                variant = (worker + i) % len(VARIANTS)
+                started = time.perf_counter()
+                status, _, body = client.generate_raw(
+                    sources, options=VARIANTS[variant])
+                elapsed = time.perf_counter() - started
+                with lock:
+                    latencies.append(elapsed)
+                    if status != 200:
+                        failures.append((worker, i, status))
+                    bodies_by_variant.setdefault(variant, set()).add(body)
+
+    threads = [threading.Thread(target=client_loop, args=(w,))
+               for w in range(CLIENTS)]
+    load_started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(120)
+    load_seconds = time.perf_counter() - load_started
+    delta = snapshot_delta(before, METRICS.snapshot())
+
+    # the benchmarked quantity: one warm request (served from the memo)
+    with ServiceClient(port=server.port, client_id="bench") as bench:
+        benchmark.pedantic(
+            lambda: bench.generate_raw(sources, options=VARIANTS[0]),
+            rounds=10, iterations=1)
+
+    report = server.drain_and_shutdown(deadline=10.0)
+    server.server_close()
+    serve_thread.join(5)
+
+    total = CLIENTS * REQUESTS_PER_CLIENT
+    executions = delta.get("service.pipeline_executions", 0)
+    assert failures == []
+    assert delta["service.requests"] == total
+    assert delta["service.responses"] == total
+
+    # -- single-flight + memo collapse ---------------------------------
+    # 200 requests over 5 variants must execute the pipeline only a
+    # handful of times: once per variant, plus at most the odd repeat
+    # that races a memo store. "≪" operationalized as <= 10% of load.
+    assert executions >= len(VARIANTS)
+    assert executions <= total // 10, (
+        f"{executions} pipeline executions for {total} requests — "
+        f"single-flight/memo collapse is not working")
+
+    # -- determinism across roles --------------------------------------
+    for variant, bodies in bodies_by_variant.items():
+        assert len(bodies) == 1, (
+            f"variant {variant} produced {len(bodies)} distinct payloads")
+
+    assert report.completed  # clean drain after the load
+
+    p50 = percentile(latencies, 0.50)
+    p95 = percentile(latencies, 0.95)
+    benchmark.extra_info["service_load"] = {
+        "clients": CLIENTS,
+        "requests": total,
+        "variants": len(VARIANTS),
+        "pipeline_executions": executions,
+        "collapse_ratio": round(total / executions, 1),
+        "memo_hits": delta.get("service.memo_hits", 0),
+        "singleflight_followers": delta.get(
+            "service.singleflight.followers", 0),
+        "load_seconds": round(load_seconds, 4),
+        "throughput_rps": round(total / load_seconds, 1),
+        "p50_s": round(p50, 6),
+        "p95_s": round(p95, 6),
+    }
+    print(f"\n=== service load: {total} requests, {CLIENTS} clients ===")
+    print(f"pipeline executions : {executions} "
+          f"({total / executions:.0f}x collapse)")
+    print(f"memo hits           : {delta.get('service.memo_hits', 0)}")
+    print(f"p50 / p95 latency   : {p50 * 1e3:.1f}ms / {p95 * 1e3:.1f}ms")
+    print(f"throughput          : {total / load_seconds:.0f} req/s")

@@ -12,6 +12,7 @@ Subpackages
 ``repro.machines``  Machine catalog and behavioural simulators.
 ``repro.drivers``   Driver runtimes (OPC UA generic + proprietary).
 ``repro.codegen``   Step 1 of the paper's pipeline: model -> intermediate JSON.
+``repro.service``   Concurrent configuration-serving layer (``repro serve``).
 ``repro.templates`` Minimal template engine for step 2.
 ``repro.yamlgen``   YAML emitter/parser (from scratch) for K8s manifests.
 ``repro.k8s``       Simulated Kubernetes cluster consuming the manifests.

@@ -13,15 +13,22 @@ pickle — all sharing the same properties:
 * **size-bounded LRU**: after each put the store evicts
   least-recently-used entries (by mtime, refreshed on every hit) until
   the total payload size fits ``max_bytes``;
+* **thread-safe**: one store instance may be shared by many threads
+  (the serving layer funnels every request thread through one cache) —
+  temp files are named per-thread and the size estimate plus eviction
+  scan run under a lock, so racing puts and evictions never corrupt an
+  entry or raise;
 * **observable**: ``cache.hits`` / ``cache.misses`` / ``cache.evictions``
   counters in :data:`repro.obs.METRICS`.
 """
 
 from __future__ import annotations
 
+import itertools
 import json
 import os
 import pickle
+import threading
 from pathlib import Path
 
 from ..obs import METRICS
@@ -56,6 +63,10 @@ class ArtifactCache:
         # running size estimate so puts do not rescan the directory;
         # seeded lazily, corrected by every real eviction scan
         self._approx_bytes: int | None = None
+        # guards _approx_bytes and the eviction scan; payload reads and
+        # the os.replace publish are atomic on their own
+        self._lock = threading.Lock()
+        self._tmp_serial = itertools.count()
 
     # -- key layout ------------------------------------------------------
 
@@ -79,20 +90,25 @@ class ArtifactCache:
     def _store(self, key: str, data: bytes) -> None:
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = path.parent / f".{path.name}.{os.getpid()}.tmp"
+        # unique per process *and* thread *and* call: two request
+        # threads putting the same key must never share a temp file
+        tmp = path.parent / (f".{path.name}.{os.getpid()}"
+                             f".{threading.get_ident()}"
+                             f".{next(self._tmp_serial)}.tmp")
         try:
             tmp.write_bytes(data)
             os.replace(tmp, path)
         except OSError:
             tmp.unlink(missing_ok=True)
             return
-        if self._approx_bytes is None:
-            self._approx_bytes = sum(size for _, size, _
-                                     in self._entries())
-        else:
-            self._approx_bytes += len(data)
-        if self._approx_bytes > self.max_bytes:
-            self._evict()
+        with self._lock:
+            if self._approx_bytes is None:
+                self._approx_bytes = sum(size for _, size, _
+                                         in self._entries())
+            else:
+                self._approx_bytes += len(data)
+            if self._approx_bytes > self.max_bytes:
+                self._evict()
 
     def discard(self, key: str) -> None:
         """Drop one entry (used when a payload fails to decode)."""
@@ -177,6 +193,7 @@ class ArtifactCache:
         return entries
 
     def _evict(self) -> None:
+        # caller holds self._lock
         entries = self._entries()
         total = sum(size for _, size, _ in entries)
         if total > self.max_bytes:
@@ -190,11 +207,12 @@ class ArtifactCache:
 
     def clear(self) -> int:
         """Remove every artifact; returns the number removed."""
-        removed = 0
-        for _, _, path in self._entries():
-            path.unlink(missing_ok=True)
-            removed += 1
-        self._approx_bytes = 0
+        with self._lock:
+            removed = 0
+            for _, _, path in self._entries():
+                path.unlink(missing_ok=True)
+                removed += 1
+            self._approx_bytes = 0
         return removed
 
     def stats(self) -> dict[str, object]:

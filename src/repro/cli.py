@@ -9,6 +9,9 @@ Subcommands
               span tree, ``--trace=FILE`` writes the trace JSON
 ``trace``     run the full front end + generation with telemetry on and
               report the span tree (or JSON) plus process metrics
+``serve``     run the configuration service: a concurrent HTTP front end
+              over the pipeline with single-flight dedup, admission
+              control and graceful drain on SIGTERM
 ``deploy``    run the full Figure-1 flow on the simulated cluster and
               print the smoke report
 ``table1``    print the reproduced Table I
@@ -35,6 +38,8 @@ def _cmd_model(args) -> int:
 
 
 def _cmd_validate(args) -> int:
+    import json as _json
+
     from .sysml import load_model, validate_model
     from .sysml.errors import SysMLError
     if args.file:
@@ -47,10 +52,26 @@ def _cmd_validate(args) -> int:
     try:
         model = load_model(*sources)
     except SysMLError as exc:
-        print(f"FRONT-END ERROR: {exc}")
+        if args.json:
+            print(_json.dumps({
+                "ok": False,
+                "errors": 1,
+                "warnings": 0,
+                "front_end_error": {
+                    "message": exc.message,
+                    "location": str(exc.location),
+                    "kind": type(exc).__name__,
+                },
+                "diagnostics": [],
+            }, indent=2))
+        else:
+            print(f"FRONT-END ERROR: {exc}")
         return 1
     report = validate_model(model)
-    print(report if len(report) else "model is well-formed")
+    if args.json:
+        print(report.to_json())
+    else:
+        print(report if len(report) else "model is well-formed")
     return 0 if report.ok else 1
 
 
@@ -195,6 +216,60 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    """Run the concurrent configuration service until SIGTERM/SIGINT."""
+    import signal
+    import threading
+
+    from .codegen import PipelineOptions
+    from .service import ConfigurationService, ServiceHTTPServer
+
+    cache = _resolve_cache(args)
+    options = PipelineOptions(
+        capacity=args.capacity, namespace=args.namespace,
+        jobs=args.jobs,
+        cache_dir=str(cache.directory) if cache else None,
+        cache_max_bytes=(cache.max_bytes if cache
+                         else PipelineOptions().cache_max_bytes))
+    service = ConfigurationService(
+        options, max_inflight=args.max_inflight,
+        policy=args.backpressure, block_deadline=args.block_deadline,
+        rate=args.rate, drain_deadline=args.drain_deadline)
+    server = ServiceHTTPServer((args.host, args.port), service)
+    if args.port_file:
+        with open(args.port_file, "w") as handle:
+            handle.write(f"{server.port}\n")
+    print(f"serving on http://{args.host}:{server.port} "
+          f"(policy={args.backpressure}, max-inflight={args.max_inflight},"
+          f" jobs={args.jobs}, cache={'on' if cache else 'off'})",
+          flush=True)
+
+    def _graceful(signum, frame):
+        # shutdown() must come from outside serve_forever's thread
+        threading.Thread(target=server.drain_and_shutdown,
+                         name="drain", daemon=True).start()
+
+    signal.signal(signal.SIGTERM, _graceful)
+    signal.signal(signal.SIGINT, _graceful)
+    try:
+        server.serve_forever(poll_interval=0.1)
+    finally:
+        server.server_close()
+    report = service.lifecycle.last_drain
+    if report is None:  # serve_forever ended without a drain signal
+        report = service.drain()
+    print(f"drained: completed={report.completed} "
+          f"waited={report.waited_seconds:.2f}s "
+          f"remaining={report.remaining}", flush=True)
+    snapshot = service.final_metrics or {}
+    for name in ("service.requests", "service.responses",
+                 "service.pipeline_executions",
+                 "service.singleflight.followers", "service.memo_hits"):
+        if name in snapshot:
+            print(f"{name:>36}: {snapshot[name]}")
+    return 0 if report.completed else 1
+
+
 def _cmd_deploy(args) -> int:
     from .icelab import run_icelab
     result = run_icelab(capacity=args.capacity,
@@ -289,14 +364,24 @@ def _cmd_compare(args) -> int:
 
 
 def _cmd_cache(args) -> int:
+    from pathlib import Path
+
     from .cache import ArtifactCache, default_cache_dir
-    directory = args.cache_dir or default_cache_dir()
+    directory = Path(args.cache_dir or default_cache_dir()).expanduser()
+    if not directory.is_dir():
+        # inspecting or clearing must not create the directory as a
+        # side effect, and a missing cache is not an error
+        print(f"no cache at {directory}")
+        return 0
     cache = (ArtifactCache(directory, args.cache_max_bytes)
              if args.cache_max_bytes is not None
              else ArtifactCache(directory))
     if args.action == "clear":
         removed = cache.clear()
-        print(f"removed {removed} artifacts from {cache.directory}")
+        if removed:
+            print(f"removed {removed} artifacts from {cache.directory}")
+        else:
+            print(f"no cache at {cache.directory} (nothing to remove)")
         return 0
     for key, value in cache.stats().items():
         print(f"{key:>12}: {value}")
@@ -318,6 +403,9 @@ def build_parser() -> argparse.ArgumentParser:
                                        help="validate a model file")
     p_validate.add_argument("file", nargs="?",
                             help=".sysml file (default: built-in ICE lab)")
+    p_validate.add_argument(
+        "--json", action="store_true",
+        help="machine-readable JSON report (for health checks and CI)")
     p_validate.set_defaults(func=_cmd_validate)
 
     p_generate = subparsers.add_parser("generate",
@@ -350,6 +438,36 @@ def build_parser() -> argparse.ArgumentParser:
         "--parse-processes", action="store_true",
         help="parse sources on a process pool (CPU-bound fan-out)")
     p_trace.set_defaults(func=_cmd_trace)
+
+    p_serve = subparsers.add_parser(
+        "serve", help="run the concurrent configuration service")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8737,
+                         help="listen port (0 = ephemeral)")
+    p_serve.add_argument("--port-file", metavar="PATH",
+                         help="write the bound port to PATH "
+                              "(for scripts using --port 0)")
+    p_serve.add_argument("--capacity", type=int, default=120)
+    p_serve.add_argument("--namespace", default="factory")
+    p_serve.add_argument("--max-inflight", type=int, default=8,
+                         help="max requests inside the pipeline at once")
+    p_serve.add_argument(
+        "--backpressure", choices=("reject", "block", "shed-oldest"),
+        default="reject",
+        help="policy past --max-inflight: fail fast with a retriable "
+             "503, queue with a deadline, or shed the oldest waiter")
+    p_serve.add_argument("--block-deadline", type=float, default=10.0,
+                         metavar="SECONDS",
+                         help="queue wait bound for --backpressure block")
+    p_serve.add_argument("--rate", type=float, default=0.0,
+                         metavar="RPS",
+                         help="per-client token-bucket rate limit "
+                              "(0 = off)")
+    p_serve.add_argument("--drain-deadline", type=float, default=10.0,
+                         metavar="SECONDS",
+                         help="graceful-drain bound on SIGTERM/SIGINT")
+    _add_perf_arguments(p_serve)
+    p_serve.set_defaults(func=_cmd_serve)
 
     p_cache = subparsers.add_parser(
         "cache", help="inspect or clear the artifact cache")

@@ -29,6 +29,15 @@ Two execution accelerators hang off :class:`PipelineOptions`:
   source fingerprint, and each machine config / manifest is keyed on
   its own inputs, so warm runs replay artifacts instead of recomputing
   (hits/misses surface as ``cache.*`` counters in ``repro trace``).
+
+**Reentrancy.** A :class:`GenerationPipeline` holds no per-run mutable
+state — every run builds a fresh :class:`GenerationResult`, and the
+shared :class:`~repro.cache.ArtifactCache` is thread-safe — so one
+instance may serve concurrent ``run_on_model`` calls from many threads
+(the :mod:`repro.service` layer does exactly this). The one exception
+is a :class:`~repro.obs.Tracer` in the options: a tracer's span stack
+belongs to a single run, so concurrent runs must not share one (the
+service strips it; give each traced run its own tracer).
 """
 
 from __future__ import annotations

@@ -49,9 +49,12 @@ def _count_ports(node, *, conjugated: bool) -> int:
 def measure_connections(model: Model, machine_name: str,
                         driver_instance_name: str) -> ConnectionFigure:
     """Measure the Figure-2 structure for one machine."""
+    # skip `ref part` placeholders (e.g. ISA95::Machine::driver): a
+    # machine named like one of those must resolve to its concrete part
     machine_usage = next(
         (e for e in model.all_elements()
-         if isinstance(e, PartUsage) and e.name == machine_name), None)
+         if isinstance(e, PartUsage) and e.name == machine_name
+         and not e.is_reference), None)
     driver_usage = next(
         (e for e in model.owned_elements
          if isinstance(e, PartUsage) and e.name == driver_instance_name),

@@ -17,7 +17,8 @@ Three pieces:
 ``summary()``/``to_json()`` protocol of all result-like objects.
 """
 
-from .metrics import (Counter, Gauge, Histogram, METRICS, MetricsRegistry)
+from .metrics import (Counter, Gauge, Histogram, METRICS, MetricsRegistry,
+                      snapshot_delta)
 from .summary import Summarizable
 from .trace import PipelineTrace, SpanRecord, TRACE_SCHEMA_VERSION
 from .tracer import (NULL_SPAN, NULL_TRACER, NullTracer, Span, Tracer,
@@ -27,5 +28,6 @@ __all__ = [
     "Counter", "Gauge", "Histogram", "METRICS", "MetricsRegistry",
     "NULL_SPAN", "NULL_TRACER", "NullTracer", "PipelineTrace", "Span",
     "SpanRecord", "Summarizable", "TRACE_SCHEMA_VERSION", "Tracer",
-    "activation", "current_tracer", "record_span", "span",
+    "activation", "current_tracer", "record_span", "snapshot_delta",
+    "span",
 ]

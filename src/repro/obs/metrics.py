@@ -12,27 +12,38 @@ Instrumented modules bind their instruments once at import time::
 so the hot-path cost is a single integer add. ``METRICS.snapshot()``
 returns a plain dict suitable for JSON export; tests call
 ``METRICS.reset()`` between scenarios.
+
+Instruments are thread-safe: the serving layer (:mod:`repro.service`)
+updates them from many request threads at once, and single-flight
+accounting (``service.pipeline_executions`` vs ``service.requests``)
+must be exact, not approximately right. Each instrument carries its
+own lock; :func:`snapshot_delta` diffs two registry snapshots to
+attribute activity to one request or one scenario.
 """
 
 from __future__ import annotations
 
 import json
+import threading
 
 
 class Counter:
     """Monotonically increasing event count."""
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "value", "_lock")
 
     def __init__(self, name: str):
         self.name = name
         self.value = 0
+        self._lock = threading.Lock()
 
     def inc(self, amount: int = 1) -> None:
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def reset(self) -> None:
-        self.value = 0
+        with self._lock:
+            self.value = 0
 
     def snapshot(self) -> int:
         return self.value
@@ -41,23 +52,28 @@ class Counter:
 class Gauge:
     """A value that goes up and down (current sessions, pods running)."""
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "value", "_lock")
 
     def __init__(self, name: str):
         self.name = name
         self.value = 0.0
+        self._lock = threading.Lock()
 
     def set(self, value: float) -> None:
-        self.value = value
+        with self._lock:
+            self.value = value
 
     def inc(self, amount: float = 1) -> None:
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def dec(self, amount: float = 1) -> None:
-        self.value -= amount
+        with self._lock:
+            self.value -= amount
 
     def reset(self) -> None:
-        self.value = 0.0
+        with self._lock:
+            self.value = 0.0
 
     def snapshot(self) -> float:
         return self.value
@@ -66,37 +82,49 @@ class Gauge:
 class Histogram:
     """Collects observations and reports count/mean/p50/p95/max."""
 
-    __slots__ = ("name", "values")
+    __slots__ = ("name", "values", "_lock")
 
     def __init__(self, name: str):
         self.name = name
         self.values: list[float] = []
+        self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
-        self.values.append(value)
+        with self._lock:
+            self.values.append(value)
 
     def reset(self) -> None:
-        self.values.clear()
+        with self._lock:
+            self.values.clear()
 
     def percentile(self, fraction: float) -> float:
         """Nearest-rank percentile; 0.0 for an empty histogram."""
-        if not self.values:
+        with self._lock:
+            ordered = sorted(self.values)
+        if not ordered:
             return 0.0
-        ordered = sorted(self.values)
         rank = max(0, min(len(ordered) - 1,
                           round(fraction * (len(ordered) - 1))))
         return ordered[rank]
 
     def snapshot(self) -> dict[str, float]:
-        if not self.values:
+        with self._lock:
+            values = list(self.values)
+        if not values:
             return {"count": 0, "mean": 0.0, "p50": 0.0, "p95": 0.0,
                     "max": 0.0}
+        ordered = sorted(values)
+
+        def rank(fraction: float) -> float:
+            return ordered[max(0, min(len(ordered) - 1,
+                                      round(fraction * (len(ordered) - 1))))]
+
         return {
-            "count": len(self.values),
-            "mean": sum(self.values) / len(self.values),
-            "p50": self.percentile(0.50),
-            "p95": self.percentile(0.95),
-            "max": max(self.values),
+            "count": len(values),
+            "mean": sum(values) / len(values),
+            "p50": rank(0.50),
+            "p95": rank(0.95),
+            "max": ordered[-1],
         }
 
 
@@ -149,3 +177,38 @@ class MetricsRegistry:
 
 #: The process-wide registry all instrumented modules share.
 METRICS = MetricsRegistry()
+
+
+def snapshot_delta(before: dict[str, object],
+                   after: dict[str, object]) -> dict[str, object]:
+    """What changed between two :meth:`MetricsRegistry.snapshot` captures.
+
+    The registry is process-wide, so attributing activity to one request
+    (or one test scenario) means snapshotting around it and diffing::
+
+        before = METRICS.snapshot()
+        ...handle the request...
+        delta = snapshot_delta(before, METRICS.snapshot())
+
+    Counters and gauges diff numerically; histograms report how many new
+    observations landed (``{"count": n}``). Unchanged instruments are
+    omitted, so the delta reads as "what this request did": e.g. a
+    single-flight follower shows no ``service.pipeline_executions``
+    while the leader shows ``1``.
+    """
+    delta: dict[str, object] = {}
+    for name, value in after.items():
+        prev = before.get(name)
+        if isinstance(value, dict):  # histogram snapshot
+            prev_count = prev.get("count", 0) if isinstance(prev, dict) \
+                else 0
+            grew = value.get("count", 0) - prev_count
+            if grew:
+                delta[name] = {"count": grew}
+        elif isinstance(value, (int, float)):
+            base = prev if isinstance(prev, (int, float)) else 0
+            if value != base:
+                delta[name] = value - base
+        elif value != prev:
+            delta[name] = value
+    return delta

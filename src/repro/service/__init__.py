@@ -1,0 +1,44 @@
+"""Configuration-as-a-service: the concurrent serving layer.
+
+The paper's pipeline runs once per invocation; this package keeps it
+resident and shares it safely among many callers:
+
+* :mod:`.singleflight` — concurrent identical requests execute the
+  pipeline exactly once and share the result;
+* :mod:`.admission` — bounded in-flight slots with ``reject`` /
+  ``block`` / ``shed-oldest`` backpressure plus a per-client token
+  bucket;
+* :mod:`.lifecycle` — graceful drain (stop accepting, finish in-flight
+  work, flush telemetry) with a deadline;
+* :mod:`.server` — the :class:`ConfigurationService` core and a stdlib
+  ``ThreadingHTTPServer`` front end (``POST /v1/generate``,
+  ``GET /healthz``, ``GET /metrics``, ``GET /cache/stats``);
+* :mod:`.client` — the small blocking :class:`ServiceClient` used by
+  tests, the load benchmark and CI.
+
+Start it from the CLI with ``repro serve``.
+"""
+
+from .admission import (AdmissionController, AdmissionError,
+                        AdmissionRejected, AdmissionShed,
+                        AdmissionTimeout, POLICIES, POLICY_BLOCK,
+                        POLICY_REJECT, POLICY_SHED, RateLimited,
+                        RateLimiter, ServiceDraining, TokenBucket)
+from .client import ServiceClient, ServiceError
+from .lifecycle import (DrainReport, STATE_DRAINING, STATE_SERVING,
+                        STATE_STOPPED, ServiceLifecycle)
+from .server import (BadRequest, ConfigurationService,
+                     ServiceHTTPServer, ServiceRequestHandler,
+                     bundle_bytes, bundle_from_result)
+from .singleflight import SingleFlight
+
+__all__ = [
+    "AdmissionController", "AdmissionError", "AdmissionRejected",
+    "AdmissionShed", "AdmissionTimeout", "BadRequest",
+    "ConfigurationService", "DrainReport", "POLICIES", "POLICY_BLOCK",
+    "POLICY_REJECT", "POLICY_SHED", "RateLimited", "RateLimiter",
+    "STATE_DRAINING", "STATE_SERVING", "STATE_STOPPED", "ServiceClient",
+    "ServiceDraining", "ServiceError", "ServiceHTTPServer",
+    "ServiceLifecycle", "ServiceRequestHandler", "SingleFlight",
+    "TokenBucket", "bundle_bytes", "bundle_from_result",
+]

@@ -1,0 +1,130 @@
+"""A small blocking HTTP client for the configuration service.
+
+Used by the tests, the load benchmark and the CI smoke job — and handy
+as a reference for what a real caller sends. One
+:class:`ServiceClient` wraps one keep-alive connection, so an instance
+belongs to one thread; concurrent callers each create their own
+(connections are cheap against the loopback interface).
+"""
+
+from __future__ import annotations
+
+import json
+from http.client import HTTPConnection, HTTPException
+
+
+class ServiceError(Exception):
+    """A non-2xx response from the service.
+
+    ``retriable`` mirrors the server's judgment: 429/503 responses are
+    safe to retry after backing off; 4xx others are not.
+    """
+
+    def __init__(self, status: int, code: str, message: str,
+                 retriable: bool = False):
+        self.status = status
+        self.code = code
+        self.retriable = retriable
+        super().__init__(f"HTTP {status} [{code}]: {message}")
+
+
+class ServiceClient:
+    """Blocking client for one ``repro serve`` endpoint."""
+
+    def __init__(self, port: int, host: str = "127.0.0.1", *,
+                 timeout: float = 30.0, client_id: str | None = None):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self.client_id = client_id
+        self._conn: HTTPConnection | None = None
+
+    # -- transport -------------------------------------------------------
+
+    def _connection(self) -> HTTPConnection:
+        if self._conn is None:
+            self._conn = HTTPConnection(self.host, self.port,
+                                        timeout=self.timeout)
+        return self._conn
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+    def request(self, method: str, path: str, body: bytes | None = None,
+                headers: dict[str, str] | None = None
+                ) -> tuple[int, dict[str, str], bytes]:
+        """One round trip; returns ``(status, headers, body)``.
+
+        Retries once on a dropped keep-alive connection (the server may
+        have closed an idle one between calls).
+        """
+        send_headers = dict(headers or {})
+        if self.client_id:
+            send_headers.setdefault("X-Client-Id", self.client_id)
+        for attempt in (0, 1):
+            conn = self._connection()
+            try:
+                conn.request(method, path, body=body,
+                             headers=send_headers)
+                response = conn.getresponse()
+                payload = response.read()
+            except (HTTPException, ConnectionError, OSError):
+                self.close()
+                if attempt:
+                    raise
+                continue
+            return (response.status,
+                    {k.lower(): v for k, v in response.getheaders()},
+                    payload)
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    # -- endpoints -------------------------------------------------------
+
+    def generate_raw(self, sources, options: dict | None = None
+                     ) -> tuple[int, dict[str, str], bytes]:
+        """``POST /v1/generate`` returning the raw response triple."""
+        document: dict[str, object] = {"sources": list(sources)}
+        if options:
+            document["options"] = options
+        return self.request(
+            "POST", "/v1/generate",
+            body=json.dumps(document).encode("utf-8"),
+            headers={"Content-Type": "application/json"})
+
+    def generate(self, sources, options: dict | None = None) -> dict:
+        """Generate and return the parsed manifest bundle.
+
+        Raises :class:`ServiceError` on any non-200 response.
+        """
+        status, _, body = self.generate_raw(sources, options)
+        document = json.loads(body)
+        if status != 200:
+            error = document.get("error", {})
+            raise ServiceError(status, error.get("code", "unknown"),
+                               error.get("message", body.decode(
+                                   "utf-8", errors="replace")),
+                               retriable=error.get("retriable", False))
+        return document
+
+    def _get_json(self, path: str) -> dict:
+        _, _, body = self.request("GET", path)
+        return json.loads(body)
+
+    def health(self) -> dict:
+        """``GET /healthz`` (parsed body, whatever the status)."""
+        return self._get_json("/healthz")
+
+    def metrics(self) -> dict:
+        return self._get_json("/metrics")
+
+    def cache_stats(self) -> dict:
+        return self._get_json("/cache/stats")

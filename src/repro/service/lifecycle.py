@@ -1,0 +1,140 @@
+"""Service lifecycle: serving → draining → stopped, with graceful drain.
+
+The drain contract (what ``SIGTERM`` means to ``repro serve``):
+
+1. flip to ``draining`` — from this instant every new request is
+   refused with :class:`~repro.service.admission.ServiceDraining`
+   (retriable: a load balancer retries it elsewhere);
+2. wait for the requests admitted *before* the flip to finish, up to a
+   deadline;
+3. run the registered flush hooks (final metrics snapshot, cache
+   bookkeeping) exactly once, even when the deadline expired with work
+   still in flight;
+4. report what happened as a :class:`DrainReport`.
+
+The tracker is intentionally independent of the admission controller:
+admission counts work occupying pipeline slots, the lifecycle counts
+requests the service has promised a response to (including those still
+queued for a slot) — the drain must wait for the latter.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+
+from ..obs import METRICS, Summarizable
+from .admission import ServiceDraining
+
+_DRAINS = METRICS.counter("service.drains")
+_ACTIVE = METRICS.gauge("service.active_requests")
+
+STATE_SERVING = "serving"
+STATE_DRAINING = "draining"
+STATE_STOPPED = "stopped"
+
+
+@dataclass
+class DrainReport(Summarizable):
+    """Outcome of one graceful drain."""
+
+    completed: bool
+    waited_seconds: float
+    remaining: int  #: requests still in flight when the deadline hit
+    flushed: int  #: flush hooks that ran
+
+    def summary(self) -> dict[str, object]:
+        return {
+            "completed": self.completed,
+            "waited_seconds": round(self.waited_seconds, 3),
+            "remaining": self.remaining,
+            "flushed": self.flushed,
+        }
+
+
+class ServiceLifecycle:
+    """Tracks in-flight requests and coordinates the graceful drain."""
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._state = STATE_SERVING
+        self._active = 0
+        self._flush_hooks: list = []
+        self.last_drain: DrainReport | None = None
+
+    # -- state -----------------------------------------------------------
+
+    @property
+    def state(self) -> str:
+        with self._cond:
+            return self._state
+
+    @property
+    def active(self) -> int:
+        with self._cond:
+            return self._active
+
+    @property
+    def serving(self) -> bool:
+        return self.state == STATE_SERVING
+
+    def register_flush(self, hook) -> None:
+        """Add a zero-argument callable to run once during drain."""
+        self._flush_hooks.append(hook)
+
+    # -- request tracking ------------------------------------------------
+
+    def request_started(self) -> None:
+        """Admit a request into the lifecycle; refuses unless serving."""
+        with self._cond:
+            if self._state != STATE_SERVING:
+                raise ServiceDraining(
+                    f"service is {self._state}; not accepting requests")
+            self._active += 1
+            _ACTIVE.inc()
+
+    def request_finished(self) -> None:
+        with self._cond:
+            self._active -= 1
+            _ACTIVE.dec()
+            if self._active <= 0:
+                self._cond.notify_all()
+
+    # -- drain -----------------------------------------------------------
+
+    def drain(self, deadline: float = 10.0) -> DrainReport:
+        """Stop accepting, wait for in-flight work, flush, stop.
+
+        Idempotent: a second call returns the first call's report.
+        """
+        with self._cond:
+            if self._state != STATE_SERVING:
+                while self.last_drain is None:  # another drainer runs
+                    self._cond.wait(0.05)
+                return self.last_drain
+            self._state = STATE_DRAINING
+            _DRAINS.inc()
+            started = time.monotonic()
+            remaining_time = deadline
+            while self._active > 0 and remaining_time > 0:
+                self._cond.wait(remaining_time)
+                remaining_time = deadline - (time.monotonic() - started)
+            remaining = self._active
+        flushed = 0
+        for hook in self._flush_hooks:
+            try:
+                hook()
+            except Exception:  # a broken hook must not wedge the drain
+                pass
+            flushed += 1
+        with self._cond:
+            self._state = STATE_STOPPED
+            report = DrainReport(
+                completed=remaining == 0,
+                waited_seconds=time.monotonic() - started,
+                remaining=remaining,
+                flushed=flushed)
+            self.last_drain = report
+            self._cond.notify_all()
+        return report

@@ -107,3 +107,31 @@ def test_port_identity_for_any_factory(specs):
                                      f"{spec.name}DriverInstance")
         assert figure.total_ports == 2 * spec.point_count
         assert figure.balanced
+
+
+def test_port_identity_for_reserved_machine_names():
+    """Machines named like ISA95 `ref part` members still measure.
+
+    `ISA95::Machine` declares `ref part driver : Driver` and
+    `Workcell` declares `ref part machines : Machine [*]`; a machine
+    whose name collides with those placeholders must still resolve to
+    its concrete workcell part (Hypothesis-discovered regression).
+    """
+    from repro.diagrams import measure_connections
+    specs = [MachineSpec(
+        name=name,
+        display_name=name.title(),
+        type_name=name.title() + "Machine",
+        workcell="cell1",
+        driver=DriverSpec(protocol="OPCUADriver", is_generic=True,
+                          parameters={"endpoint":
+                                      f"opc.tcp://10.9.{i}.1:4840"}),
+        categories={"Data": [VariableSpec("v0", "Real")]},
+        services=[simple_service("svc0")],
+    ) for i, name in enumerate(["driver", "machines"])]
+    model = load_icelab_model(specs)
+    for spec in specs:
+        figure = measure_connections(
+            model, spec.name, f"{spec.name}DriverInstance")
+        assert figure.total_ports == 2 * spec.point_count
+        assert figure.balanced

@@ -1,0 +1,108 @@
+"""Graceful-drain state machine (repro.service.lifecycle)."""
+
+import threading
+import time
+
+import pytest
+
+from repro.service import (STATE_DRAINING, STATE_SERVING, STATE_STOPPED,
+                           ServiceDraining, ServiceLifecycle)
+
+
+class TestLifecycle:
+    def test_initial_state_serves(self):
+        lifecycle = ServiceLifecycle()
+        assert lifecycle.state == STATE_SERVING
+        assert lifecycle.serving
+        lifecycle.request_started()
+        assert lifecycle.active == 1
+        lifecycle.request_finished()
+        assert lifecycle.active == 0
+
+    def test_drain_with_no_work_completes_immediately(self):
+        lifecycle = ServiceLifecycle()
+        report = lifecycle.drain(deadline=1.0)
+        assert report.completed
+        assert report.remaining == 0
+        assert lifecycle.state == STATE_STOPPED
+
+    def test_draining_refuses_new_requests(self):
+        lifecycle = ServiceLifecycle()
+        lifecycle.drain(deadline=0.1)
+        with pytest.raises(ServiceDraining) as info:
+            lifecycle.request_started()
+        assert info.value.retriable
+        assert info.value.code == "draining"
+
+    def test_drain_waits_for_inflight_work(self):
+        lifecycle = ServiceLifecycle()
+        lifecycle.request_started()
+        finished = threading.Event()
+        report_box = {}
+
+        def drainer():
+            report_box["report"] = lifecycle.drain(deadline=5.0)
+            finished.set()
+
+        thread = threading.Thread(target=drainer)
+        thread.start()
+        deadline = time.monotonic() + 5
+        while lifecycle.state != STATE_DRAINING \
+                and time.monotonic() < deadline:
+            time.sleep(0.005)
+        assert not finished.is_set()  # still waiting on our request
+        lifecycle.request_finished()
+        assert finished.wait(5)
+        thread.join(5)
+        report = report_box["report"]
+        assert report.completed
+        assert report.remaining == 0
+
+    def test_drain_deadline_reports_leftover_work(self):
+        lifecycle = ServiceLifecycle()
+        lifecycle.request_started()
+        lifecycle.request_started()
+        report = lifecycle.drain(deadline=0.1)
+        assert not report.completed
+        assert report.remaining == 2
+        assert report.waited_seconds >= 0.08
+        assert lifecycle.state == STATE_STOPPED
+
+    def test_flush_hooks_run_once_even_on_deadline_expiry(self):
+        lifecycle = ServiceLifecycle()
+        flushed = []
+        lifecycle.register_flush(lambda: flushed.append("metrics"))
+        lifecycle.register_flush(lambda: flushed.append("cache"))
+        lifecycle.request_started()
+        report = lifecycle.drain(deadline=0.05)
+        assert not report.completed
+        assert flushed == ["metrics", "cache"]
+        assert report.flushed == 2
+
+    def test_broken_flush_hook_does_not_wedge_drain(self):
+        lifecycle = ServiceLifecycle()
+        flushed = []
+
+        def broken():
+            raise RuntimeError("flush failed")
+
+        lifecycle.register_flush(broken)
+        lifecycle.register_flush(lambda: flushed.append("ok"))
+        report = lifecycle.drain(deadline=0.5)
+        assert report.completed
+        assert flushed == ["ok"]
+        assert report.flushed == 2
+
+    def test_drain_is_idempotent(self):
+        lifecycle = ServiceLifecycle()
+        first = lifecycle.drain(deadline=0.5)
+        second = lifecycle.drain(deadline=0.5)
+        assert second is first
+
+    def test_report_summary_shape(self):
+        lifecycle = ServiceLifecycle()
+        report = lifecycle.drain(deadline=0.1)
+        summary = report.summary()
+        assert summary["completed"] is True
+        assert set(summary) == {"completed", "waited_seconds",
+                                "remaining", "flushed"}

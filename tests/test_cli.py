@@ -134,3 +134,59 @@ class TestPerfSurface:
         assert "cache/parallel" in out
         assert "cache.misses" in out
         assert "parallel.tasks" in out
+
+
+class TestServiceSurface:
+    """The CLI surface added alongside the serving subsystem."""
+
+    def test_cache_stats_missing_dir_is_friendly(self, tmp_path, capsys):
+        missing = tmp_path / "never-created"
+        assert main(["cache", "stats", "--cache-dir", str(missing)]) == 0
+        assert f"no cache at {missing}" in capsys.readouterr().out
+        assert not missing.exists()  # inspection must not create it
+
+    def test_cache_clear_missing_dir_is_friendly(self, tmp_path, capsys):
+        missing = tmp_path / "never-created"
+        assert main(["cache", "clear", "--cache-dir", str(missing)]) == 0
+        assert f"no cache at {missing}" in capsys.readouterr().out
+        assert not missing.exists()
+
+    def test_cache_clear_empty_dir_reports_nothing_removed(
+            self, tmp_path, capsys):
+        empty = tmp_path / "cache"
+        empty.mkdir()
+        assert main(["cache", "clear", "--cache-dir", str(empty)]) == 0
+        assert "nothing to remove" in capsys.readouterr().out
+
+    def test_validate_json_ok(self, capsys):
+        import json
+
+        assert main(["validate", "--json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["ok"] is True
+        assert document["errors"] == 0
+        assert document["diagnostics"] == []
+
+    def test_validate_json_front_end_error(self, tmp_path, capsys):
+        import json
+
+        bad = tmp_path / "bad.sysml"
+        bad.write_text("part x : Missing;")
+        assert main(["validate", "--json", str(bad)]) == 1
+        document = json.loads(capsys.readouterr().out)
+        assert document["ok"] is False
+        assert document["errors"] == 1
+        assert document["front_end_error"]["message"]
+        assert document["front_end_error"]["kind"]
+
+    def test_serve_parser_accepts_service_flags(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["serve", "--port", "0", "--max-inflight", "4",
+             "--backpressure", "block", "--block-deadline", "2.5",
+             "--rate", "10", "--drain-deadline", "3"])
+        assert args.port == 0
+        assert args.max_inflight == 4
+        assert args.backpressure == "block"
+        assert args.func is not None
