@@ -14,6 +14,9 @@ Subcommands
               control and graceful drain on SIGTERM
 ``deploy``    run the full Figure-1 flow on the simulated cluster and
               print the smoke report
+``conformance``  run differential conformance trials over a seeded
+              model corpus: every oracle on every seed, failures
+              shrunk to minimal reproducers in the crash corpus
 ``table1``    print the reproduced Table I
 ``figures``   print the regenerated Figure 1 / Figure 2 renderings
 ``compare``   run the SysML v1-vs-v2 baseline comparison
@@ -270,6 +273,48 @@ def _cmd_serve(args) -> int:
     return 0 if report.completed else 1
 
 
+def _cmd_conformance(args) -> int:
+    """Differential conformance trials over the seeded corpus."""
+    from .testkit import (CorpusConfig, oracle_names, run_conformance)
+    if args.list_oracles:
+        from .testkit import ORACLES
+        for name, oracle in ORACLES.items():
+            kind = "source-level" if oracle.source_level else "pipeline"
+            print(f"{name:>12}  [{kind}]  {oracle.description}")
+        return 0
+    oracles = args.oracles.split(",") if args.oracles else None
+    if oracles:
+        known = set(oracle_names())
+        unknown = [name for name in oracles if name not in known]
+        if unknown:
+            print(f"unknown oracle(s): {', '.join(unknown)} "
+                  f"(known: {', '.join(oracle_names())})",
+                  file=sys.stderr)
+            return 2
+    config = CorpusConfig(hostile=args.hostile)
+    report = run_conformance(
+        args.seeds, base_seed=args.base_seed, oracles=oracles,
+        config=config, jobs=args.jobs, shrink=not args.no_shrink,
+        crash_dir=args.crash_dir)
+    for name, stats in report.oracle_stats().items():
+        print(f"{name:>12}: {stats['runs']} runs, "
+              f"{stats['failures']} failures, "
+              f"{stats['total_seconds']:.2f}s total")
+    print(f"{report.failure_count} failure(s) over {len(report.trials)} "
+          f"seeds [{args.base_seed}..{args.base_seed + args.seeds - 1}]"
+          f"{' (hostile)' if args.hostile else ''}")
+    for reproducer in report.reproducers:
+        where = reproducer.path or f"({reproducer.line_count} lines)"
+        print(f"  reproducer [{reproducer.oracle} seed={reproducer.seed}]"
+              f": {where}")
+    print(f"digest: {report.digest}")
+    if args.report:
+        with open(args.report, "w") as handle:
+            handle.write(report.to_json())
+        print(f"wrote report JSON to {args.report}")
+    return 0 if report.ok else 1
+
+
 def _cmd_deploy(args) -> int:
     from .icelab import run_icelab
     result = run_icelab(capacity=args.capacity,
@@ -478,6 +523,32 @@ def build_parser() -> argparse.ArgumentParser:
                               "~/.cache/repro-factory)")
     p_cache.add_argument("--cache-max-bytes", type=int, default=None)
     p_cache.set_defaults(func=_cmd_cache)
+
+    p_conf = subparsers.add_parser(
+        "conformance",
+        help="run differential conformance trials on a seeded corpus")
+    p_conf.add_argument("--seeds", type=int, default=50, metavar="N",
+                        help="number of consecutive seeds to try")
+    p_conf.add_argument("--base-seed", type=int, default=0,
+                        help="first seed of the range")
+    p_conf.add_argument(
+        "--oracles", default=None, metavar="A,B,...",
+        help="comma-separated oracle subset (default: all)")
+    p_conf.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="trials run in parallel (report digest is "
+                             "identical regardless)")
+    p_conf.add_argument("--hostile", action="store_true",
+                        help="enable hostile mutations (unicode names, "
+                             "quoted identifiers, deep nesting)")
+    p_conf.add_argument("--report", metavar="FILE",
+                        help="write the JSON report to FILE")
+    p_conf.add_argument("--crash-dir", metavar="DIR",
+                        help="write shrunk reproducers under DIR")
+    p_conf.add_argument("--no-shrink", action="store_true",
+                        help="skip delta-debugging failures")
+    p_conf.add_argument("--list-oracles", action="store_true",
+                        help="list the registered oracles and exit")
+    p_conf.set_defaults(func=_cmd_conformance)
 
     p_deploy = subparsers.add_parser("deploy",
                                      help="full simulated deployment")

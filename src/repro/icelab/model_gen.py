@@ -27,7 +27,13 @@ from ..isa95.library import ISA95_LIBRARY_SOURCE
 from ..machines.catalog import MachineSpec
 from ..machines.specs import ICE_LAB_SPECS
 from ..sysml.elements import Model
+from ..sysml.printer import format_name as _n
 from ..sysml.resolver import load_model
+
+
+def _q(*parts: str) -> str:
+    """A qualified name as source text, quoting non-identifier parts."""
+    return "::".join(_n(part) for part in parts)
 
 _SCALAR = {"Real": "Real", "Double": "Real", "Integer": "Integer",
            "Natural": "Integer", "Boolean": "Boolean", "String": "String"}
@@ -78,29 +84,29 @@ def generate_library(spec: MachineSpec) -> str:
     var_port = _var_port_def(spec)
     method_port = _method_port_def(spec)
     lines: list[str] = []
-    lines.append(f"package {package} {{")
+    lines.append(f"package {_n(package)} {{")
     lines.append("    import ISA95::*;")
-    lines.append(f"    doc /* Library for {spec.display_name} "
-                 f"({spec.workcell}). */")
+    lines.append(f"    doc /* Library for {_doc_text(spec.display_name)} "
+                 f"({_doc_text(spec.workcell)}). */")
     # driver definition (Code 2)
-    lines.append(f"    part def {driver} :> {base} {{")
-    lines.append(f"        part def {driver}Parameters :> "
+    lines.append(f"    part def {_n(driver)} :> {base} {{")
+    lines.append(f"        part def {_n(driver + 'Parameters')} :> "
                  f"Driver::DriverParameters {{")
     for name, value in spec.driver.parameters.items():
         scalar = "Integer" if isinstance(value, int) and not \
             isinstance(value, bool) else "String"
-        lines.append(f"            attribute {name} : {scalar};")
+        lines.append(f"            attribute {_n(name)} : {scalar};")
     lines.append("        }")
-    lines.append(f"        part def {driver}Variables :> "
+    lines.append(f"        part def {_n(driver + 'Variables')} :> "
                  f"Driver::DriverVariables {{")
-    lines.append(f"            port def {var_port} {{")
+    lines.append(f"            port def {_n(var_port)} {{")
     lines.append("                in attribute value : Real;")
     lines.append("                attribute identifier : String;")
     lines.append("            }")
     lines.append("        }")
-    lines.append(f"        part def {driver}Methods :> "
+    lines.append(f"        part def {_n(driver + 'Methods')} :> "
                  f"Driver::DriverMethods {{")
-    lines.append(f"            port def {method_port} {{")
+    lines.append(f"            port def {_n(method_port)} {{")
     lines.append("                attribute identifier : String;")
     lines.append("                out action operation {")
     lines.append("                    out done : Boolean;")
@@ -109,13 +115,14 @@ def generate_library(spec: MachineSpec) -> str:
     lines.append("        }")
     lines.append("    }")
     # machine definition (Code 3) with category part defs
-    lines.append(f"    part def {spec.type_name} :> Machine {{")
-    lines.append(f"        part def {spec.type_name}Data :> "
+    lines.append(f"    part def {_n(spec.type_name)} :> Machine {{")
+    lines.append(f"        part def {_n(spec.type_name + 'Data')} :> "
                  f"Machine::MachineData {{")
     for category in _categories(spec):
-        lines.append(f"            part def {_category_def_name(category)};")
+        lines.append(
+            f"            part def {_n(_category_def_name(category))};")
     lines.append("        }")
-    lines.append(f"        part def {spec.type_name}Services :> "
+    lines.append(f"        part def {_n(spec.type_name + 'Services')} :> "
                  f"Machine::MachineServices;")
     lines.append("    }")
     lines.append("}")
@@ -131,51 +138,57 @@ def generate_machine_instance(spec: MachineSpec, indent: str) -> str:
     method_port = _method_port_def(spec)
     pad = indent
     lines: list[str] = []
-    lines.append(f"{pad}part {spec.name} : {package}::{spec.type_name} {{")
+    lines.append(f"{pad}part {_n(spec.name)} : "
+                 f"{_q(package, spec.type_name)} {{")
     # the reference names the concrete top-level driver instance, so two
     # machines of the same type (the RB-Kairos pair) keep distinct drivers
-    lines.append(f"{pad}    ref part {spec.name}Driver : "
-                 f"{package}::{driver} = {spec.name}DriverInstance;")
+    lines.append(f"{pad}    ref part {_n(spec.name + 'Driver')} : "
+                 f"{_q(package, driver)} = "
+                 f"{_n(spec.name + 'DriverInstance')};")
     data_part = f"{spec.name}Data"
-    lines.append(f"{pad}    part {data_part} : {spec.type_name}Data {{")
+    lines.append(f"{pad}    part {_n(data_part)} : "
+                 f"{_n(spec.type_name + 'Data')} {{")
     for category, variables in _categories(spec).items():
         category_def = _category_def_name(category)
-        lines.append(f"{pad}        part {_category_part_name(category)} : "
-                     f"{category_def} {{")
+        lines.append(f"{pad}        part "
+                     f"{_n(_category_part_name(category))} : "
+                     f"{_n(category_def)} {{")
         for variable in variables:
             scalar = _scalar(variable.data_type)
             port_name = f"{variable.name}_port"
-            lines.append(f"{pad}            attribute {variable.name} : "
+            lines.append(f"{pad}            attribute {_n(variable.name)} : "
                          f"{scalar};")
             lines.append(
-                f"{pad}            port {port_name} : "
-                f"~{package}::{driver}::{driver}Variables::{var_port};")
-            lines.append(f"{pad}            bind {port_name}.value = "
-                         f"{variable.name};")
+                f"{pad}            port {_n(port_name)} : "
+                f"~{_q(package, driver, driver + 'Variables', var_port)};")
+            lines.append(f"{pad}            bind {_n(port_name)}.value = "
+                         f"{_n(variable.name)};")
             lines.append(
-                f"{pad}            connect {port_name} to "
-                f"{spec.name}DriverInstance.driverVariables."
-                f"{_category_part_name(category)}.pp_{variable.name};")
+                f"{pad}            connect {_n(port_name)} to "
+                f"{_n(spec.name + 'DriverInstance')}.driverVariables."
+                f"{_n(_category_part_name(category))}."
+                f"{_n('pp_' + variable.name)};")
         lines.append(f"{pad}        }}")
     lines.append(f"{pad}    }}")
-    lines.append(f"{pad}    part {spec.name}Services : "
-                 f"{spec.type_name}Services {{")
+    lines.append(f"{pad}    part {_n(spec.name + 'Services')} : "
+                 f"{_n(spec.type_name + 'Services')} {{")
     for service in spec.services:
-        lines.append(f"{pad}        action {service.name} {{")
+        lines.append(f"{pad}        action {_n(service.name)} {{")
         for argument in service.inputs:
-            lines.append(f"{pad}            in {argument.name} : "
+            lines.append(f"{pad}            in {_n(argument.name)} : "
                          f"{_scalar(argument.data_type)};")
         for argument in service.outputs:
-            lines.append(f"{pad}            out {argument.name} : "
+            lines.append(f"{pad}            out {_n(argument.name)} : "
                          f"{_scalar(argument.data_type)};")
         lines.append(f"{pad}        }}")
         port_name = f"{service.name}_mthd"
         lines.append(
-            f"{pad}        port {port_name} : "
-            f"~{package}::{driver}::{driver}Methods::{method_port};")
+            f"{pad}        port {_n(port_name)} : "
+            f"~{_q(package, driver, driver + 'Methods', method_port)};")
         lines.append(
-            f"{pad}        connect {port_name} to "
-            f"{spec.name}DriverInstance.driverMethods.pp_{service.name};")
+            f"{pad}        connect {_n(port_name)} to "
+            f"{_n(spec.name + 'DriverInstance')}.driverMethods."
+            f"{_n('pp_' + service.name)};")
     lines.append(f"{pad}    }}")
     lines.append(f"{pad}}}")
     return "\n".join(lines) + "\n"
@@ -189,36 +202,42 @@ def generate_driver_instance(spec: MachineSpec) -> str:
     var_port = _var_port_def(spec)
     method_port = _method_port_def(spec)
     lines: list[str] = []
-    lines.append(f"part {spec.name}DriverInstance : {package}::{driver} {{")
-    lines.append(f"    part driverParameters : {driver}Parameters {{")
+    lines.append(f"part {_n(spec.name + 'DriverInstance')} : "
+                 f"{_q(package, driver)} {{")
+    lines.append(f"    part driverParameters : "
+                 f"{_n(driver + 'Parameters')} {{")
     for name, value in spec.driver.parameters.items():
-        lines.append(f"        :>> {name} = {_literal(value)};")
+        lines.append(f"        :>> {_n(name)} = {_literal(value)};")
     lines.append("    }")
-    lines.append(f"    part driverVariables : {driver}Variables {{")
+    lines.append(f"    part driverVariables : {_n(driver + 'Variables')} {{")
     for category, variables in _categories(spec).items():
         category_def = _category_def_name(category)
+        category_type = _q(package, spec.type_name,
+                           spec.type_name + "Data", category_def)
         lines.append(
-            f"        part {_category_part_name(category)} : "
-            f"{package}::{spec.type_name}::{spec.type_name}Data"
-            f"::{category_def} {{")
+            f"        part {_n(_category_part_name(category))} : "
+            f"{category_type} {{")
         for variable in variables:
             scalar = _scalar(variable.data_type)
-            lines.append(f"            attribute {variable.name} : "
+            lines.append(f"            attribute {_n(variable.name)} : "
                          f"{scalar};")
-            lines.append(f"            port pp_{variable.name} : "
-                         f"{var_port};")
-            lines.append(f"            bind pp_{variable.name}.value = "
-                         f"{variable.name};")
+            lines.append(f"            port {_n('pp_' + variable.name)} : "
+                         f"{_n(var_port)};")
+            lines.append(f"            bind "
+                         f"{_n('pp_' + variable.name)}.value = "
+                         f"{_n(variable.name)};")
         lines.append("        }")
     lines.append("    }")
-    lines.append(f"    part driverMethods : {driver}Methods {{")
+    lines.append(f"    part driverMethods : {_n(driver + 'Methods')} {{")
     for service in spec.services:
-        lines.append(f"        port pp_{service.name} : {method_port};")
-        lines.append(f"        action call_{service.name} {{")
+        lines.append(f"        port {_n('pp_' + service.name)} : "
+                     f"{_n(method_port)};")
+        lines.append(f"        action {_n('call_' + service.name)} {{")
         for argument in service.outputs:
-            lines.append(f"            out {argument.name} : "
+            lines.append(f"            out {_n(argument.name)} : "
                          f"{_scalar(argument.data_type)};")
-        lines.append(f"            perform pp_{service.name}.operation;")
+        lines.append(f"            perform "
+                     f"{_n('pp_' + service.name)}.operation;")
         lines.append("        }")
     lines.append("    }")
     lines.append("}")
@@ -238,15 +257,16 @@ def generate_topology_source(
     for spec in specs:
         workcells.setdefault(spec.workcell, []).append(spec)
     lines: list[str] = []
-    lines.append(f"part {topology_name} : ISA95::Topology {{")
-    lines.append(f"    part {enterprise} : {hierarchy} {{")
-    lines.append(f"        part {site} : {hierarchy}::Site {{")
-    lines.append(f"            part {area} : {hierarchy}::Site::Area {{")
-    lines.append(f"                part {line} : "
+    lines.append(f"part {_n(topology_name)} : ISA95::Topology {{")
+    lines.append(f"    part {_n(enterprise)} : {hierarchy} {{")
+    lines.append(f"        part {_n(site)} : {hierarchy}::Site {{")
+    lines.append(f"            part {_n(area)} : "
+                 f"{hierarchy}::Site::Area {{")
+    lines.append(f"                part {_n(line)} : "
                  f"{hierarchy}::Site::Area::ProductionLine {{")
     for workcell_name in sorted(workcells):
         lines.append(
-            f"                    part {workcell_name} : "
+            f"                    part {_n(workcell_name)} : "
             f"{hierarchy}::Site::Area::ProductionLine::Workcell {{")
         for spec in workcells[workcell_name]:
             lines.append(generate_machine_instance(
@@ -298,10 +318,16 @@ def _category_part_name(category: str) -> str:
     return ident[0].lower() + ident[1:]
 
 
+def _doc_text(text: str) -> str:
+    """Documentation body text: block comments cannot nest, so a
+    ``*/`` inside free text must not terminate the comment early."""
+    return str(text).replace("*/", "*\u200b/")
+
+
 def _literal(value: object) -> str:
     if isinstance(value, bool):
         return "true" if value else "false"
     if isinstance(value, (int, float)):
         return repr(value)
-    escaped = str(value).replace("\\", "\\\\").replace("'", "\\'")
-    return f"'{escaped}'"
+    from ..sysml.printer import _escape_string
+    return f"'{_escape_string(str(value))}'"

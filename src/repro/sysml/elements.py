@@ -42,6 +42,19 @@ class Element:
         return element
 
     @property
+    def local_ordinal(self) -> int:
+        """Position among the owner's children — stable across loads of
+        the same sources (unlike ``element_id``, which is a process
+        -global counter), so it is safe in derived names that end up in
+        deterministic output."""
+        if self.owner is None:
+            return 0
+        for index, sibling in enumerate(self.owner.owned_elements):
+            if sibling is self:
+                return index
+        return 0
+
+    @property
     def qualified_name(self) -> str:
         parts: list[str] = []
         node: Element | None = self

@@ -125,7 +125,7 @@ class Elaborator:
                 usage.location)
         effective_type = usage.effective_type()
         node = InstanceNode(
-            name=usage.name or f"<anon#{usage.element_id}>",
+            name=usage.name or f"<anon#{usage.local_ordinal}>",
             kind=usage.kind if usage.kind != "redefinition" else
             (usage.redefines[0].kind if usage.redefines else "attribute"),
             usage=usage,
@@ -157,7 +157,7 @@ class Elaborator:
                 node.add(_connector_node(member))
             elif isinstance(member, PerformAction):
                 node.add(InstanceNode(
-                    name=f"perform_{member.element_id}", kind="perform",
+                    name=f"perform_{member.local_ordinal}", kind="perform",
                     value_ref=str(member.target_chain)))
         return node
 
@@ -212,10 +212,10 @@ def _flip(direction: str | None) -> str | None:
 def _connector_node(member: BindingConnector | Connector) -> InstanceNode:
     if isinstance(member, BindingConnector):
         return InstanceNode(
-            name=f"bind_{member.element_id}", kind="bind",
+            name=f"bind_{member.local_ordinal}", kind="bind",
             value_ref=f"{member.left_chain}={member.right_chain}")
     return InstanceNode(
-        name=member.name or f"connect_{member.element_id}",
+        name=member.name or f"connect_{member.local_ordinal}",
         kind=member.connector_kind,
         value_ref=f"{member.source_chain}->{member.target_chain}")
 

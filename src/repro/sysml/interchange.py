@@ -23,12 +23,14 @@ def element_to_dict(element: Element) -> dict:
     """Serialize one element subtree to a JSON-compatible dict."""
     from .elements import Alias
     data: dict = {"@type": type(element).__name__}
-    if element.name:
+    # "is not None", not truthiness: '' is a legal declared name and
+    # must survive the round-trip
+    if element.name is not None:
         data["name"] = element.name
     if element.documentation:
         data["documentation"] = element.documentation
     if isinstance(element, Alias):
-        data["aliasOf"] = str(element.target_name)
+        data["aliasOf"] = _qname_json(element.target_name)
     elif isinstance(element, Package):
         if element.is_library:
             data["isLibrary"] = True
@@ -36,7 +38,8 @@ def element_to_dict(element: Element) -> dict:
         data["kind"] = element.kind
         data["isAbstract"] = element.is_abstract
         if element.specialization_names:
-            data["specializes"] = [str(n) for n in element.specialization_names]
+            data["specializes"] = [_qname_json(n)
+                                   for n in element.specialization_names]
     elif isinstance(element, Usage):
         data["kind"] = element.kind
         data["isAbstract"] = element.is_abstract
@@ -49,29 +52,31 @@ def element_to_dict(element: Element) -> dict:
                 "upper": element.multiplicity.upper,
             }
         if element.type_name is not None:
-            data["type"] = str(element.type_name)
+            data["type"] = _qname_json(element.type_name)
             data["isConjugated"] = element.conjugated
         if element.specialization_names:
-            data["specializes"] = [str(n) for n in element.specialization_names]
+            data["specializes"] = [_qname_json(n)
+                                   for n in element.specialization_names]
         if element.redefinition_names:
-            data["redefines"] = [str(n) for n in element.redefinition_names]
+            data["redefines"] = [_qname_json(n)
+                                 for n in element.redefinition_names]
         if element.value is not None:
             data["value"] = _expr_to_json(element.value)
     elif isinstance(element, Import):
-        data["target"] = str(element.target_name)
+        data["target"] = _qname_json(element.target_name)
         data["wildcard"] = element.wildcard
         data["recursive"] = element.recursive
     elif isinstance(element, BindingConnector):
-        data["left"] = str(element.left_chain)
-        data["right"] = str(element.right_chain)
+        data["left"] = _chain_json(element.left_chain)
+        data["right"] = _chain_json(element.right_chain)
     elif isinstance(element, Connector):
         data["connectorKind"] = element.connector_kind
-        data["source"] = str(element.source_chain)
-        data["target"] = str(element.target_chain)
+        data["source"] = _chain_json(element.source_chain)
+        data["target"] = _chain_json(element.target_chain)
         if element.type_name is not None:
-            data["type"] = str(element.type_name)
+            data["type"] = _qname_json(element.type_name)
     elif isinstance(element, PerformAction):
-        data["target"] = str(element.target_chain)
+        data["target"] = _chain_json(element.target_chain)
     elif isinstance(element, Assignment):
         if element.direction:
             data["direction"] = element.direction
@@ -185,7 +190,7 @@ def _expr_to_json(expr: object) -> dict:
     if isinstance(expr, Literal):
         return {"@type": "Literal", "value": expr.value}
     if isinstance(expr, FeatureRefExpr):
-        return {"@type": "FeatureRef", "chain": str(expr.chain)}
+        return {"@type": "FeatureRef", "chain": _chain_json(expr.chain)}
     raise SysMLError(f"cannot serialize expression {expr!r}")
 
 
@@ -197,9 +202,35 @@ def _expr_from_json(data: dict):
     raise SysMLError(f"cannot deserialize expression {data!r}")
 
 
-def _qname(text: str) -> QualifiedName:
-    return QualifiedName(text.split("::"))
+def _qname_json(qname: QualifiedName | str) -> str | list[str]:
+    """A qualified name for JSON: the joined string normally, the raw
+    part list when a part itself contains ``::`` (the join would not be
+    invertible)."""
+    if not isinstance(qname, QualifiedName):
+        return str(qname)
+    parts = list(qname.parts)
+    if any("::" in part for part in parts):
+        return parts
+    return "::".join(parts)
 
 
-def _chain(text: str) -> FeatureChain:
-    return FeatureChain(text.split("."))
+def _chain_json(chain: FeatureChain | str) -> str | list[str]:
+    """A feature chain for JSON; part list when a part contains '.'."""
+    if not isinstance(chain, FeatureChain):
+        return str(chain)
+    parts = list(chain.parts)
+    if any("." in part for part in parts):
+        return parts
+    return ".".join(parts)
+
+
+def _qname(value: str | list[str]) -> QualifiedName:
+    if isinstance(value, list):
+        return QualifiedName(list(value))
+    return QualifiedName(value.split("::"))
+
+
+def _chain(value: str | list[str]) -> FeatureChain:
+    if isinstance(value, list):
+        return FeatureChain(list(value))
+    return FeatureChain(value.split("."))

@@ -31,6 +31,7 @@ _PUNCT = {
     "=": TokenKind.EQUALS,
     "*": TokenKind.STAR,
     "~": TokenKind.TILDE,
+    "-": TokenKind.MINUS,
 }
 
 

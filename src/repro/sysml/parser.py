@@ -75,6 +75,20 @@ class Parser:
                 token.location)
         return self._advance()
 
+    # SysML v2 "unrestricted names" are single-quoted and legal wherever
+    # a declared name or name-part may appear; the lexer exposes them as
+    # STRING tokens and the parser accepts them contextually.
+
+    def _check_name(self) -> bool:
+        return self._check(TokenKind.IDENT) or self._check(TokenKind.STRING)
+
+    def _expect_name(self) -> str:
+        token = self._peek()
+        if token.kind not in (TokenKind.IDENT, TokenKind.STRING):
+            raise ParseError(
+                f"expected a name but found {token.value!r}", token.location)
+        return self._advance().value
+
     # -- entry point --------------------------------------------------------
 
     def parse_model(self) -> ModelNode:
@@ -115,7 +129,7 @@ class Parser:
     def _parse_alias(self) -> "AliasNode":
         from .ast_nodes import AliasNode
         start = self._expect_keyword("alias")
-        name = self._expect(TokenKind.IDENT).value
+        name = self._expect_name()
         self._expect_keyword("for")
         target = self._parse_qualified_name()
         self._expect(TokenKind.SEMI)
@@ -125,7 +139,7 @@ class Parser:
         from .ast_nodes import EnumDefinitionNode
         start = self._expect_keyword("enum")
         self._expect_keyword("def")
-        name = self._expect(TokenKind.IDENT).value
+        name = self._expect_name()
         specializes: list[QualifiedName] = []
         if self._match(TokenKind.SPECIALIZES):
             specializes.append(self._parse_qualified_name())
@@ -142,7 +156,7 @@ class Parser:
                 doc = self._parse_doc()
                 node.doc = node.doc or doc.text
                 continue
-            literal = self._expect(TokenKind.IDENT).value
+            literal = self._expect_name()
             self._expect(TokenKind.SEMI)
             node.literals.append(literal)
         self._expect(TokenKind.RBRACE)
@@ -158,13 +172,13 @@ class Parser:
 
     def _parse_package(self) -> PackageNode:
         start = self._expect_keyword("package")
-        name = self._expect(TokenKind.IDENT).value
+        name = self._expect_name()
         members = self._parse_body()
         return PackageNode(name=name, members=members, location=start.location)
 
     def _parse_import(self) -> ImportNode:
         start = self._expect_keyword("import")
-        parts = [self._expect(TokenKind.IDENT).value]
+        parts = [self._expect_name()]
         wildcard = False
         recursive = False
         while self._match(TokenKind.DOUBLE_COLON):
@@ -174,7 +188,7 @@ class Parser:
                     self._expect(TokenKind.STAR)
                     recursive = True
                 break
-            parts.append(self._expect(TokenKind.IDENT).value)
+            parts.append(self._expect_name())
         self._expect(TokenKind.SEMI)
         return ImportNode(QualifiedName(parts, start.location), wildcard,
                           recursive, start.location)
@@ -208,7 +222,7 @@ class Parser:
 
     def _parse_end(self) -> EndNode:
         start = self._expect_keyword("end")
-        name = self._expect(TokenKind.IDENT).value
+        name = self._expect_name()
         type_ref = None
         if self._match(TokenKind.COLON):
             type_ref = self._parse_type_ref()
@@ -278,8 +292,9 @@ class Parser:
                 if connect is not None:
                     return connect
             return self._parse_usage(kind, is_abstract, is_ref, direction, start)
-        if direction is not None and token.kind is TokenKind.IDENT:
-            # ``out ready : Boolean;`` — a bare parameter declaration.
+        if direction is not None and self._check_name():
+            # ``out ready : Boolean;`` — a bare parameter declaration
+            # (the name may be a quoted unrestricted name).
             return self._parse_usage("attribute", is_abstract, is_ref,
                                      direction, start)
         raise ParseError(
@@ -288,7 +303,7 @@ class Parser:
 
     def _parse_assignment(self) -> AssignmentNode:
         direction = self._advance().value
-        name = self._expect(TokenKind.IDENT).value
+        name = self._expect_name()
         self._expect(TokenKind.EQUALS)
         value = self._parse_expr()
         self._expect(TokenKind.SEMI)
@@ -296,7 +311,7 @@ class Parser:
 
     def _parse_definition(self, kind: str, is_abstract: bool,
                           start: Token) -> DefinitionNode:
-        name = self._expect(TokenKind.IDENT).value
+        name = self._expect_name()
         specializes: list[QualifiedName] = []
         if self._match(TokenKind.SPECIALIZES) or self._check_keyword("specializes"):
             if self._check_keyword("specializes"):
@@ -323,10 +338,10 @@ class Parser:
         checkpoint = self.index
         name: str | None = None
         type_ref: TypeRef | None = None
-        if self._check(TokenKind.IDENT) and not self._check_keyword("connect"):
+        if self._check_name() and not self._check_keyword("connect"):
             name = self._advance().value
         if self._match(TokenKind.COLON):
-            if not self._check(TokenKind.IDENT):
+            if not self._check_name():
                 self.index = checkpoint
                 return None
             type_ref = self._parse_type_ref()
@@ -344,7 +359,7 @@ class Parser:
                      direction: str | None, start: Token) -> UsageNode:
         node = UsageNode(kind=kind, is_abstract=is_abstract, is_ref=is_ref,
                          direction=direction, location=start.location)
-        if self._check(TokenKind.IDENT) and not self._check_keyword("def"):
+        if self._check_name() and not self._check_keyword("def"):
             node.name = self._advance().value
         # header clauses in any order: [mult] : type :> spec :>> redef
         while True:
@@ -422,27 +437,39 @@ class Parser:
         return TypeRef(name=name, conjugated=conjugated)
 
     def _parse_qualified_name(self) -> QualifiedName:
-        start = self._expect(TokenKind.IDENT)
-        parts = [start.value]
+        location = self._peek().location
+        parts = [self._expect_name()]
         while self._match(TokenKind.DOUBLE_COLON):
-            parts.append(self._expect(TokenKind.IDENT).value)
-        return QualifiedName(parts, start.location)
+            parts.append(self._expect_name())
+        return QualifiedName(parts, location)
 
     def _parse_feature_chain(self) -> FeatureChain:
-        start = self._expect(TokenKind.IDENT)
-        parts = [start.value]
+        location = self._peek().location
+        parts = [self._expect_name()]
         while True:
             if self._match(TokenKind.DOT):
-                parts.append(self._expect(TokenKind.IDENT).value)
+                parts.append(self._expect_name())
                 continue
             if self._match(TokenKind.DOUBLE_COLON):
-                parts.append(self._expect(TokenKind.IDENT).value)
+                parts.append(self._expect_name())
                 continue
             break
-        return FeatureChain(parts, start.location)
+        return FeatureChain(parts, location)
 
     def _parse_expr(self) -> Expr:
         token = self._peek()
+        if token.kind is TokenKind.MINUS:
+            self._advance()
+            number = self._peek()
+            if number.kind is TokenKind.INTEGER:
+                self._advance()
+                return Literal(-int(number.value), token.location)
+            if number.kind is TokenKind.REAL:
+                self._advance()
+                return Literal(-float(number.value), token.location)
+            raise ParseError(
+                f"expected numeric literal after '-', found {number.value!r}",
+                number.location)
         if token.kind is TokenKind.STRING:
             self._advance()
             return Literal(token.value, token.location)

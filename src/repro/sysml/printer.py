@@ -7,12 +7,48 @@ generator to emit human-readable ``.sysml`` sources.
 
 from __future__ import annotations
 
-from .ast_nodes import FeatureRefExpr, Literal
+from .ast_nodes import FeatureChain, FeatureRefExpr, Literal, QualifiedName
 from .elements import (Assignment, BindingConnector, Connector, Definition,
                        Element, Import, Model, Package,
                        PerformAction, RedefinitionUsage, Usage)
+from .tokens import KEYWORDS
 
 _INDENT = "    "
+
+
+def _escape_string(value: str) -> str:
+    """Escape a string body so the lexer reads it back verbatim."""
+    return (value.replace("\\", "\\\\").replace("'", "\\'")
+            .replace("\n", "\\n").replace("\t", "\\t"))
+
+
+def _is_plain_identifier(name: str) -> bool:
+    if not name or name in KEYWORDS:
+        return False
+    first = name[0]
+    if not (first.isalpha() or first == "_"):
+        return False
+    return all(ch.isalnum() or ch == "_" for ch in name)
+
+
+def format_name(name: str) -> str:
+    """A declared name as source text: bare identifiers print as-is,
+    anything else becomes a single-quoted *unrestricted name*."""
+    if _is_plain_identifier(name):
+        return name
+    return f"'{_escape_string(name)}'"
+
+
+def _qname_text(qname: QualifiedName | str) -> str:
+    if isinstance(qname, QualifiedName):
+        return "::".join(format_name(part) for part in qname.parts)
+    return format_name(str(qname))
+
+
+def _chain_text(chain: FeatureChain | str) -> str:
+    if isinstance(chain, FeatureChain):
+        return ".".join(format_name(part) for part in chain.parts)
+    return format_name(str(chain))
 
 
 def print_model(model: Model) -> str:
@@ -33,7 +69,7 @@ def print_element(element: Element) -> str:
 def _print_element(element: Element, lines: list[str], depth: int) -> None:
     pad = _INDENT * depth
     if isinstance(element, Package):
-        lines.append(f"{pad}package {element.name} {{")
+        lines.append(f"{pad}package {format_name(element.name)} {{")
         _print_doc(element, lines, depth + 1)
         for child in element.owned_elements:
             _print_element(child, lines, depth + 1)
@@ -43,22 +79,24 @@ def _print_element(element: Element, lines: list[str], depth: int) -> None:
         suffix = "::*" if element.wildcard else ""
         if element.recursive:
             suffix = "::*::*"
-        lines.append(f"{pad}import {element.target_name}{suffix};")
+        lines.append(
+            f"{pad}import {_qname_text(element.target_name)}{suffix};")
         return
     from .elements import Alias, EnumerationDefinition
     if isinstance(element, Alias):
-        lines.append(f"{pad}alias {element.name} for {element.target_name};")
+        lines.append(f"{pad}alias {format_name(element.name)} for "
+                     f"{_qname_text(element.target_name)};")
         return
     if isinstance(element, EnumerationDefinition):
-        head = f"{pad}enum def {element.name}"
+        head = f"{pad}enum def {format_name(element.name)}"
         if element.specialization_names:
-            head += " :> " + ", ".join(str(n) for n
+            head += " :> " + ", ".join(_qname_text(n) for n
                                        in element.specialization_names)
         lines.append(head + " {")
         _print_doc(element, lines, depth + 1)
         inner = _INDENT * (depth + 1)
         for literal in element.literals:
-            lines.append(f"{inner}{literal.name};")
+            lines.append(f"{inner}{format_name(literal.name)};")
         lines.append(f"{pad}}}")
         return
     if isinstance(element, Definition):
@@ -68,30 +106,36 @@ def _print_element(element: Element, lines: list[str], depth: int) -> None:
         _print_usage(element, lines, depth)
         return
     if isinstance(element, BindingConnector):
-        lines.append(f"{pad}bind {element.left_chain} = {element.right_chain};")
+        lines.append(f"{pad}bind {_chain_text(element.left_chain)} = "
+                     f"{_chain_text(element.right_chain)};")
         return
     if isinstance(element, Connector):
         keyword = element.connector_kind
         header = keyword
-        if element.name:
-            header += f" {element.name}"
+        # "is not None", not truthiness: '' is a legal declared name
+        # (quoted empty unrestricted name) and must not vanish
+        if element.name is not None:
+            header += f" {format_name(element.name)}"
         if element.type_name is not None:
-            header += f" : {element.type_name}"
-        lines.append(f"{pad}{header} connect {element.source_chain} "
-                     f"to {element.target_chain};")
+            header += f" : {_qname_text(element.type_name)}"
+        lines.append(f"{pad}{header} connect "
+                     f"{_chain_text(element.source_chain)} "
+                     f"to {_chain_text(element.target_chain)};")
         return
     if isinstance(element, PerformAction):
         if element.owned_elements:
-            lines.append(f"{pad}perform {element.target_chain} {{")
+            lines.append(
+                f"{pad}perform {_chain_text(element.target_chain)} {{")
             for child in element.owned_elements:
                 _print_element(child, lines, depth + 1)
             lines.append(f"{pad}}}")
         else:
-            lines.append(f"{pad}perform {element.target_chain};")
+            lines.append(
+                f"{pad}perform {_chain_text(element.target_chain)};")
         return
     if isinstance(element, Assignment):
         direction = f"{element.direction} " if element.direction else ""
-        lines.append(f"{pad}{direction}{element.name} = "
+        lines.append(f"{pad}{direction}{format_name(element.name)} = "
                      f"{_expr_text(element.value)};")
         return
     raise TypeError(f"cannot print element of type {type(element).__name__}")
@@ -109,9 +153,10 @@ def _print_definition(definition: Definition, lines: list[str],
     head = ""
     if definition.is_abstract:
         head += "abstract "
-    head += f"{definition.kind} def {definition.name}"
+    head += f"{definition.kind} def {format_name(definition.name)}"
     if definition.specialization_names:
-        targets = ", ".join(str(n) for n in definition.specialization_names)
+        targets = ", ".join(_qname_text(n)
+                            for n in definition.specialization_names)
         head += f" :> {targets}"
     if definition.owned_elements or definition.documentation:
         lines.append(f"{pad}{head} {{")
@@ -133,20 +178,20 @@ def _print_usage(usage: Usage, lines: list[str], depth: int) -> None:
     if usage.is_reference:
         head += "ref "
     if isinstance(usage, RedefinitionUsage):
-        head += f":>> {usage.redefinition_names[0]}"
+        head += f":>> {_qname_text(usage.redefinition_names[0])}"
     else:
         head += usage.kind
-        if usage.name:
-            head += f" {usage.name}"
+        if usage.name is not None:  # '' is a legal (quoted) name
+            head += f" {format_name(usage.name)}"
         if usage.multiplicity is not None:
             head += f" {usage.multiplicity}"
         if usage.type_name is not None:
             tilde = "~" if usage.conjugated else ""
-            head += f" : {tilde}{usage.type_name}"
+            head += f" : {tilde}{_qname_text(usage.type_name)}"
         for target in usage.specialization_names:
-            head += f" :> {target}"
+            head += f" :> {_qname_text(target)}"
         for target in usage.redefinition_names:
-            head += f" :>> {target}"
+            head += f" :>> {_qname_text(target)}"
     if usage.value is not None:
         head += f" = {_expr_text(usage.value)}"
     if usage.owned_elements or usage.documentation:
@@ -165,9 +210,8 @@ def _expr_text(expr: object) -> str:
         if isinstance(value, bool):
             return "true" if value else "false"
         if isinstance(value, str):
-            escaped = value.replace("\\", "\\\\").replace("'", "\\'")
-            return f"'{escaped}'"
+            return f"'{_escape_string(value)}'"
         return repr(value)
     if isinstance(expr, FeatureRefExpr):
-        return str(expr.chain)
+        return _chain_text(expr.chain)
     raise TypeError(f"cannot print expression {expr!r}")

@@ -27,6 +27,7 @@ class TokenKind(enum.Enum):
     EQUALS = "="
     STAR = "*"
     TILDE = "~"
+    MINUS = "-"
     SPECIALIZES = ":>"
     REDEFINES = ":>>"
     DOUBLE_COLON = "::"

@@ -1,0 +1,256 @@
+"""Equivalence oracles: independent paths through the system that must
+agree on every valid model.
+
+Each oracle states one differential property:
+
+* ``roundtrip``    — parse -> print -> parse yields an identical AST
+  (and printing is a fixpoint);
+* ``interchange``  — the JSON interchange format round-trips the model;
+* ``cache``        — cache-off, cache-cold and cache-warm pipeline runs
+  emit byte-identical bundles;
+* ``jobs``         — serial and parallel (``jobs=N``) pipeline runs emit
+  byte-identical bundles;
+* ``serve``        — the configuration service returns exactly the bytes
+  a direct pipeline run produces;
+* ``grouping``     — client grouping is a partition (every machine
+  assigned exactly once), respects capacity, and is deterministic.
+
+Oracles never return a value; agreement is silence, disagreement raises
+:class:`OracleFailure` with a deterministic message (the harness digest
+covers failure messages, so nondeterministic text would break replay).
+"""
+
+from __future__ import annotations
+
+import tempfile
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..codegen import (PipelineOptions, generate_configuration,
+                       group_machines)
+from ..isa95.topology import extract_topology
+from ..sysml import load_model, print_element
+from ..sysml.elements import Model
+from ..sysml.interchange import element_to_dict, model_from_json, model_to_json
+
+from .corpus import FactoryScenario
+
+
+class OracleFailure(AssertionError):
+    """Two supposedly equivalent paths disagreed."""
+
+
+@dataclass(frozen=True)
+class Oracle:
+    """One registered equivalence check."""
+
+    name: str
+    description: str
+    run: Callable[["TrialContext"], None]
+    #: Source-level oracles depend only on the textual sources (not the
+    #: machine specs), so the shrinker can reduce them line-by-line.
+    source_level: bool = False
+
+
+class TrialContext:
+    """Shared per-trial state: the scenario (or raw sources) plus
+    lazily computed artifacts every oracle can reuse — the model is
+    parsed once and the reference pipeline run executes once no matter
+    how many oracles consume them."""
+
+    def __init__(self, scenario: FactoryScenario | None = None,
+                 sources: list[str] | None = None):
+        if scenario is None and sources is None:
+            raise ValueError("need a scenario or explicit sources")
+        self.scenario = scenario
+        self._sources = sources
+        self._model: Model | None = None
+        self._direct: bytes | None = None
+
+    @property
+    def sources(self) -> list[str]:
+        if self._sources is None:
+            self._sources = self.scenario.sources
+        return self._sources
+
+    @property
+    def model(self) -> Model:
+        if self._model is None:
+            self._model = load_model(*self.sources)
+        return self._model
+
+    @property
+    def options(self) -> PipelineOptions:
+        capacity = self.scenario.capacity if self.scenario else 120
+        return PipelineOptions(capacity=capacity)
+
+    @property
+    def direct_payload(self) -> bytes:
+        """Reference bytes: one serial, cache-less pipeline run."""
+        if self._direct is None:
+            self._direct = self._payload(self.options)
+        return self._direct
+
+    def _payload(self, options: PipelineOptions) -> bytes:
+        from ..service.server import bundle_bytes
+        result = generate_configuration(self.model, options=options)
+        return bundle_bytes(result, self.model.content_fingerprint, options)
+
+
+def _user_elements(model: Model):
+    return [element for element in model.owned_elements
+            if not getattr(element, "is_library", False)]
+
+
+def _print_user(model: Model) -> str:
+    return "".join(print_element(element)
+                   for element in _user_elements(model))
+
+
+def _user_dicts(model: Model) -> list[dict]:
+    return [element_to_dict(element) for element in _user_elements(model)]
+
+
+# -- front-end oracles -------------------------------------------------------
+
+def _check_roundtrip(ctx: TrialContext) -> None:
+    first = ctx.model
+    printed = _print_user(first)
+    try:
+        second = load_model(printed)
+    except Exception as error:
+        raise OracleFailure(
+            f"printed model does not re-parse: {error}") from error
+    if _user_dicts(first) != _user_dicts(second):
+        raise OracleFailure("AST differs after print -> parse round-trip")
+    reprinted = _print_user(second)
+    if reprinted != printed:
+        raise OracleFailure("printing is not a fixpoint "
+                            "(print(parse(print(m))) != print(m))")
+
+
+def _check_interchange(ctx: TrialContext) -> None:
+    first = ctx.model
+    text = model_to_json(first)
+    try:
+        second = model_from_json(text)
+    except Exception as error:
+        raise OracleFailure(
+            f"interchange JSON does not load back: {error}") from error
+    if _user_dicts(first) != _user_dicts(second):
+        raise OracleFailure("AST differs after interchange round-trip")
+    if _print_user(second) != _print_user(first):
+        raise OracleFailure("interchange round-trip changes printed form")
+
+
+# -- pipeline byte-identity oracles ------------------------------------------
+
+def _check_cache(ctx: TrialContext) -> None:
+    reference = ctx.direct_payload
+    with tempfile.TemporaryDirectory(prefix="repro-conformance-") as tmp:
+        options = ctx.options.replace(cache_dir=tmp)
+        cold = ctx._payload(options)
+        warm = ctx._payload(options)
+    if cold != reference:
+        raise OracleFailure("cache-cold bundle differs from cache-off")
+    if warm != reference:
+        raise OracleFailure("cache-warm bundle differs from cache-off")
+
+
+def _check_jobs(ctx: TrialContext) -> None:
+    reference = ctx.direct_payload
+    parallel = ctx._payload(ctx.options.replace(jobs=4))
+    if parallel != reference:
+        raise OracleFailure("jobs=4 bundle differs from jobs=1")
+
+
+def _check_serve(ctx: TrialContext) -> None:
+    from ..service.server import ConfigurationService
+    reference = ctx.direct_payload
+    service = ConfigurationService(ctx.options)
+    served, _info = service.generate(ctx.sources)
+    again, info = service.generate(ctx.sources)
+    if served != reference:
+        raise OracleFailure("served bundle differs from direct pipeline run")
+    if again != served:
+        raise OracleFailure("repeat request served different bytes")
+    if info["singleflight"] != "memo":
+        raise OracleFailure("repeat request missed the result memo")
+
+
+# -- semantic invariants -----------------------------------------------------
+
+def _check_grouping(ctx: TrialContext) -> None:
+    topology = extract_topology(ctx.model)
+    capacity = ctx.options.capacity
+    groups = group_machines(topology.machines, capacity)
+    assigned: list[str] = [name for group in groups
+                           for name in group.machine_names]
+    expected = sorted(machine.name for machine in topology.machines)
+    if sorted(assigned) != expected:
+        missing = sorted(set(expected) - set(assigned))
+        extra = sorted(name for name in assigned
+                       if assigned.count(name) > 1)
+        raise OracleFailure(
+            f"grouping is not a partition (missing={missing}, "
+            f"duplicated={sorted(set(extra))})")
+    for group in groups:
+        if group.oversized:
+            if len(group.machines) != 1:
+                raise OracleFailure(
+                    f"oversized client {group.name} holds "
+                    f"{len(group.machines)} machines")
+            if group.points <= capacity:
+                raise OracleFailure(
+                    f"client {group.name} marked oversized at "
+                    f"{group.points}/{capacity} points")
+        elif group.points > capacity:
+            raise OracleFailure(
+                f"client {group.name} over capacity: "
+                f"{group.points}/{capacity} points")
+    if [group.index for group in groups] != list(range(1, len(groups) + 1)):
+        raise OracleFailure("client indices are not sequential")
+    rerun = group_machines(topology.machines, capacity)
+    if [g.machine_names for g in rerun] != [g.machine_names for g in groups]:
+        raise OracleFailure("grouping is not deterministic across runs")
+
+
+#: The registry, in canonical execution order (front end first, then
+#: pipeline equivalences, then semantic invariants).
+ORACLES: dict[str, Oracle] = {
+    oracle.name: oracle for oracle in (
+        Oracle("roundtrip",
+               "parse -> print -> parse AST identity and print fixpoint",
+               _check_roundtrip, source_level=True),
+        Oracle("interchange",
+               "JSON interchange round-trip preserves AST and printed form",
+               _check_interchange, source_level=True),
+        Oracle("cache",
+               "cache-off / cache-cold / cache-warm bundles byte-identical",
+               _check_cache),
+        Oracle("jobs",
+               "serial and parallel pipeline bundles byte-identical",
+               _check_jobs),
+        Oracle("serve",
+               "configuration service returns the direct pipeline bytes",
+               _check_serve),
+        Oracle("grouping",
+               "client grouping partitions machines within capacity, "
+               "deterministically",
+               _check_grouping),
+    )
+}
+
+
+def oracle_names() -> list[str]:
+    return list(ORACLES)
+
+
+def run_oracle(name: str, ctx: TrialContext) -> None:
+    """Run one oracle by name (raises KeyError for unknown names)."""
+    try:
+        oracle = ORACLES[name]
+    except KeyError:
+        raise KeyError(f"unknown oracle {name!r}; "
+                       f"known: {', '.join(ORACLES)}") from None
+    oracle.run(ctx)

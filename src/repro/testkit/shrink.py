@@ -1,0 +1,299 @@
+"""Delta-debugging shrinker: failing scenario -> minimal reproducer.
+
+A conformance failure on a 6-machine hostile scenario is a poor bug
+report. The shrinker reduces it in up to three stages:
+
+1. **ddmin over machine specs** — the classic delta-debugging minimum
+   on the scenario's machine list;
+2. **greedy per-spec reduction** — drop services, variable categories,
+   individual variables and driver parameters while the oracle still
+   fails;
+3. **line-level ddmin** (source-level oracles only, i.e. those marked
+   ``source_level`` in the registry) — reduce the flattened textual
+   model line-by-line, keeping only candidates that still parse AND
+   still fail the oracle. This is what turns a printer bug into a
+   one-to-few-line ``.sysml`` reproducer.
+
+The reduced model is written to a *crash corpus* directory together
+with a JSON sidecar (seed, oracle, failure message), where the property
+suites pick it up as explicit regression examples.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, replace as _dc_replace
+from pathlib import Path
+from typing import Callable, Sequence, TypeVar
+
+from ..machines.catalog import MachineSpec
+from .corpus import FactoryScenario
+from .oracles import ORACLES, OracleFailure, TrialContext
+
+_T = TypeVar("_T")
+
+
+def ddmin(items: Sequence[_T],
+          failing: Callable[[list[_T]], bool]) -> list[_T]:
+    """Zeller's ddmin: a 1-minimal sublist of *items* on which
+    *failing* still returns True.
+
+    *failing(items)* must be True on entry; the result is a sublist
+    such that removing any single element makes *failing* False.
+    """
+    items = list(items)
+    if not failing(items):
+        raise ValueError("ddmin requires a failing starting point")
+    granularity = 2
+    while len(items) >= 2:
+        chunk = max(1, len(items) // granularity)
+        subsets = [items[i:i + chunk] for i in range(0, len(items), chunk)]
+        reduced = False
+        for index, subset in enumerate(subsets):
+            if failing(subset):
+                items = subset
+                granularity = 2
+                reduced = True
+                break
+            complement = [item for j, s in enumerate(subsets) if j != index
+                          for item in s]
+            if complement and failing(complement):
+                items = complement
+                granularity = max(granularity - 1, 2)
+                reduced = True
+                break
+        if not reduced:
+            if granularity >= len(items):
+                break
+            granularity = min(len(items), granularity * 2)
+    return items
+
+
+def _split_units(lines: list[str]) -> list[list[str]]:
+    """Split lines into top-level brace-balanced units."""
+    units: list[list[str]] = []
+    current: list[str] = []
+    depth = 0
+    for line in lines:
+        current.append(line)
+        depth += line.count("{") - line.count("}")
+        if depth <= 0:
+            units.append(current)
+            current = []
+            depth = 0
+    if current:
+        units.append(current)
+    return units
+
+
+def _reduce_units(lines: list[str],
+                  failing: Callable[[list[str]], bool]) -> list[str]:
+    """Hierarchical reduction: ddmin over brace-balanced blocks, then
+    recurse into each surviving block's interior. Plain line-level
+    ddmin is 1-minimal but cannot drop a ``{``/``}`` pair (removing
+    either line alone unbalances the braces); block-level moves can."""
+    if failing([]):
+        return []
+    units = _split_units(lines)
+    def flat(subset: list[list[str]]) -> list[str]:
+        return [line for unit in subset for line in unit]
+    if len(units) > 1:
+        units = ddmin(units, lambda subset: failing(flat(subset)))
+    for index in range(len(units)):
+        unit = units[index]
+        if len(unit) < 3:
+            continue
+        header, interior, footer = unit[0], unit[1:-1], unit[-1]
+
+        def interior_failing(candidate: list[str], *,
+                             _index=index, _header=header,
+                             _footer=footer) -> bool:
+            trial = (units[:_index]
+                     + [[_header] + list(candidate) + [_footer]]
+                     + units[_index + 1:])
+            return failing(flat(trial))
+
+        if interior and interior_failing(interior):
+            reduced = ddmin(interior, interior_failing)
+            reduced = _reduce_units(reduced, interior_failing)
+            units[index] = [header] + reduced + [footer]
+    return flat(units)
+
+
+def _reduce_lines(lines: list[str],
+                  failing: Callable[[list[str]], bool]) -> list[str]:
+    """Line-level ddmin and the hierarchical block pass, iterated to a
+    fixpoint: emptying a block can make a whole library package dead,
+    which only the next round's unit-level ddmin can remove."""
+    if not failing(lines):
+        return lines
+    current = ddmin(lines, failing)
+    while True:
+        reduced = ddmin(_reduce_units(current, failing), failing)
+        if reduced == current:
+            return current
+        current = reduced
+
+
+@dataclass
+class Reproducer:
+    """A shrunk failing trial, ready to be filed in the crash corpus."""
+
+    oracle: str
+    seed: int
+    error: str
+    source: str
+    path: Path | None = None
+    meta_path: Path | None = None
+
+    @property
+    def line_count(self) -> int:
+        return len(self.source.splitlines())
+
+
+def _fails(oracle_name: str, scenario: FactoryScenario) -> str | None:
+    """The failure message if *scenario* still fails *oracle*, else
+    None. Any error other than :class:`OracleFailure` (e.g. the reduced
+    model no longer parses) does not count as the same failure."""
+    try:
+        ORACLES[oracle_name].run(TrialContext(scenario=scenario))
+    except OracleFailure as error:
+        return str(error)
+    except Exception:
+        return None
+    return None
+
+
+def _source_fails(oracle_name: str, text: str) -> bool:
+    try:
+        ctx = TrialContext(sources=[text])
+        ctx.model  # noqa: B018 -- parse/resolve gate
+    except Exception:
+        return False
+    try:
+        ORACLES[oracle_name].run(ctx)
+    except OracleFailure:
+        return True
+    except Exception:
+        return False
+    return False
+
+
+def _with_specs(scenario: FactoryScenario,
+                specs: list[MachineSpec]) -> FactoryScenario:
+    return FactoryScenario(
+        seed=scenario.seed, specs=specs,
+        topology_name=scenario.topology_name,
+        enterprise=scenario.enterprise, site=scenario.site,
+        area=scenario.area, line=scenario.line,
+        capacity=scenario.capacity, config=scenario.config)
+
+
+def _reduce_spec(spec: MachineSpec,
+                 still_fails: Callable[[MachineSpec], bool]) -> MachineSpec:
+    """Greedily drop services, categories, variables and driver
+    parameters from one spec while the failure persists."""
+    def rebuild(**changes) -> MachineSpec:
+        base = {"name": spec.name, "display_name": spec.display_name,
+                "type_name": spec.type_name, "workcell": spec.workcell,
+                "driver": spec.driver,
+                "categories": {c: list(vs)
+                               for c, vs in spec.categories.items()},
+                "services": list(spec.services)}
+        base.update(changes)
+        return MachineSpec(**base)
+
+    for service in list(spec.services):
+        candidate = rebuild(services=[s for s in spec.services
+                                      if s is not service])
+        if still_fails(candidate):
+            spec = candidate
+    for category in list(spec.categories):
+        remaining = {c: vs for c, vs in spec.categories.items()
+                     if c != category}
+        candidate = rebuild(categories=remaining, services=spec.services)
+        if still_fails(candidate):
+            spec = candidate
+    for category, variables in list(spec.categories.items()):
+        for variable in list(variables):
+            slimmed = {c: [v for v in vs if v is not variable]
+                       for c, vs in spec.categories.items()}
+            candidate = rebuild(categories=slimmed, services=spec.services)
+            if still_fails(candidate):
+                spec = candidate
+    for key in list(spec.driver.parameters):
+        driver = _dc_replace(
+            spec.driver,
+            parameters={k: v for k, v in spec.driver.parameters.items()
+                        if k != key})
+        candidate = rebuild(driver=driver, categories=spec.categories,
+                            services=spec.services)
+        if still_fails(candidate):
+            spec = candidate
+    return spec
+
+
+def shrink_failure(scenario: FactoryScenario, oracle_name: str,
+                   *, error: str = "") -> Reproducer:
+    """Reduce a failing (scenario, oracle) pair to a minimal model."""
+    oracle = ORACLES[oracle_name]
+    message = _fails(oracle_name, scenario)
+    if message is None:
+        raise ValueError(
+            f"scenario seed={scenario.seed} does not fail oracle "
+            f"{oracle_name!r}; nothing to shrink")
+
+    # stage 1: ddmin over the machine list
+    specs = ddmin(
+        scenario.specs,
+        lambda subset: bool(subset)
+        and _fails(oracle_name, _with_specs(scenario, subset)) is not None)
+    current = _with_specs(scenario, specs)
+
+    # stage 2: greedy per-spec reduction
+    reduced: list[MachineSpec] = []
+    for index, spec in enumerate(list(current.specs)):
+        def still_fails(candidate: MachineSpec) -> bool:
+            trial = (reduced + [candidate]
+                     + list(current.specs[index + 1:]))
+            return _fails(oracle_name, _with_specs(scenario,
+                                                   trial)) is not None
+        reduced.append(_reduce_spec(spec, still_fails))
+    current = _with_specs(scenario, reduced)
+    message = _fails(oracle_name, current) or message
+    source = "\n".join(current.user_sources)
+
+    # stage 3: line-level ddmin for source-level oracles. The ISA-95
+    # prelude joins the reduction set: resolution dependencies shrink
+    # away together with the lines that needed them.
+    if oracle.source_level:
+        lines = "\n".join(current.sources).splitlines()
+        minimal = _reduce_lines(
+            lines,
+            lambda subset: _source_fails(oracle_name, "\n".join(subset)))
+        if minimal is not lines:
+            source = "\n".join(line for line in minimal if line.strip())
+
+    return Reproducer(oracle=oracle_name, seed=scenario.seed,
+                      error=error or message, source=source)
+
+
+def write_reproducer(reproducer: Reproducer,
+                     crash_dir: str | Path) -> Reproducer:
+    """File a reproducer in the crash corpus (idempotent per
+    oracle+seed). Returns the reproducer with its paths filled in."""
+    crash_dir = Path(crash_dir)
+    crash_dir.mkdir(parents=True, exist_ok=True)
+    stem = f"{reproducer.oracle}-seed{reproducer.seed:08d}"
+    path = crash_dir / f"{stem}.sysml"
+    meta_path = crash_dir / f"{stem}.json"
+    path.write_text(reproducer.source + "\n", encoding="utf-8")
+    meta_path.write_text(json.dumps({
+        "oracle": reproducer.oracle,
+        "seed": reproducer.seed,
+        "error": reproducer.error,
+        "lines": reproducer.line_count,
+    }, indent=2) + "\n", encoding="utf-8")
+    reproducer.path = path
+    reproducer.meta_path = meta_path
+    return reproducer

@@ -1,0 +1,71 @@
+"""Bounded-wait primitives for concurrent tests.
+
+Fixed ``time.sleep`` calls make a test either slow (sleep too long) or
+flaky (sleep too short); every wait in the test suite goes through
+these helpers instead, which poll until a condition holds and fail
+loudly — with the caller's description — when a deadline expires.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, TypeVar
+
+_T = TypeVar("_T")
+
+#: Default ceiling for a single wait. Generous enough for a loaded CI
+#: runner; a healthy condition is typically observed in well under 50ms.
+DEFAULT_TIMEOUT = 10.0
+DEFAULT_INTERVAL = 0.005
+
+
+class Deadline:
+    """A fixed point in (monotonic) time that waits can share."""
+
+    def __init__(self, seconds: float = DEFAULT_TIMEOUT):
+        self.seconds = seconds
+        self._expires = time.monotonic() + seconds
+
+    @property
+    def expired(self) -> bool:
+        return time.monotonic() >= self._expires
+
+    def remaining(self) -> float:
+        return max(0.0, self._expires - time.monotonic())
+
+
+def wait_until(predicate: Callable[[], _T], *,
+               timeout: float = DEFAULT_TIMEOUT,
+               interval: float = DEFAULT_INTERVAL,
+               message: str = "") -> _T:
+    """Poll *predicate* until it returns a truthy value, and return it.
+
+    Raises :class:`TimeoutError` (carrying *message* and the timeout)
+    if the deadline passes first. The predicate is always evaluated at
+    least once and once more right at the deadline, so a condition that
+    becomes true exactly at the boundary is still observed.
+    """
+    deadline = Deadline(timeout)
+    while True:
+        value = predicate()
+        if value:
+            return value
+        if deadline.expired:
+            value = predicate()  # final check after the deadline
+            if value:
+                return value
+            what = message or getattr(predicate, "__name__", "condition")
+            raise TimeoutError(
+                f"timed out after {timeout:.1f}s waiting for {what}")
+        time.sleep(min(interval, deadline.remaining() or interval))
+
+
+def wait_for_event(event: threading.Event, *,
+                   timeout: float = DEFAULT_TIMEOUT,
+                   message: str = "") -> None:
+    """``event.wait`` with a mandatory deadline and a loud failure."""
+    if not event.wait(timeout):
+        raise TimeoutError(
+            f"timed out after {timeout:.1f}s waiting for "
+            f"{message or 'event'}")

@@ -77,6 +77,64 @@ class TestCapacitySweep:
             lower_bound_clients(ice_machines(), -1)
 
 
+class TestEdgeCases:
+    """Boundary inputs the conformance harness's grouping oracle
+    asserts over random corpora — pinned here as named cases."""
+
+    def test_capacity_exactly_met_is_not_oversized(self):
+        # 7 variables + 3 services == capacity 10: fits in one client
+        groups = group_machines([machine("m", 7, 3)], 10)
+        assert len(groups) == 1
+        assert groups[0].points == 10
+        assert not groups[0].oversized
+
+    def test_two_machines_exactly_filling_share_a_client(self):
+        groups = group_machines(
+            [machine("a", 6, 0), machine("b", 4, 0)], 10)
+        assert len(groups) == 1
+        assert groups[0].points == 10
+
+    def test_one_point_over_capacity_is_an_oversized_singleton(self):
+        groups = group_machines(
+            [machine("big", 11, 0), machine("small", 1, 0)], 10)
+        oversized = [g for g in groups if g.oversized]
+        assert len(oversized) == 1
+        assert oversized[0].machine_names == ["big"]
+        assert oversized[0].points == 11
+        assert len(oversized[0].machines) == 1
+
+    def test_zero_point_machine_still_assigned(self):
+        groups = group_machines(
+            [machine("idle", 0, 0), machine("busy", 5, 0)], 10)
+        assigned = [name for g in groups for name in g.machine_names]
+        assert sorted(assigned) == ["busy", "idle"]
+
+    def test_all_zero_point_machines_fit_one_client(self):
+        machines = [machine(f"m{i}", 0, 0) for i in range(5)]
+        groups = group_machines(machines, 1)
+        assert len(groups) == 1
+        assert groups[0].points == 0
+
+    def test_equal_points_tie_broken_by_name(self):
+        """FFD must order equal-sized machines deterministically, so
+        shuffling the input cannot change the assignment."""
+        machines = [machine(name, 5, 0) for name in
+                    ("delta", "alpha", "charlie", "bravo")]
+        a = group_machines(machines, 10)
+        b = group_machines(list(reversed(machines)), 10)
+        assert [g.machine_names for g in a] == [g.machine_names for g in b]
+        assert [g.machine_names for g in a] == [
+            ["alpha", "bravo"], ["charlie", "delta"]]
+
+    def test_indices_sequential_from_one(self):
+        groups = group_machines(
+            [machine(f"m{i}", 9, 0) for i in range(5)], 10)
+        assert [g.index for g in groups] == list(
+            range(1, len(groups) + 1))
+        assert [g.name for g in groups] == [
+            f"opcua-client-{i:02d}" for i in range(1, len(groups) + 1)]
+
+
 class TestStats:
     def test_stats_fields(self):
         groups = group_machines(ice_machines(), 120)

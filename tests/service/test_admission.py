@@ -9,6 +9,7 @@ from repro.service import (AdmissionController, AdmissionRejected,
                            AdmissionShed, AdmissionTimeout, POLICY_BLOCK,
                            POLICY_REJECT, POLICY_SHED, RateLimited,
                            RateLimiter, TokenBucket)
+from repro.testkit import wait_for_event, wait_until
 
 
 class TestRejectPolicy:
@@ -58,12 +59,12 @@ class TestBlockPolicy:
 
         thread = threading.Thread(target=blocked)
         thread.start()
-        deadline = time.monotonic() + 5
-        while not ctrl.queued and time.monotonic() < deadline:
-            time.sleep(0.005)
+        wait_until(lambda: ctrl.queued, timeout=5.0,
+                   message="waiter never queued")
         assert not admitted.is_set()
         ctrl.release()
-        assert admitted.wait(5)
+        wait_for_event(admitted, timeout=5.0,
+                       message="blocked waiter never admitted")
         thread.join(5)
         assert ctrl.inflight == 0
 
@@ -106,9 +107,8 @@ class TestBlockPolicy:
             threads.append(thread)
             thread.start()
             # serialize queue entry so FIFO order is observable
-            deadline = time.monotonic() + 5
-            while ctrl.queued < i + 1 and time.monotonic() < deadline:
-                time.sleep(0.005)
+            wait_until(lambda: ctrl.queued >= i + 1, timeout=5.0,
+                       message=f"waiter {i} never queued")
         ctrl.release()
         for thread in threads:
             thread.join(5)
@@ -133,9 +133,8 @@ class TestShedOldestPolicy:
 
         first = threading.Thread(target=waiter, args=(0,))
         first.start()
-        deadline = time.monotonic() + 5
-        while ctrl.queued < 1 and time.monotonic() < deadline:
-            time.sleep(0.005)
+        wait_until(lambda: ctrl.queued >= 1, timeout=5.0,
+                   message="first waiter never queued")
         second = threading.Thread(target=waiter, args=(1,))
         second.start()
         first.join(5)  # shed immediately by the newcomer

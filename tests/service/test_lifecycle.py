@@ -1,12 +1,12 @@
 """Graceful-drain state machine (repro.service.lifecycle)."""
 
 import threading
-import time
 
 import pytest
 
 from repro.service import (STATE_DRAINING, STATE_SERVING, STATE_STOPPED,
                            ServiceDraining, ServiceLifecycle)
+from repro.testkit import wait_for_event, wait_until
 
 
 class TestLifecycle:
@@ -46,13 +46,12 @@ class TestLifecycle:
 
         thread = threading.Thread(target=drainer)
         thread.start()
-        deadline = time.monotonic() + 5
-        while lifecycle.state != STATE_DRAINING \
-                and time.monotonic() < deadline:
-            time.sleep(0.005)
+        wait_until(lambda: lifecycle.state == STATE_DRAINING,
+                   timeout=5.0, message="drain never started")
         assert not finished.is_set()  # still waiting on our request
         lifecycle.request_finished()
-        assert finished.wait(5)
+        wait_for_event(finished, timeout=5.0,
+                       message="drain never completed")
         thread.join(5)
         report = report_box["report"]
         assert report.completed

@@ -22,17 +22,9 @@ from repro.service import (ConfigurationService, ServiceClient,
                            ServiceError, ServiceHTTPServer, bundle_bytes)
 from repro.service.server import _GENERATE_SALT
 from repro.sysml import load_model
+from repro.testkit import wait_until
 
 SOURCES = [EMCO_WORKCELL_SOURCE]
-
-
-def wait_until(predicate, timeout=5.0, interval=0.005):
-    deadline = time.monotonic() + timeout
-    while time.monotonic() < deadline:
-        if predicate():
-            return True
-        time.sleep(interval)
-    return predicate()
 
 
 class GatedExecute:

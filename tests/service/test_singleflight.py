@@ -1,11 +1,11 @@
 """Single-flight coalescing semantics (repro.service.singleflight)."""
 
 import threading
-import time
 
 import pytest
 
 from repro.service import SingleFlight
+from repro.testkit import wait_until
 
 
 def _run_concurrently(count, fn):
@@ -42,9 +42,8 @@ class TestSingleFlight:
 
         threads = _run_concurrently(6, call)
         # wait until all five followers are parked on the leader
-        deadline = time.monotonic() + 5
-        while flight.waiting("k") < 5 and time.monotonic() < deadline:
-            time.sleep(0.005)
+        wait_until(lambda: flight.waiting("k") >= 5, timeout=5.0,
+                   message="followers never parked on the leader")
         assert flight.waiting("k") == 5
         release.set()
         for thread in threads:
@@ -74,9 +73,8 @@ class TestSingleFlight:
             results[i] = flight.do(key, lambda key=key: work(key))
 
         threads = _run_concurrently(3, call)
-        deadline = time.monotonic() + 5
-        while flight.in_flight() < 3 and time.monotonic() < deadline:
-            time.sleep(0.005)
+        wait_until(lambda: flight.in_flight() >= 3, timeout=5.0,
+                   message="three independent flights never started")
         assert flight.in_flight() == 3
         gate.set()
         for thread in threads:
@@ -101,9 +99,8 @@ class TestSingleFlight:
                 outcomes[i] = "no error"
 
         threads = _run_concurrently(4, call)
-        deadline = time.monotonic() + 5
-        while flight.waiting("k") < 3 and time.monotonic() < deadline:
-            time.sleep(0.005)
+        wait_until(lambda: flight.waiting("k") >= 3, timeout=5.0,
+                   message="followers never parked on the leader")
         release.set()
         for thread in threads:
             thread.join(5)
@@ -124,9 +121,8 @@ class TestSingleFlight:
 
         leader_thread = threading.Thread(target=leader_call, args=(0,))
         leader_thread.start()
-        deadline = time.monotonic() + 5
-        while not flight.in_flight() and time.monotonic() < deadline:
-            time.sleep(0.005)
+        wait_until(flight.in_flight, timeout=5.0,
+                   message="leader flight never started")
         with pytest.raises(TimeoutError):
             flight.do("k", lambda: "unused", timeout=0.05)
         release.set()

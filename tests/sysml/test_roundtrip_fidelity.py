@@ -1,0 +1,124 @@
+"""Regression tests for printer/parser round-trip infidelities surfaced
+by the conformance corpus generator (repro.testkit).
+
+Each test pins one historical bug:
+
+* negative numeric literals did not lex (`unexpected character '-'`);
+* the printer emitted newline/tab string bodies verbatim, producing
+  sources the lexer rejected (`unterminated string literal`);
+* quoted *unrestricted names* (``'name with spaces'``) were rejected in
+  every name position, and the printer emitted non-identifier names
+  bare, so printed models failed to re-parse.
+"""
+
+import pytest
+
+from repro.sysml import load_model, print_element
+from repro.sysml.errors import ParseError
+from repro.sysml.interchange import element_to_dict
+from repro.sysml.printer import format_name
+
+pytestmark = []
+
+
+def user_dicts(model):
+    return [element_to_dict(e) for e in model.owned_elements
+            if not getattr(e, "is_library", False)]
+
+
+def print_user(model):
+    return "".join(print_element(e) for e in model.owned_elements
+                   if not getattr(e, "is_library", False))
+
+
+def roundtrip(source: str):
+    """Parse, print, re-parse; require AST identity. Returns the text."""
+    first = load_model(source)
+    printed = print_user(first)
+    second = load_model(printed)
+    assert user_dicts(first) == user_dicts(second)
+    assert print_user(second) == printed  # printing reached a fixpoint
+    return printed
+
+
+class TestNegativeLiterals:
+    def test_negative_integer_value(self):
+        model = load_model(
+            "part def X { attribute a : ScalarValues::Integer = -42; }")
+        definition = model.owned_elements[-1]
+        attribute = definition.owned_elements[0]
+        assert attribute.value.value == -42
+
+    def test_negative_real_value(self):
+        roundtrip(
+            "part def X { attribute a : ScalarValues::Real = -2.5; }")
+
+    def test_negative_redefinition_value(self):
+        roundtrip("part def D { attribute offset : ScalarValues::Integer; }\n"
+                  "part d : D { :>> offset = -7; }")
+
+    def test_minus_requires_number(self):
+        with pytest.raises(ParseError):
+            load_model("part def X { attribute a = -; }")
+
+
+class TestStringEscaping:
+    @pytest.mark.parametrize("value", [
+        "line1\nline2", "tab\tseparated", "back\\slash", "quo'te",
+        "mixed\n\t\\'", "",
+    ])
+    def test_control_characters_roundtrip(self, value):
+        from repro.sysml.ast_nodes import Literal, QualifiedName
+        from repro.sysml.elements import (AttributeUsage, Model, Package)
+        model = Model()
+        package = Package("P")
+        attribute = AttributeUsage("a")
+        attribute.type_name = QualifiedName(["ScalarValues", "String"])
+        attribute.value = Literal(value)
+        package.add_owned(attribute)
+        model.add_owned(package)
+        printed = print_user(model)
+        reparsed = load_model(printed)
+        value_back = reparsed.owned_elements[-1].owned_elements[0].value
+        assert value_back.value == value
+
+
+class TestQuotedNames:
+    def test_quoted_names_parse_everywhere(self):
+        roundtrip("""
+package 'My Pkg' {
+    part def 'My Machine' {
+        attribute 'Spindle Speed' : ScalarValues::Real = -1.5;
+    }
+    part 'm 1' : 'My Pkg'::'My Machine';
+}
+""")
+
+    def test_quoted_name_in_feature_chain(self):
+        roundtrip("""
+part def T { attribute 'the value' : ScalarValues::Real; }
+part a : T;
+part b : T {
+    bind 'the value' = a.'the value';
+}
+""")
+
+    def test_keyword_as_quoted_name(self):
+        printed = roundtrip("part def X { attribute 'part' : "
+                            "ScalarValues::Real; }")
+        assert "'part'" in printed
+
+    def test_format_name_quotes_only_when_needed(self):
+        assert format_name("plain_name2") == "plain_name2"
+        assert format_name("µzelle") == "µzelle"  # unicode identifiers stay bare
+        assert format_name("has space") == "'has space'"
+        assert format_name("1leading") == "'1leading'"
+        assert format_name("part") == "'part'"  # keyword collision
+        assert format_name("apo'strophe") == r"'apo\'strophe'"
+        assert format_name("") == "''"
+
+    def test_quoted_name_with_escapes_roundtrips(self):
+        name = "weird \\ 'name'"
+        source = f"part def {format_name(name)};"
+        model = load_model(source)
+        assert model.owned_elements[-1].name == name

@@ -190,3 +190,50 @@ class TestServiceSurface:
         assert args.max_inflight == 4
         assert args.backpressure == "block"
         assert args.func is not None
+
+
+class TestConformanceSurface:
+    """The differential conformance subcommand."""
+
+    def test_list_oracles(self, capsys):
+        assert main(["conformance", "--list-oracles"]) == 0
+        out = capsys.readouterr().out
+        for name in ("roundtrip", "interchange", "cache", "jobs",
+                     "serve", "grouping"):
+            assert name in out
+
+    def test_small_run_passes_and_writes_report(self, tmp_path, capsys):
+        import json
+
+        report_path = tmp_path / "report.json"
+        assert main(["conformance", "--seeds", "3", "--jobs", "2",
+                     "--report", str(report_path)]) == 0
+        out = capsys.readouterr().out
+        assert "0 failure(s) over 3 seeds" in out
+        assert "digest:" in out
+        document = json.loads(report_path.read_text())
+        assert document["schema"] == "repro/conformance-report/1"
+        assert document["ok"] is True
+        assert document["seeds"] == 3
+
+    def test_digest_stable_across_jobs(self, tmp_path):
+        import json
+
+        digests = []
+        for jobs in ("1", "3"):
+            path = tmp_path / f"report-{jobs}.json"
+            assert main(["conformance", "--seeds", "3", "--jobs", jobs,
+                         "--oracles", "roundtrip,grouping",
+                         "--report", str(path)]) == 0
+            digests.append(json.loads(path.read_text())["digest"])
+        assert digests[0] == digests[1]
+
+    def test_unknown_oracle_is_a_usage_error(self, capsys):
+        assert main(["conformance", "--seeds", "1",
+                     "--oracles", "bogus"]) == 2
+        assert "unknown oracle" in capsys.readouterr().err
+
+    def test_hostile_run(self, capsys):
+        assert main(["conformance", "--seeds", "2", "--hostile",
+                     "--oracles", "roundtrip"]) == 0
+        assert "(hostile)" in capsys.readouterr().out

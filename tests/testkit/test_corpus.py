@@ -1,0 +1,74 @@
+"""Corpus generator: determinism, validity, hostile coverage."""
+
+import pytest
+
+from repro.sysml import load_model
+from repro.sysml.printer import _is_plain_identifier
+from repro.testkit import CorpusConfig, generate_scenario
+from repro.testkit.corpus import _sanitized
+
+TAME = CorpusConfig()
+HOSTILE = CorpusConfig(hostile=True)
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("config", [TAME, HOSTILE],
+                             ids=["tame", "hostile"])
+    def test_same_seed_same_sources(self, config):
+        for seed in (0, 7, 123456):
+            assert (generate_scenario(seed, config).sources
+                    == generate_scenario(seed, config).sources)
+
+    def test_different_seeds_differ(self):
+        assert (generate_scenario(1, TAME).sources
+                != generate_scenario(2, TAME).sources)
+
+    def test_config_changes_output(self):
+        small = CorpusConfig(min_machines=1, max_machines=1)
+        assert len(generate_scenario(5, small).specs) == 1
+
+
+class TestValidity:
+    @pytest.mark.parametrize("config", [TAME, HOSTILE],
+                             ids=["tame", "hostile"])
+    def test_scenarios_load(self, config):
+        for seed in range(12):
+            scenario = generate_scenario(seed, config)
+            model = load_model(*scenario.sources)
+            assert model.owned_elements
+
+    def test_machine_names_unique(self):
+        for seed in range(20):
+            scenario = generate_scenario(seed, HOSTILE)
+            names = [spec.name for spec in scenario.specs]
+            assert len(names) == len(set(names))
+
+    def test_structural_names_sanitize(self):
+        """Machine/workcell names must map to distinct DNS labels."""
+        for seed in range(20):
+            scenario = generate_scenario(seed, HOSTILE)
+            labels = [_sanitized(spec.name) for spec in scenario.specs]
+            assert all(labels), scenario.describe()
+            assert len(labels) == len(set(labels))
+
+
+class TestHostileCoverage:
+    def test_hostile_names_actually_appear(self):
+        """Across a modest seed range, some generated name must need
+        quoting — otherwise the hostile mode tests nothing."""
+        quoted = 0
+        for seed in range(20):
+            scenario = generate_scenario(seed, HOSTILE)
+            for spec in scenario.specs:
+                names = ([spec.name]
+                         + [v.name for v in spec.variables]
+                         + [s.name for s in spec.services])
+                quoted += sum(1 for name in names
+                              if not _is_plain_identifier(name))
+        assert quoted > 5
+
+    def test_tame_mode_stays_plain(self):
+        for seed in range(10):
+            scenario = generate_scenario(seed, TAME)
+            for spec in scenario.specs:
+                assert _is_plain_identifier(spec.name)

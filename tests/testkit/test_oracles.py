@@ -1,0 +1,61 @@
+"""Oracle registry: every oracle passes on valid scenarios and trips
+on injected bugs."""
+
+import pytest
+
+import repro.sysml.printer as printer_module
+from repro.testkit import (ORACLES, CorpusConfig, OracleFailure,
+                           TrialContext, generate_scenario, oracle_names,
+                           run_oracle)
+
+EXPECTED = ["roundtrip", "interchange", "cache", "jobs", "serve",
+            "grouping"]
+
+
+class TestRegistry:
+    def test_all_expected_oracles_registered(self):
+        assert oracle_names() == EXPECTED
+
+    def test_unknown_oracle_raises(self):
+        ctx = TrialContext(scenario=generate_scenario(0))
+        with pytest.raises(KeyError, match="unknown oracle"):
+            run_oracle("nope", ctx)
+
+    def test_front_end_oracles_are_source_level(self):
+        assert ORACLES["roundtrip"].source_level
+        assert ORACLES["interchange"].source_level
+        assert not ORACLES["cache"].source_level
+
+
+class TestOraclesPass:
+    @pytest.mark.parametrize("seed", [0, 3, 9])
+    def test_all_oracles_pass_tame(self, seed):
+        ctx = TrialContext(scenario=generate_scenario(seed))
+        for name in oracle_names():
+            run_oracle(name, ctx)
+
+    @pytest.mark.parametrize("seed", [0, 5])
+    def test_all_oracles_pass_hostile(self, seed):
+        ctx = TrialContext(
+            scenario=generate_scenario(seed, CorpusConfig(hostile=True)))
+        for name in oracle_names():
+            run_oracle(name, ctx)
+
+
+class TestOraclesTrip:
+    def test_roundtrip_catches_broken_quoting(self, monkeypatch):
+        monkeypatch.setattr(printer_module, "format_name",
+                            lambda name: name)
+        ctx = TrialContext(
+            scenario=generate_scenario(0, CorpusConfig(hostile=True)))
+        with pytest.raises(OracleFailure):
+            run_oracle("roundtrip", ctx)
+
+    def test_context_requires_input(self):
+        with pytest.raises(ValueError):
+            TrialContext()
+
+    def test_context_accepts_bare_sources(self):
+        ctx = TrialContext(sources=["part def X;"])
+        run_oracle("roundtrip", ctx)
+        run_oracle("interchange", ctx)

@@ -1,0 +1,66 @@
+"""Delta-debugging shrinker: ddmin minimality and end-to-end
+reduction of an injected printer bug to a tiny reproducer."""
+
+import json
+
+import pytest
+
+import repro.sysml.printer as printer_module
+from repro.testkit import (CorpusConfig, ddmin, generate_scenario,
+                           shrink_failure, write_reproducer)
+
+
+class TestDdmin:
+    def test_reduces_to_interacting_pair(self):
+        result = ddmin(list(range(50)),
+                       lambda items: 3 in items and 41 in items)
+        assert sorted(result) == [3, 41]
+
+    def test_single_culprit(self):
+        assert ddmin(list(range(100)), lambda items: 37 in items) == [37]
+
+    def test_requires_failing_start(self):
+        with pytest.raises(ValueError):
+            ddmin([1, 2, 3], lambda items: False)
+
+    def test_result_is_one_minimal(self):
+        predicate = lambda items: sum(items) >= 10  # noqa: E731
+        result = ddmin([7, 5, 2, 9, 1], predicate)
+        assert predicate(result)
+        for index in range(len(result)):
+            assert not predicate(result[:index] + result[index + 1:])
+
+
+class TestShrinkFailure:
+    def test_requires_a_failing_scenario(self):
+        scenario = generate_scenario(0)
+        with pytest.raises(ValueError, match="does not fail"):
+            shrink_failure(scenario, "roundtrip")
+
+    def test_injected_printer_bug_shrinks_small(self, monkeypatch,
+                                                tmp_path):
+        """The acceptance bar: an injected quoting bug must reduce to a
+        reproducer of at most 15 lines."""
+        monkeypatch.setattr(printer_module, "format_name",
+                            lambda name: name)
+        scenario = generate_scenario(0, CorpusConfig(hostile=True))
+        reproducer = shrink_failure(scenario, "roundtrip")
+        assert reproducer.line_count <= 15, reproducer.source
+        assert reproducer.error
+
+        filed = write_reproducer(reproducer, tmp_path / "crash")
+        assert filed.path.exists()
+        meta = json.loads(filed.meta_path.read_text())
+        assert meta["oracle"] == "roundtrip"
+        assert meta["seed"] == scenario.seed
+        assert meta["lines"] == reproducer.line_count
+
+    def test_write_is_idempotent(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(printer_module, "format_name",
+                            lambda name: name)
+        scenario = generate_scenario(0, CorpusConfig(hostile=True))
+        reproducer = shrink_failure(scenario, "roundtrip")
+        first = write_reproducer(reproducer, tmp_path)
+        second = write_reproducer(reproducer, tmp_path)
+        assert first.path == second.path
+        assert len(list(tmp_path.glob("*.sysml"))) == 1

@@ -1,0 +1,54 @@
+"""Bounded-wait helpers."""
+
+import threading
+
+import pytest
+
+from repro.testkit import Deadline, wait_for_event, wait_until
+
+
+class TestWaitUntil:
+    def test_returns_truthy_value(self):
+        assert wait_until(lambda: 42, timeout=1.0) == 42
+
+    def test_polls_until_condition_holds(self):
+        state = {"calls": 0}
+
+        def predicate():
+            state["calls"] += 1
+            return state["calls"] >= 3
+
+        assert wait_until(predicate, timeout=2.0, interval=0.001)
+        assert state["calls"] == 3
+
+    def test_timeout_raises_with_message(self):
+        with pytest.raises(TimeoutError, match="database row"):
+            wait_until(lambda: False, timeout=0.05, interval=0.01,
+                       message="database row")
+
+    def test_final_check_at_deadline(self):
+        deadline = Deadline(0.0)  # already expired
+        assert deadline.expired
+        assert wait_until(lambda: True, timeout=0.0)
+
+
+class TestWaitForEvent:
+    def test_set_event_returns(self):
+        event = threading.Event()
+        event.set()
+        wait_for_event(event, timeout=1.0)
+
+    def test_unset_event_times_out(self):
+        with pytest.raises(TimeoutError, match="worker start"):
+            wait_for_event(threading.Event(), timeout=0.05,
+                           message="worker start")
+
+
+class TestDeadline:
+    def test_remaining_counts_down(self):
+        deadline = Deadline(60.0)
+        assert 0.0 < deadline.remaining() <= 60.0
+        assert not deadline.expired
+
+    def test_zero_deadline_expired(self):
+        assert Deadline(0.0).remaining() == 0.0
