@@ -280,29 +280,31 @@ def _cmd_conformance(args) -> int:
         from .testkit import ORACLES
         for name, oracle in ORACLES.items():
             kind = "source-level" if oracle.source_level else "pipeline"
+            kind += ", opt-in" if oracle.opt_in else ""
             print(f"{name:>12}  [{kind}]  {oracle.description}")
         return 0
     oracles = args.oracles.split(",") if args.oracles else None
     if oracles:
-        known = set(oracle_names())
+        known = set(oracle_names(include_opt_in=True))
         unknown = [name for name in oracles if name not in known]
         if unknown:
             print(f"unknown oracle(s): {', '.join(unknown)} "
-                  f"(known: {', '.join(oracle_names())})",
+                  f"(known: {', '.join(oracle_names(include_opt_in=True))})",
                   file=sys.stderr)
             return 2
     config = CorpusConfig(hostile=args.hostile)
     report = run_conformance(
         args.seeds, base_seed=args.base_seed, oracles=oracles,
         config=config, jobs=args.jobs, shrink=not args.no_shrink,
-        crash_dir=args.crash_dir)
+        crash_dir=args.crash_dir, chaos=args.chaos)
     for name, stats in report.oracle_stats().items():
         print(f"{name:>12}: {stats['runs']} runs, "
               f"{stats['failures']} failures, "
               f"{stats['total_seconds']:.2f}s total")
     print(f"{report.failure_count} failure(s) over {len(report.trials)} "
           f"seeds [{args.base_seed}..{args.base_seed + args.seeds - 1}]"
-          f"{' (hostile)' if args.hostile else ''}")
+          f"{' (hostile)' if args.hostile else ''}"
+          f"{' (chaos)' if args.chaos else ''}")
     for reproducer in report.reproducers:
         where = reproducer.path or f"({reproducer.line_count} lines)"
         print(f"  reproducer [{reproducer.oracle} seed={reproducer.seed}]"
@@ -540,6 +542,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_conf.add_argument("--hostile", action="store_true",
                         help="enable hostile mutations (unicode names, "
                              "quoted identifiers, deep nesting)")
+    p_conf.add_argument("--chaos", action="store_true",
+                        help="add the chaos oracle: re-run each trial "
+                             "under a seeded fault plan (cache "
+                             "corruption/IO errors, worker crashes, "
+                             "injected 503s) and require byte-identical "
+                             "bundles or typed retriable errors")
     p_conf.add_argument("--report", metavar="FILE",
                         help="write the JSON report to FILE")
     p_conf.add_argument("--crash-dir", metavar="DIR",

@@ -1,0 +1,26 @@
+"""Process-wide, seed-deterministic fault injection (chaos testing).
+
+See :mod:`repro.faults.plan` for the model: a :class:`FaultPlan` maps
+named fault sites to fault kinds (I/O error, payload corruption,
+latency, worker crash, transient unavailability) with seeded
+per-occurrence decisions, so the same seed and plan yield the same
+fault schedule. Instrumented sites live in the artifact cache
+(``cache.get`` / ``cache.put``), the parallel executor
+(``parallel.worker``), the serving layer (``service.generate`` /
+``service.request``) and the deployer (``k8s.apply``).
+"""
+
+from .plan import (CORRUPT_PREFIX, FaultInjected, FaultPlan, FaultSpec,
+                   InjectedCrash, InjectedIOError, InjectedUnavailable,
+                   KIND_CORRUPT, KIND_CRASH, KIND_IO, KIND_LATENCY,
+                   KIND_UNAVAILABLE, KINDS, active_plan, corrupt_at,
+                   corrupt_bytes, fault_point, install_plan,
+                   uninstall_plan)
+
+__all__ = [
+    "CORRUPT_PREFIX", "FaultInjected", "FaultPlan", "FaultSpec",
+    "InjectedCrash", "InjectedIOError", "InjectedUnavailable",
+    "KIND_CORRUPT", "KIND_CRASH", "KIND_IO", "KIND_LATENCY",
+    "KIND_UNAVAILABLE", "KINDS", "active_plan", "corrupt_at",
+    "corrupt_bytes", "fault_point", "install_plan", "uninstall_plan",
+]

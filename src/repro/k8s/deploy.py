@@ -8,7 +8,9 @@ order ``kubectl apply -f dir/`` would need too.
 
 from __future__ import annotations
 
+from ..faults import fault_point
 from ..obs import METRICS, span as _span
+from ..resilience import RetryPolicy, retry_call
 from ..som.components import (FactoryWorld, HistorianComponent,
                               UaBrokerBridgeComponent,
                               WorkcellServerComponent)
@@ -18,6 +20,13 @@ from .resources import Pod
 
 _DOCUMENTS_APPLIED = METRICS.counter("k8s.documents_applied")
 _DEPLOYS = METRICS.counter("k8s.deployments_run")
+_APPLY_RETRIES = METRICS.counter("k8s.apply_retries")
+
+#: Apply steps retry transient I/O failures (the ``k8s.apply`` fault
+#: site injects them in chaos runs) with a short deterministic backoff
+#: — a flaky apply must not abort a whole rollout.
+_APPLY_RETRY = RetryPolicy(max_attempts=4, base_delay=0.001,
+                           max_delay=0.01, jitter=0.0)
 
 _COMPONENT_CLASSES = {
     "opcua-server": WorkcellServerComponent,
@@ -117,6 +126,19 @@ def apply_incremental(cluster: Cluster, incremental) -> dict[str, object]:
             "running": len(cluster.running_pods())}
 
 
+def _apply_document(cluster: Cluster, document: dict) -> object:
+    """One apply step, retried through transient (injected) I/O faults."""
+
+    def attempt():
+        fault_point("k8s.apply")
+        return cluster.apply_manifest(document)
+
+    return retry_call(
+        attempt, policy=_APPLY_RETRY, retry_on=(OSError,),
+        describe="k8s.apply",
+        on_retry=lambda *_: _APPLY_RETRIES.inc())
+
+
 def deploy_manifests(cluster: Cluster,
                      manifests: dict[str, str]) -> list[object]:
     """Apply all generated YAML files in dependency order.
@@ -131,7 +153,7 @@ def deploy_manifests(cluster: Cluster,
             for document in parse_documents(manifests[filename]):
                 if document is not None:
                     documents.append(document)
-        applied = [cluster.apply_manifest(document)
+        applied = [_apply_document(cluster, document)
                    for document in sorted(documents, key=_apply_order)]
         _DEPLOYS.inc()
         _DOCUMENTS_APPLIED.inc(len(applied))

@@ -1,0 +1,27 @@
+"""Retry/backoff policies, deadlines and a circuit breaker.
+
+The serving layer classifies failures as retriable or not
+(:mod:`repro.service`); this package is the machinery that acts on
+that classification:
+
+* :class:`RetryPolicy` / :func:`retry_call` — exponential backoff with
+  seeded deterministic jitter, per-attempt and overall deadlines, and
+  ``Retry-After`` hints honoured as a lower bound on the next delay;
+* :class:`CircuitBreaker` — consecutive-failure trip with half-open
+  probing, so a dead dependency fails fast instead of queueing work;
+* everything counted in :data:`repro.obs.METRICS`
+  (``resilience.attempts/retries/giveups``, ``breaker.trips/probes``)
+  and visible as ``retry:*`` spans in the ambient trace.
+
+Fault injection for exercising all of this lives in :mod:`repro.faults`.
+"""
+
+from .breaker import (CircuitBreaker, CircuitOpen, STATE_CLOSED,
+                      STATE_HALF_OPEN, STATE_OPEN)
+from .retry import DeadlineExceeded, RetryError, RetryPolicy, retry_call
+
+__all__ = [
+    "CircuitBreaker", "CircuitOpen", "DeadlineExceeded", "RetryError",
+    "RetryPolicy", "STATE_CLOSED", "STATE_HALF_OPEN", "STATE_OPEN",
+    "retry_call",
+]

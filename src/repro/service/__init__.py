@@ -24,7 +24,7 @@ from .admission import (AdmissionController, AdmissionError,
                         AdmissionTimeout, POLICIES, POLICY_BLOCK,
                         POLICY_REJECT, POLICY_SHED, RateLimited,
                         RateLimiter, ServiceDraining, TokenBucket)
-from .client import ServiceClient, ServiceError
+from .client import RetriableServiceError, ServiceClient, ServiceError
 from .lifecycle import (DrainReport, STATE_DRAINING, STATE_SERVING,
                         STATE_STOPPED, ServiceLifecycle)
 from .server import (BadRequest, ConfigurationService,
@@ -37,6 +37,7 @@ __all__ = [
     "AdmissionShed", "AdmissionTimeout", "BadRequest",
     "ConfigurationService", "DrainReport", "POLICIES", "POLICY_BLOCK",
     "POLICY_REJECT", "POLICY_SHED", "RateLimited", "RateLimiter",
+    "RetriableServiceError",
     "STATE_DRAINING", "STATE_SERVING", "STATE_STOPPED", "ServiceClient",
     "ServiceDraining", "ServiceError", "ServiceHTTPServer",
     "ServiceLifecycle", "ServiceRequestHandler", "SingleFlight",

@@ -5,12 +5,25 @@ as a reference for what a real caller sends. One
 :class:`ServiceClient` wraps one keep-alive connection, so an instance
 belongs to one thread; concurrent callers each create their own
 (connections are cheap against the loopback interface).
+
+Failures are *typed*: a 429/503 (or any body the server marks
+``retriable``) raises :class:`RetriableServiceError` carrying the
+server's ``Retry-After`` hint; every other non-2xx raises the plain
+:class:`ServiceError`. Construct the client with a
+:class:`~repro.resilience.RetryPolicy` and it backs off and retries
+retriable failures itself (honouring ``Retry-After`` as a lower bound
+on each delay); add a :class:`~repro.resilience.CircuitBreaker` and a
+persistently failing service trips it, turning further calls into
+immediate retriable :class:`~repro.resilience.CircuitOpen` errors
+instead of doomed round trips.
 """
 
 from __future__ import annotations
 
 import json
 from http.client import HTTPConnection, HTTPException
+
+from ..resilience import CircuitBreaker, RetryPolicy, retry_call
 
 
 class ServiceError(Exception):
@@ -28,15 +41,34 @@ class ServiceError(Exception):
         super().__init__(f"HTTP {status} [{code}]: {message}")
 
 
+class RetriableServiceError(ServiceError):
+    """A 429/503-class failure: back off and try again.
+
+    ``retry_after`` is the server's ``Retry-After`` hint in seconds
+    (``None`` when the server sent none) —
+    :func:`repro.resilience.retry_call` uses it as a lower bound on
+    the next backoff delay.
+    """
+
+    def __init__(self, status: int, code: str, message: str,
+                 retry_after: float | None = None):
+        super().__init__(status, code, message, retriable=True)
+        self.retry_after = retry_after
+
+
 class ServiceClient:
     """Blocking client for one ``repro serve`` endpoint."""
 
     def __init__(self, port: int, host: str = "127.0.0.1", *,
-                 timeout: float = 30.0, client_id: str | None = None):
+                 timeout: float = 30.0, client_id: str | None = None,
+                 retry: RetryPolicy | None = None,
+                 breaker: CircuitBreaker | None = None):
         self.host = host
         self.port = port
         self.timeout = timeout
         self.client_id = client_id
+        self.retry = retry
+        self.breaker = breaker
         self._conn: HTTPConnection | None = None
 
     # -- transport -------------------------------------------------------
@@ -100,20 +132,64 @@ class ServiceClient:
             body=json.dumps(document).encode("utf-8"),
             headers={"Content-Type": "application/json"})
 
+    @staticmethod
+    def _retry_after(headers: dict[str, str]) -> float | None:
+        value = headers.get("retry-after")
+        if value is None:
+            return None
+        try:
+            return float(value)
+        except ValueError:
+            return None
+
+    def _generate_once(self, sources, options: dict | None) -> dict:
+        """One generate round trip, raising typed service errors."""
+        if self.breaker is not None:
+            self.breaker.allow()
+        try:
+            status, headers, body = self.generate_raw(sources, options)
+        except (HTTPException, ConnectionError, OSError):
+            if self.breaker is not None:
+                self.breaker.record_failure()
+            raise
+        document = json.loads(body)
+        if status == 200:
+            if self.breaker is not None:
+                self.breaker.record_success()
+            return document
+        error = document.get("error", {})
+        code = error.get("code", "unknown")
+        message = error.get("message",
+                            body.decode("utf-8", errors="replace"))
+        retriable = bool(error.get("retriable", status in (429, 503)))
+        if retriable:
+            # the service is struggling, not the request: a breaker
+            # watching this client should see it as a failure
+            if self.breaker is not None:
+                self.breaker.record_failure()
+            raise RetriableServiceError(
+                status, code, message,
+                retry_after=self._retry_after(headers))
+        # a 4xx is the *request's* fault; the service answered fine
+        if self.breaker is not None:
+            self.breaker.record_success()
+        raise ServiceError(status, code, message)
+
     def generate(self, sources, options: dict | None = None) -> dict:
         """Generate and return the parsed manifest bundle.
 
-        Raises :class:`ServiceError` on any non-200 response.
+        Raises :class:`RetriableServiceError` on 429/503 (with the
+        server's ``Retry-After``) and :class:`ServiceError` on any
+        other non-200. With a ``retry`` policy configured, retriable
+        failures (including :class:`~repro.resilience.CircuitOpen`)
+        are retried with backoff before surfacing as
+        :class:`~repro.resilience.RetryError`.
         """
-        status, _, body = self.generate_raw(sources, options)
-        document = json.loads(body)
-        if status != 200:
-            error = document.get("error", {})
-            raise ServiceError(status, error.get("code", "unknown"),
-                               error.get("message", body.decode(
-                                   "utf-8", errors="replace")),
-                               retriable=error.get("retriable", False))
-        return document
+        if self.retry is None:
+            return self._generate_once(sources, options)
+        return retry_call(lambda: self._generate_once(sources, options),
+                          policy=self.retry,
+                          describe="service.generate")
 
     def _get_json(self, path: str) -> dict:
         _, _, body = self.request("GET", path)

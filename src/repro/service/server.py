@@ -45,6 +45,7 @@ from urllib.parse import urlsplit
 from ..cache import fingerprint
 from ..codegen.options import PipelineOptions
 from ..codegen.pipeline import GenerationPipeline, GenerationResult
+from ..faults import FaultInjected, fault_point
 from ..obs import METRICS, snapshot_delta
 from ..sysml import load_model
 from ..sysml.errors import SysMLError
@@ -156,6 +157,9 @@ class ConfigurationService:
         delta) that must NOT leak into the deterministic payload.
         """
         _REQUESTS.inc()
+        # chaos site: an active fault plan can declare this request
+        # transiently unavailable (typed, retriable, Retry-After hint)
+        fault_point("service.generate")
         self.limiter.check(client)
         self.lifecycle.request_started()
         started = time.perf_counter()
@@ -331,8 +335,13 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
         client = self.headers.get("X-Client-Id") \
             or self.client_address[0]
         try:
+            # chaos site: latency or injected 503s at the HTTP boundary
+            fault_point("service.request")
             payload, info = self.service.generate(sources, overrides,
                                                   client=client)
+        except FaultInjected as exc:
+            self._send_error(503, exc.code, str(exc), retriable=True,
+                             retry_after=getattr(exc, "retry_after", 1))
         except AdmissionError as exc:
             status = _STATUS_BY_CODE.get(exc.code, 503)
             self._send_error(status, exc.code, str(exc),
@@ -400,7 +409,7 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
 
     def _send_error(self, status: int, code: str, message: str, *,
                     retriable: bool | None = None,
-                    retry_after: int | None = None) -> None:
+                    retry_after: float | None = None) -> None:
         _ERRORS.inc()
         headers = {}
         if retry_after is not None:

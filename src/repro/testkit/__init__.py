@@ -20,15 +20,15 @@ Entry points:
 
 from .corpus import CorpusConfig, FactoryScenario, generate_scenario
 from .harness import ConformanceReport, TrialResult, run_conformance, run_trial
-from .oracles import (ORACLES, OracleFailure, TrialContext, oracle_names,
-                      run_oracle)
+from .oracles import (ORACLES, OracleFailure, TrialContext, chaos_plan,
+                      oracle_names, run_oracle)
 from .shrink import ddmin, shrink_failure, write_reproducer
 from .waiting import Deadline, wait_for_event, wait_until
 
 __all__ = [
     "ConformanceReport", "CorpusConfig", "Deadline", "FactoryScenario",
-    "ORACLES", "OracleFailure", "TrialContext", "TrialResult", "ddmin",
-    "generate_scenario", "oracle_names", "run_conformance", "run_oracle",
-    "run_trial", "shrink_failure", "wait_for_event", "wait_until",
-    "write_reproducer",
+    "ORACLES", "OracleFailure", "TrialContext", "TrialResult",
+    "chaos_plan", "ddmin", "generate_scenario", "oracle_names",
+    "run_conformance", "run_oracle", "run_trial", "shrink_failure",
+    "wait_for_event", "wait_until", "write_reproducer",
 ]

@@ -186,16 +186,22 @@ def run_conformance(seeds: int = 50, *, base_seed: int = 0,
                     config: CorpusConfig | None = None,
                     jobs: int = 1,
                     shrink: bool = True,
-                    crash_dir: str | Path | None = None
-                    ) -> ConformanceReport:
+                    crash_dir: str | Path | None = None,
+                    chaos: bool = False) -> ConformanceReport:
     """Run *seeds* conformance trials (``base_seed ..
     base_seed+seeds-1``) and return the report.
 
     Trials are independent, so they fan out ``jobs`` wide; shrinking
     runs serially afterwards (failures are rare and the reduction reuses
-    the single-threaded oracle path).
+    the single-threaded oracle path). *chaos* adds the opt-in ``chaos``
+    oracle: every trial re-runs the pipeline and the serving path under
+    a per-seed fault plan (each trial builds its own plan, so parallel
+    trials never share fault state and the report digest stays
+    identical across ``jobs``).
     """
     names = list(oracles) if oracles else oracle_names()
+    if chaos and "chaos" not in names:
+        names.append("chaos")
     config = config or CorpusConfig()
     started = time.perf_counter()
     trials = map_ordered(

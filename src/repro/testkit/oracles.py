@@ -14,6 +14,12 @@ Each oracle states one differential property:
   a direct pipeline run produces;
 * ``grouping``     — client grouping is a partition (every machine
   assigned exactly once), respects capacity, and is deterministic.
+* ``chaos``        — opt-in (``repro conformance --chaos``): under a
+  seeded fault plan injecting cache corruption, cache I/O errors and
+  worker crashes, the pipeline still emits bundles byte-identical to
+  the fault-free reference, and the serving path returns either those
+  same bytes or a *typed retriable* error — never a corrupt or partial
+  bundle, never an untyped crash.
 
 Oracles never return a value; agreement is silence, disagreement raises
 :class:`OracleFailure` with a deterministic message (the harness digest
@@ -50,6 +56,9 @@ class Oracle:
     #: Source-level oracles depend only on the textual sources (not the
     #: machine specs), so the shrinker can reduce them line-by-line.
     source_level: bool = False
+    #: Opt-in oracles stay out of the default run (``oracle_names()``)
+    #: and are enabled explicitly (``--chaos`` / ``--oracles chaos``).
+    opt_in: bool = False
 
 
 class TrialContext:
@@ -178,6 +187,73 @@ def _check_serve(ctx: TrialContext) -> None:
         raise OracleFailure("repeat request missed the result memo")
 
 
+# -- chaos: resilience under a seeded fault plan -----------------------------
+
+def chaos_plan(seed: int) -> "FaultPlan":
+    """The fault plan the chaos oracle injects for one trial seed.
+
+    Everything here must be *gracefully absorbable*: corruption and
+    I/O errors in the cache degrade to regeneration, worker crashes
+    retry then fall back to serial, and the service site raises a
+    typed retriable error — so the oracle can demand byte-identity (or
+    a retriable error) as the only acceptable outcomes.
+    """
+    from ..faults import FaultPlan, FaultSpec
+    return FaultPlan(seed=seed, specs=(
+        FaultSpec("cache.get", "corrupt", probability=0.25),
+        FaultSpec("cache.get", "io-error", probability=0.05),
+        FaultSpec("cache.put", "io-error", probability=0.10),
+        FaultSpec("cache.put", "corrupt", probability=0.10),
+        FaultSpec("parallel.worker", "crash", probability=0.25),
+        FaultSpec("service.generate", "unavailable", probability=0.5,
+                  max_injections=2, retry_after=0.01),
+    ))
+
+
+def _check_chaos(ctx: TrialContext) -> None:
+    from ..service.server import ConfigurationService
+    reference = ctx.direct_payload
+    seed = ctx.scenario.seed if ctx.scenario is not None else 0
+    plan = chaos_plan(seed)
+    with tempfile.TemporaryDirectory(prefix="repro-chaos-") as tmp:
+        options = ctx.options.replace(cache_dir=tmp, jobs=2)
+        with plan.activated():
+            try:
+                cold = ctx._payload(options)
+                warm = ctx._payload(options)
+            except Exception as error:
+                if getattr(error, "retriable", False):
+                    raise OracleFailure(
+                        "pipeline surfaced a retriable error instead of "
+                        "absorbing cache/worker faults") from error
+                raise OracleFailure(
+                    f"pipeline failed under faults with non-retriable "
+                    f"{type(error).__name__}") from error
+    if cold != reference:
+        raise OracleFailure(
+            "chaos cold run differs from the fault-free reference")
+    if warm != reference:
+        raise OracleFailure(
+            "chaos warm run differs from the fault-free reference")
+    # the serving path may *reject* (typed + retriable) but must never
+    # serve bytes that differ from the fault-free reference
+    service = ConfigurationService(ctx.options)
+    with plan.activated():
+        for _ in range(3):
+            try:
+                served, _info = service.generate(ctx.sources)
+            except Exception as error:
+                if not getattr(error, "retriable", False):
+                    raise OracleFailure(
+                        f"service raised non-retriable "
+                        f"{type(error).__name__} under faults") from error
+            else:
+                if served != reference:
+                    raise OracleFailure(
+                        "served bundle under faults differs from the "
+                        "fault-free reference")
+
+
 # -- semantic invariants -----------------------------------------------------
 
 def _check_grouping(ctx: TrialContext) -> None:
@@ -238,12 +314,19 @@ ORACLES: dict[str, Oracle] = {
                "client grouping partitions machines within capacity, "
                "deterministically",
                _check_grouping),
+        Oracle("chaos",
+               "under a seeded fault plan (cache corruption/IO errors, "
+               "worker crashes, injected 503s) bundles stay "
+               "byte-identical or fail with typed retriable errors",
+               _check_chaos, opt_in=True),
     )
 }
 
 
-def oracle_names() -> list[str]:
-    return list(ORACLES)
+def oracle_names(include_opt_in: bool = False) -> list[str]:
+    """Registered oracle names; opt-in oracles only when asked."""
+    return [name for name, oracle in ORACLES.items()
+            if include_opt_in or not oracle.opt_in]
 
 
 def run_oracle(name: str, ctx: TrialContext) -> None:

@@ -58,7 +58,10 @@ def wait_until(predicate: Callable[[], _T], *,
             what = message or getattr(predicate, "__name__", "condition")
             raise TimeoutError(
                 f"timed out after {timeout:.1f}s waiting for {what}")
-        time.sleep(min(interval, deadline.remaining() or interval))
+        # clamp to the remaining budget: the old `remaining() or
+        # interval` slept a *full* interval past an exactly-expired
+        # deadline before re-checking; sleep(0) re-checks promptly
+        time.sleep(min(interval, deadline.remaining()))
 
 
 def wait_for_event(event: threading.Event, *,

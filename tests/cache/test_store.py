@@ -2,11 +2,23 @@
 
 import json
 import os
+import pickle
 
 import pytest
 
 from repro.cache import ArtifactCache, fingerprint
 from repro.obs import METRICS
+
+
+def _raise_oom():
+    raise MemoryError("simulated allocation failure")
+
+
+class _OutOfMemory:
+    """Pickles fine; unpickling raises MemoryError."""
+
+    def __reduce__(self):
+        return (_raise_oom, ())
 
 
 @pytest.fixture()
@@ -83,6 +95,24 @@ class TestCorruption:
         cache.put_bytes(key, b"\xff\xfe\x00")
         assert cache.get_text(key) is None
 
+    def test_corruption_counter_and_eviction(self, cache):
+        key = fingerprint("counted-corruption")
+        cache.put_json(key, {"a": 1})
+        cache._path(key).write_bytes(b"\x00not json\xff")
+        assert cache.get_json(key) is None
+        assert not cache._path(key).exists()
+        snap = METRICS.snapshot()
+        assert snap.get("cache.corruption", 0) == 1
+        assert cache.stats()["corruption"] == 1
+
+    def test_nondecode_errors_propagate_from_get_object(self, cache):
+        # the old bare `except Exception` swallowed *everything*; the
+        # narrowed handler must let resource exhaustion through
+        key = fingerprint("oom-pickle")
+        cache.put_bytes(key, pickle.dumps(_OutOfMemory()))
+        with pytest.raises(MemoryError):
+            cache.get_object(key)
+
 
 class TestEviction:
     def test_lru_eviction_keeps_total_under_bound(self, tmp_path):
@@ -121,7 +151,8 @@ class TestMaintenance:
         assert stats["total_bytes"] == len(json.dumps({"a": 1},
                                                       separators=(",", ":")))
         assert set(stats) == {"directory", "entries", "total_bytes",
-                              "max_bytes", "hits", "misses", "evictions"}
+                              "max_bytes", "hits", "misses", "evictions",
+                              "corruption", "io_errors"}
 
     def test_overwrite_same_key_is_idempotent(self, cache):
         key = fingerprint("same")

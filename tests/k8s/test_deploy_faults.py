@@ -1,0 +1,43 @@
+"""Apply-step resilience: injected I/O faults retry instead of aborting
+a rollout."""
+
+import pytest
+
+from repro.faults import FaultPlan, FaultSpec
+from repro.k8s import Cluster, deploy_manifests
+from repro.obs import METRICS, snapshot_delta
+
+CONFIGMAP_YAML = """kind: ConfigMap
+metadata:
+  name: web-config
+  namespace: test
+data:
+  config.json: '{"hello": 1}'
+"""
+
+
+def _plan(**kwargs):
+    return FaultPlan(seed=0, specs=(
+        FaultSpec("k8s.apply", "io-error", **kwargs),))
+
+
+class TestApplyRetries:
+    def test_transient_io_faults_are_retried(self):
+        cluster = Cluster()
+        before = METRICS.snapshot()
+        with _plan(probability=1.0, max_injections=2).activated():
+            applied = deploy_manifests(
+                cluster, {"configmap.yaml": CONFIGMAP_YAML})
+        assert len(applied) == 1
+        assert ("test", "web-config") in cluster.config_maps
+        delta = snapshot_delta(before, METRICS.snapshot())
+        assert delta["k8s.apply_retries"] == 2
+        assert delta["k8s.documents_applied"] == 1
+
+    def test_persistent_io_faults_surface_after_retries(self):
+        cluster = Cluster()
+        with _plan(probability=1.0).activated():
+            with pytest.raises(Exception) as info:
+                deploy_manifests(cluster,
+                                 {"configmap.yaml": CONFIGMAP_YAML})
+        assert getattr(info.value, "retriable", False)

@@ -1,11 +1,13 @@
-"""map_ordered semantics: ordering, fallbacks, modes, span folding."""
+"""map_ordered semantics: ordering, fallbacks, modes, span folding,
+crash resilience under an active fault plan."""
 
 import threading
 import time
 
 import pytest
 
-from repro.obs import Tracer, activation, span
+from repro.faults import FaultPlan, FaultSpec
+from repro.obs import METRICS, Tracer, activation, span
 from repro.parallel import map_ordered, resolve_jobs
 
 
@@ -56,6 +58,43 @@ class TestFallbacks:
     def test_unknown_mode_raises(self):
         with pytest.raises(ValueError, match="unknown executor mode"):
             map_ordered(_double, [1, 2], jobs=2, mode="fiber")
+
+
+class TestCrashResilience:
+    def _plan(self, **kwargs):
+        return FaultPlan(seed=kwargs.pop("seed", 0), specs=(
+            FaultSpec("parallel.worker", "crash", **kwargs),))
+
+    def test_bounded_crashes_retry_to_correct_results(self):
+        METRICS.reset()
+        plan = self._plan(probability=1.0, max_injections=2)
+        with plan.activated():
+            result = map_ordered(_double, list(range(6)), jobs=3)
+        assert result == [0, 2, 4, 6, 8, 10]
+        assert plan.injection_count == 2
+        assert METRICS.snapshot().get("parallel.worker_retries", 0) >= 1
+
+    def test_persistent_crashes_fall_back_to_serial(self):
+        METRICS.reset()
+        plan = self._plan(probability=1.0)
+        with plan.activated():
+            result = map_ordered(_double, list(range(4)), jobs=2)
+        assert result == [0, 2, 4, 6]
+        assert METRICS.snapshot().get("parallel.serial_fallbacks") == 4
+
+    def test_serial_path_never_hits_the_worker_site(self):
+        plan = self._plan(probability=1.0)
+        with plan.activated():
+            assert map_ordered(_double, [1, 2, 3], jobs=1) == [2, 4, 6]
+        assert plan.injection_count == 0
+
+    def test_user_exceptions_still_propagate_under_a_plan(self):
+        def boom(value):
+            raise ValueError(f"unit {value} is broken")
+
+        with self._plan(probability=0.5).activated():
+            with pytest.raises(ValueError, match="is broken"):
+                map_ordered(boom, [1, 2, 3, 4], jobs=2)
 
 
 class TestResolveJobs:

@@ -5,6 +5,7 @@ import time
 
 import pytest
 
+from repro.obs import METRICS, snapshot_delta
 from repro.service import (AdmissionController, AdmissionRejected,
                            AdmissionShed, AdmissionTimeout, POLICY_BLOCK,
                            POLICY_REJECT, POLICY_SHED, RateLimited,
@@ -78,6 +79,21 @@ class TestBlockPolicy:
         waited = time.perf_counter() - started
         assert 0.08 <= waited < 2.0
         assert ctrl.queued == 0  # the expired waiter withdrew
+
+    def test_deadline_expiry_is_retriable_and_counted(self):
+        # a blocked-then-timed-out caller must get a *retriable*
+        # rejection (it can come back later) and land in the
+        # service.admission_timeouts counter
+        ctrl = AdmissionController(1, policy=POLICY_BLOCK,
+                                   block_deadline=0.05)
+        ctrl.acquire()
+        before = METRICS.snapshot()
+        with pytest.raises(AdmissionTimeout) as info:
+            ctrl.acquire()
+        assert info.value.retriable
+        assert info.value.code == "deadline-exceeded"
+        delta = snapshot_delta(before, METRICS.snapshot())
+        assert delta["service.admission_timeouts"] == 1
 
     def test_per_call_deadline_overrides_default(self):
         ctrl = AdmissionController(1, policy=POLICY_BLOCK,

@@ -1,0 +1,112 @@
+"""Client-side resilience against an injected-fault service.
+
+A process-global fault plan (the HTTP handler threads cannot see a
+context-local one) makes the real server return 503s at the
+``service.request`` site; the client must surface them as *typed*
+retriable errors, ride through them with a :class:`RetryPolicy`, and
+trip a :class:`CircuitBreaker` when they persist.
+"""
+
+import threading
+
+import pytest
+
+from fixtures import EMCO_WORKCELL_SOURCE
+
+from repro.codegen import PipelineOptions
+from repro.faults import FaultPlan, FaultSpec, install_plan, uninstall_plan
+from repro.obs import METRICS, snapshot_delta
+from repro.resilience import CircuitBreaker, CircuitOpen, RetryPolicy
+from repro.service import (ConfigurationService, RetriableServiceError,
+                           ServiceClient, ServiceHTTPServer)
+
+SOURCES = [EMCO_WORKCELL_SOURCE]
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_plan():
+    yield
+    uninstall_plan()
+
+
+@pytest.fixture
+def serve():
+    running = []
+
+    def _start(**service_kwargs):
+        service = ConfigurationService(PipelineOptions(), **service_kwargs)
+        server = ServiceHTTPServer(("127.0.0.1", 0), service)
+        thread = threading.Thread(target=server.serve_forever,
+                                  kwargs={"poll_interval": 0.05},
+                                  daemon=True)
+        thread.start()
+        running.append((server, thread))
+        return server, service
+
+    yield _start
+    for server, thread in running:
+        server.shutdown()
+        server.server_close()
+        thread.join(2)
+
+
+def _unavailable_plan(max_injections, retry_after=0.25):
+    return FaultPlan(seed=0, specs=(
+        FaultSpec("service.request", "unavailable", probability=1.0,
+                  max_injections=max_injections,
+                  retry_after=retry_after),))
+
+
+class TestTypedErrors:
+    def test_injected_503_raises_retriable_with_hint(self, serve):
+        server, _ = serve()
+        install_plan(_unavailable_plan(max_injections=1))
+        with ServiceClient(port=server.port) as client:
+            with pytest.raises(RetriableServiceError) as info:
+                client.generate(SOURCES)
+            assert info.value.status == 503
+            assert info.value.retriable
+            assert info.value.code == "injected-unavailable"
+            assert info.value.retry_after == pytest.approx(0.25)
+            # the injection budget is spent: the service recovered
+            assert client.generate(SOURCES)["manifests"]
+
+
+class TestClientRetry:
+    def test_retry_policy_rides_through_injected_503s(self, serve):
+        server, _ = serve()
+        install_plan(_unavailable_plan(max_injections=2,
+                                       retry_after=0.01))
+        before = METRICS.snapshot()
+        policy = RetryPolicy(max_attempts=4, base_delay=0.01,
+                             jitter=0.0, seed=0)
+        with ServiceClient(port=server.port, retry=policy) as client:
+            bundle = client.generate(SOURCES)
+        assert bundle["manifests"]
+        delta = snapshot_delta(before, METRICS.snapshot())
+        assert delta["resilience.retries"] == 2
+        assert delta["faults.injected.unavailable"] == 2
+
+
+class TestClientBreaker:
+    def test_persistent_503s_trip_the_breaker(self, serve):
+        server, _ = serve()
+        install_plan(_unavailable_plan(max_injections=None,
+                                       retry_after=0.0))
+        breaker = CircuitBreaker("client", failure_threshold=2,
+                                 reset_timeout=60.0)
+        before = METRICS.snapshot()
+        with ServiceClient(port=server.port, breaker=breaker) as client:
+            for _ in range(2):
+                with pytest.raises(RetriableServiceError):
+                    client.generate(SOURCES)
+            assert breaker.state == "open"
+            with pytest.raises(CircuitOpen) as info:
+                client.generate(SOURCES)
+        assert info.value.retriable
+        delta = snapshot_delta(before, METRICS.snapshot())
+        # only the two pre-trip calls reached the server; the third
+        # was rejected client-side without a round trip
+        assert delta["faults.injected.unavailable"] == 2
+        assert delta["breaker.trips"] == 1
+        assert delta["breaker.open_rejections"] == 1

@@ -237,3 +237,22 @@ class TestConformanceSurface:
         assert main(["conformance", "--seeds", "2", "--hostile",
                      "--oracles", "roundtrip"]) == 0
         assert "(hostile)" in capsys.readouterr().out
+
+    def test_list_oracles_marks_chaos_opt_in(self, capsys):
+        assert main(["conformance", "--list-oracles"]) == 0
+        out = capsys.readouterr().out
+        assert "chaos" in out
+        assert "opt-in" in out
+
+    def test_chaos_flag_runs_the_chaos_oracle(self, tmp_path, capsys):
+        import json
+
+        report_path = tmp_path / "chaos-report.json"
+        assert main(["conformance", "--seeds", "1", "--chaos",
+                     "--oracles", "grouping",
+                     "--report", str(report_path)]) == 0
+        out = capsys.readouterr().out
+        assert "(chaos)" in out
+        document = json.loads(report_path.read_text())
+        assert document["ok"] is True
+        assert document["oracles"] == ["grouping", "chaos"]

@@ -1,0 +1,40 @@
+"""The opt-in chaos oracle: graceful degradation under a seeded plan."""
+
+from repro.testkit import (CorpusConfig, chaos_plan, oracle_names,
+                           run_conformance, run_trial)
+
+SMALL = CorpusConfig(max_machines=2, max_variables=4, max_services=2)
+
+
+class TestRegistry:
+    def test_chaos_is_opt_in(self):
+        assert "chaos" not in oracle_names()
+        assert "chaos" in oracle_names(include_opt_in=True)
+
+
+class TestChaosOracle:
+    def test_trial_survives_the_fault_plan(self):
+        result = run_trial(0, config=SMALL, oracles=["chaos"])
+        assert result.ok, [outcome.error for outcome in result.failures]
+
+    def test_plan_is_seed_deterministic(self):
+        assert chaos_plan(3).specs == chaos_plan(3).specs
+        assert chaos_plan(3).seed == 3 and chaos_plan(4).seed == 4
+
+
+class TestChaosConformance:
+    def test_chaos_flag_appends_the_oracle(self):
+        report = run_conformance(1, config=SMALL, oracles=["grouping"],
+                                 shrink=False, chaos=True)
+        assert report.oracles == ["grouping", "chaos"]
+        assert report.ok, report.to_dict()["trials"]
+
+    def test_digest_stable_across_jobs(self):
+        # per-trial plans share no state, so fan-out must not perturb
+        # the semantic outcome (the ISSUE acceptance criterion)
+        one = run_conformance(2, config=SMALL, oracles=["chaos"],
+                              jobs=1, shrink=False)
+        two = run_conformance(2, config=SMALL, oracles=["chaos"],
+                              jobs=2, shrink=False)
+        assert one.ok and two.ok
+        assert one.digest == two.digest

@@ -5,6 +5,26 @@ import threading
 import pytest
 
 from repro.testkit import Deadline, wait_for_event, wait_until
+from repro.testkit import waiting
+
+
+class _ScriptedTime:
+    """Stand-in for the ``time`` module with a scripted monotonic clock."""
+
+    def __init__(self, times):
+        self._times = iter(times)
+        self._last = 0.0
+        self.sleeps = []
+
+    def monotonic(self):
+        try:
+            self._last = next(self._times)
+        except StopIteration:
+            pass
+        return self._last
+
+    def sleep(self, seconds):
+        self.sleeps.append(seconds)
 
 
 class TestWaitUntil:
@@ -30,6 +50,22 @@ class TestWaitUntil:
         deadline = Deadline(0.0)  # already expired
         assert deadline.expired
         assert wait_until(lambda: True, timeout=0.0)
+
+    def test_never_sleeps_past_the_deadline(self, monkeypatch):
+        # regression: the deadline reads "not yet expired", but by the
+        # time the sleep length is computed the remaining budget is
+        # exactly 0.0 — the old `remaining() or interval` then slept a
+        # *full* interval past the deadline before re-checking
+        fake = _ScriptedTime([
+            0.0,    # Deadline(): expires at 1.0
+            0.999,  # expired-check: still before the deadline
+            1.0,    # remaining(): budget is exactly 0.0
+            1.0,    # expired-check next iteration: expired
+        ])
+        monkeypatch.setattr(waiting, "time", fake)
+        with pytest.raises(TimeoutError):
+            wait_until(lambda: False, timeout=1.0, interval=0.5)
+        assert fake.sleeps == [0.0]  # clamped, not a 0.5s oversleep
 
 
 class TestWaitForEvent:
