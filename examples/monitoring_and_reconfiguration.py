@@ -13,9 +13,9 @@ Run with:  python examples/monitoring_and_reconfiguration.py
 """
 
 import copy
+import tempfile
 
-from repro.codegen import (GenerationPipeline, PipelineOptions,
-                           regenerate)
+from repro.codegen import IncrementalEngine, PipelineOptions
 from repro.icelab import run_icelab
 from repro.icelab.model_gen import icelab_sources
 from repro.isa95.levels import VariableSpec
@@ -23,7 +23,6 @@ from repro.k8s import heal
 from repro.machines.specs import ICE_LAB_SPECS
 from repro.pipeline import smoke_test
 from repro.som import KpiMonitor
-from repro.sysml import load_model
 
 
 def main() -> None:
@@ -55,21 +54,28 @@ def main() -> None:
     print(f"machines silent since t={checkpoint}: {stale}")
 
     print("\n== 4. model change -> incremental regeneration ==")
-    specs = [copy.deepcopy(s) for s in ICE_LAB_SPECS]
-    warehouse = next(s for s in specs if s.name == "warehouse")
-    warehouse.categories["Storage"].append(
-        VariableSpec("humidity", "Real", unit="%"))
-    new_model = load_model(*icelab_sources(specs))
-    incremental = regenerate(
-        result.generation, result.model, new_model,
-        GenerationPipeline(PipelineOptions(namespace="icelab")))
-    print(f"model diff: {len(incremental.diff)} change(s)")
-    for change in incremental.diff.changes[:5]:
-        print(f"  {change}")
-    print(f"changed machines: {incremental.changed_machines}")
-    print(f"manifests regenerated: {incremental.regenerated_manifests}")
+    with tempfile.TemporaryDirectory() as cache_dir:
+        engine = IncrementalEngine(PipelineOptions(namespace="icelab",
+                                                   cache_dir=cache_dir))
+        engine.generate(*icelab_sources())
+        specs = [copy.deepcopy(s) for s in ICE_LAB_SPECS]
+        warehouse = next(s for s in specs if s.name == "warehouse")
+        warehouse.categories["Storage"].append(
+            VariableSpec("humidity", "Real", unit="%"))
+        regenerated = engine.generate(*icelab_sources(specs))
+    update = engine.last_update
+    print(f"sources changed: {list(update.changed_sources)}")
+    print(f"dirty model anchors: "
+          f"{sorted(str(key) for key in update.changed_anchors)}")
+    touched = sorted(artifact for artifact, state
+                     in regenerated.provenance.items()
+                     if state == "regenerated")
+    reused = [artifact for artifact, state
+              in regenerated.provenance.items()
+              if state == "reused" and artifact.startswith("manifest:")]
+    print(f"artifacts regenerated: {touched}")
     print(f"manifests reused unchanged: "
-          f"{len(incremental.reused_manifests)}/14")
+          f"{len(reused)}/{len(regenerated.manifests)}")
 
     result.shutdown()
     print("\ndone.")

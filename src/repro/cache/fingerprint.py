@@ -1,52 +1,31 @@
-"""Content fingerprints for the artifact cache.
+"""Deprecated shim — fingerprints moved to :mod:`repro.fingerprint`.
 
-A fingerprint is SHA-256 over the canonical-JSON rendering of the
-inputs plus a salt. The salt has two components:
-
-* :data:`CACHE_SCHEMA_VERSION` — bumped whenever the on-disk artifact
-  layout changes, invalidating every entry at once;
-* a per-layer salt string passed by the caller — it names the producing
-  layer (``parse``, ``machine-config``, ``manifest``, ...) and embeds
-  that layer's own version, so evolving one generator never serves
-  stale artifacts from another.
-
-Canonical JSON (sorted keys, no whitespace, ``default=str`` for exotic
-leaf values) makes the fingerprint independent of dict insertion order
-and stable across processes.
+``repro.cache.fingerprint`` used to own :func:`fingerprint`,
+:func:`canonical_json` and :data:`CACHE_SCHEMA_VERSION`. They now live
+in :mod:`repro.fingerprint` (one module for every layer's hashing and
+salts). Importing them from here keeps working for one release and
+emits a :class:`DeprecationWarning` naming the replacement.
 """
 
 from __future__ import annotations
 
-import hashlib
-import json
+import warnings
 
-#: Bump to invalidate every cached artifact (on-disk layout change).
-CACHE_SCHEMA_VERSION = 1
+from .. import fingerprint as _canonical
 
-
-def canonical_json(value: object) -> str:
-    """Deterministic JSON: sorted keys, compact, ``str()`` fallback."""
-    return json.dumps(value, sort_keys=True, separators=(",", ":"),
-                      default=str)
+_MOVED = ("CACHE_SCHEMA_VERSION", "canonical_json", "fingerprint")
 
 
-def fingerprint(*parts: object, salt: str = "") -> str:
-    """SHA-256 hex digest over canonical forms of *parts* + the salt.
+def __getattr__(name: str):
+    if name in _MOVED:
+        warnings.warn(
+            f"repro.cache.fingerprint.{name} is deprecated; use "
+            f"repro.fingerprint.{name} instead",
+            DeprecationWarning, stacklevel=2)
+        return getattr(_canonical, name)
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}")
 
-    Each part is length-prefixed before hashing so adjacent parts can
-    never collide by concatenation (``("ab", "c")`` vs ``("a", "bc")``).
-    ``bytes`` and ``str`` parts hash as-is; everything else goes through
-    :func:`canonical_json`.
-    """
-    hasher = hashlib.sha256()
-    hasher.update(f"repro-cache/v{CACHE_SCHEMA_VERSION}|{salt}".encode())
-    for part in parts:
-        if isinstance(part, bytes):
-            data = part
-        elif isinstance(part, str):
-            data = part.encode()
-        else:
-            data = canonical_json(part).encode()
-        hasher.update(b"|%d|" % len(data))
-        hasher.update(data)
-    return hasher.hexdigest()
+
+def __dir__():
+    return sorted(list(globals()) + list(_MOVED))

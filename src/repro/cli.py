@@ -12,6 +12,10 @@ Subcommands
 ``serve``     run the configuration service: a concurrent HTTP front end
               over the pipeline with single-flight dedup, admission
               control and graceful drain on SIGTERM
+``watch``     watch .sysml files and incrementally regenerate on each
+              edit: only dirty model subtrees re-elaborate, only
+              changed output files are rewritten, and ``--deploy``
+              rolls the regenerated manifests onto a simulated cluster
 ``deploy``    run the full Figure-1 flow on the simulated cluster and
               print the smoke report
 ``conformance``  run differential conformance trials over a seeded
@@ -273,6 +277,58 @@ def _cmd_serve(args) -> int:
     return 0 if report.completed else 1
 
 
+def _cmd_watch(args) -> int:
+    """Watch .sysml files; re-elaborate dirty subtrees on each edit."""
+    from .codegen import PipelineOptions
+    from .watch import WatchSession
+
+    cache = _resolve_cache(args)
+    options = PipelineOptions(
+        capacity=args.capacity, namespace=args.namespace, jobs=args.jobs,
+        cache_dir=str(cache.directory) if cache else None,
+        cache_max_bytes=(cache.max_bytes if cache
+                         else PipelineOptions().cache_max_bytes))
+    cluster = None
+    if args.deploy:
+        from .k8s import Cluster
+        cluster = Cluster()
+    session = WatchSession(args.files, options=options, out_dir=args.out,
+                           cluster=cluster, interval=args.interval)
+
+    def report(event) -> None:
+        if not event.ok:
+            print(f"[{event.iteration}] BROKEN MODEL (keeping previous "
+                  f"generation): {event.error}", flush=True)
+            return
+        what = ", ".join(event.changed_files) or "(initial)"
+        print(f"[{event.iteration}] {what}: "
+              f"{len(event.regenerated)} regenerated, "
+              f"{event.reused} reused "
+              f"({event.seconds * 1e3:.1f}ms)", flush=True)
+        for artifact in event.regenerated:
+            print(f"    ~ {artifact}")
+        if event.written:
+            print(f"    wrote {len(event.written)} file(s)")
+        if event.deployed is not None:
+            print(f"    applied {event.deployed['applied']} document(s), "
+                  f"{event.deployed['running']} pods running, "
+                  f"{event.deployed['restarted_downstream']} downstream "
+                  f"restarts")
+
+    if args.once:
+        event = session.poll()
+        if event is not None:
+            report(event)
+        return 0 if event is not None and event.ok else 1
+    print(f"watching {len(session.paths)} file(s) "
+          f"every {args.interval}s (ctrl-c to stop)", flush=True)
+    try:
+        session.run(max_iterations=args.max_iterations, on_event=report)
+    except KeyboardInterrupt:
+        print(f"\nstopped after {session.iterations} generation(s)")
+    return 0
+
+
 def _cmd_conformance(args) -> int:
     """Differential conformance trials over the seeded corpus."""
     from .testkit import (CorpusConfig, oracle_names, run_conformance)
@@ -515,6 +571,28 @@ def build_parser() -> argparse.ArgumentParser:
                          help="graceful-drain bound on SIGTERM/SIGINT")
     _add_perf_arguments(p_serve)
     p_serve.set_defaults(func=_cmd_serve)
+
+    p_watch = subparsers.add_parser(
+        "watch", help="watch .sysml files, regenerate incrementally")
+    p_watch.add_argument("files", nargs="+", metavar="FILE",
+                         help=".sysml source files to watch")
+    p_watch.add_argument("--capacity", type=int, default=120)
+    p_watch.add_argument("--namespace", default="icelab")
+    p_watch.add_argument("--out", metavar="DIR",
+                         help="write generated files under DIR "
+                              "(only changed files are rewritten)")
+    p_watch.add_argument("--interval", type=float, default=0.5,
+                         metavar="SECONDS", help="poll interval")
+    p_watch.add_argument("--once", action="store_true",
+                         help="one generation, then exit")
+    p_watch.add_argument("--max-iterations", type=int, default=None,
+                         metavar="N",
+                         help="stop after N generations (default: forever)")
+    p_watch.add_argument("--deploy", action="store_true",
+                         help="roll regenerated manifests onto a "
+                              "simulated cluster after each generation")
+    _add_perf_arguments(p_watch)
+    p_watch.set_defaults(func=_cmd_watch)
 
     p_cache = subparsers.add_parser(
         "cache", help="inspect or clear the artifact cache")

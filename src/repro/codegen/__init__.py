@@ -2,7 +2,8 @@
 
 from .client_config import client_config, topic_root
 from .docs_gen import generate_handbook
-from .incremental import (IncrementalResult, changed_machine_names, regenerate)
+from .incremental import (IncrementalEngine, IncrementalResult,
+                          changed_machine_names, regenerate)
 from .grouping import (ClientGroup, DEFAULT_CLIENT_CAPACITY, GroupingError,
                        group_machines, grouping_stats, lower_bound_clients)
 from .machine_config import (WORKCELL_SERVER_PORT, machine_config,
@@ -14,7 +15,8 @@ from .storage_config import storage_config
 
 __all__ = [
     "COMPONENT_IMAGES", "ClientGroup", "DEFAULT_CLIENT_CAPACITY",
-    "IncrementalResult", "changed_machine_names", "generate_handbook",
+    "IncrementalEngine", "IncrementalResult", "changed_machine_names",
+    "generate_handbook",
     "regenerate", "PipelineOptions",
     "GenerationPipeline", "GenerationResult", "GroupingError",
     "WORKCELL_SERVER_PORT", "client_config", "generate_configuration",

@@ -44,15 +44,19 @@ from __future__ import annotations
 
 import json
 import time
+import warnings
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
 
-from ..cache import ArtifactCache, fingerprint
+from ..cache import ArtifactCache
+from ..fingerprint import (RESULT_SALT, STEP1_NODE_SALT, STEP1_SALT,
+                           STEP2_SALT, TOPOLOGY_SALT, fingerprint)
 from ..isa95.levels import FactoryTopology, MachineInfo
 from ..isa95.topology import extract_topology
 from ..isa95.validation import validate_topology
 from ..obs import PipelineTrace, Summarizable, activation, span
 from ..parallel import map_ordered
+from ..sysml.depgraph import node_dependency_fingerprints
 from ..sysml.elements import Model
 from ..sysml.errors import ValidationError
 from ..templates.engine import k8s_name
@@ -70,12 +74,9 @@ COMPONENT_IMAGES = {
     "historian": "factory/historian:1.2.0",
 }
 
-# Per-layer cache salts (see DESIGN.md, "Artifact cache"). Bump a salt
-# whenever the corresponding generator's output format changes.
-_TOPOLOGY_SALT = "isa95-topology/1"
-_STEP1_SALT = "machine-config/1"
-_STEP2_SALT = "manifest/1"
-_RESULT_SALT = "generation-result/1"
+# Per-layer cache salts live in :mod:`repro.fingerprint` (see
+# DESIGN.md, "Artifact cache"); bump one there whenever the
+# corresponding generator's output format changes.
 
 
 def _render_environment() -> dict[str, object]:
@@ -101,6 +102,13 @@ class GenerationResult(Summarizable):
     generation_seconds: float = 0.0
     step1_seconds: float = 0.0
     step2_seconds: float = 0.0
+    #: Per-artifact provenance of this run: artifact id
+    #: (``machine:NAME``, ``server:WORKCELL``, ``client:NAME``,
+    #: ``storage:NAME``, ``manifest:FILE``) -> ``"reused"`` (replayed
+    #: byte-identical from cache / previous result) or
+    #: ``"regenerated"`` (computed this run).
+    provenance: dict[str, str] = field(default_factory=dict, repr=False,
+                                       compare=False)
     #: Per-phase telemetry of this run (None when tracing was off).
     trace: PipelineTrace | None = field(default=None, repr=False,
                                         compare=False)
@@ -141,7 +149,17 @@ class GenerationResult(Summarizable):
                 + list(self.server_configs.values())
                 + self.client_configs + self.storage_configs)
 
+    def artifact_ids(self) -> list[str]:
+        """Provenance ids of every artifact this result carries."""
+        ids = [f"machine:{name}" for name in self.machine_configs]
+        ids += [f"server:{name}" for name in self.server_configs]
+        ids += [f"client:{c['client']}" for c in self.client_configs]
+        ids += [f"storage:{c['historian']}" for c in self.storage_configs]
+        ids += [f"manifest:{name}" for name in self.manifests]
+        return ids
+
     def summary(self) -> dict[str, object]:
+        states = list(self.provenance.values())
         return {
             "generation_time_s": round(self.generation_seconds, 3),
             "opcua_servers": self.opcua_server_count,
@@ -149,6 +167,8 @@ class GenerationResult(Summarizable):
             "config_size_kb": round(self.config_size_kb, 1),
             "machines": len(self.machine_configs),
             "manifest_files": len(self.manifests),
+            "artifacts_reused": states.count("reused"),
+            "artifacts_regenerated": states.count("regenerated"),
         }
 
     # -- file output ----------------------------------------------------------
@@ -240,21 +260,26 @@ class GenerationPipeline:
                              generate_span) -> GenerationResult:
         source_fp = getattr(model, "content_fingerprint", None)
         topology = self._extract_topology(model, source_fp)
+        node_keys = self._node_fingerprints(model, topology)
         if self.cache is None or source_fp is None:
-            return self._run(topology, extraction_started=started)
+            return self._run(topology, extraction_started=started,
+                             node_keys=node_keys)
         # Whole-result layer: when the sources and every output-shaping
         # option are unchanged, reuse the complete artifact set in one
         # read instead of probing the per-unit layers.
         key = fingerprint(source_fp, self._semantic_options(),
-                          _render_environment(), salt=_RESULT_SALT)
+                          _render_environment(), salt=RESULT_SALT)
         bundle = self.cache.get_object(key)
         if bundle is not None:
             self._validate(topology)
             result = GenerationResult(topology=topology, **bundle)
+            result.provenance = {artifact: "reused"
+                                 for artifact in result.artifact_ids()}
             result.generation_seconds = time.perf_counter() - started
             generate_span.set("result_cache", "hit")
             return result
-        result = self._run(topology, extraction_started=started)
+        result = self._run(topology, extraction_started=started,
+                           node_keys=node_keys)
         self.cache.put_object(key, {
             "machine_configs": result.machine_configs,
             "server_configs": result.server_configs,
@@ -269,7 +294,7 @@ class GenerationPipeline:
                           source_fp: str | None) -> FactoryTopology:
         if self.cache is None or source_fp is None:
             return extract_topology(model)
-        key = fingerprint(source_fp, salt=_TOPOLOGY_SALT)
+        key = fingerprint(source_fp, salt=TOPOLOGY_SALT)
         cached = self.cache.get_object(key)
         if isinstance(cached, FactoryTopology):
             with span("topology", cached=True):
@@ -288,6 +313,32 @@ class GenerationPipeline:
             "broker_url": self.options.broker_url,
             "database_url": self.options.database_url,
         }
+
+    def _node_fingerprints(self, model: Model, topology: FactoryTopology
+                           ) -> dict[str, tuple[str, str]] | None:
+        """Per-machine ``(node_fp, deps_fp)`` pairs, available when the
+        model carries a dependency graph (loaded through
+        :class:`repro.sysml.ModelSession` or
+        ``load_model(record_deps=True)``) — they key step-1 artifacts
+        per node instead of per whole spec."""
+        if not self.options.incremental or self.cache is None:
+            return None
+        graph = getattr(model, "dep_graph", None)
+        index = getattr(model, "node_index", None)
+        if graph is None or index is None:
+            return None
+        keys: dict[str, tuple[str, str]] = {}
+        for machine in topology.machines:
+            if not machine.node_path:
+                continue
+            paths = [machine.node_path]
+            if machine.driver is not None and machine.driver.node_path:
+                paths.append(machine.driver.node_path)
+            parts = node_dependency_fingerprints(model, graph, index,
+                                                 *paths)
+            if parts is not None:
+                keys[machine.name] = parts
+        return keys or None
 
     def run_on_topology(self, topology: FactoryTopology
                         ) -> GenerationResult:
@@ -308,13 +359,14 @@ class GenerationPipeline:
                 "topology validation failed: "
                 + "; ".join(str(d) for d in report.errors))
 
-    def _run(self, topology: FactoryTopology,
-             extraction_started: float) -> GenerationResult:
+    def _run(self, topology: FactoryTopology, extraction_started: float,
+             node_keys: dict[str, tuple[str, str]] | None = None
+             ) -> GenerationResult:
         self._validate(topology)
         result = GenerationResult(topology=topology)
         step1_started = time.perf_counter()
         with span("step1") as s:
-            self._step1(topology, result)
+            self._step1(topology, result, node_keys)
             s.set("machines", len(result.machine_configs))
             s.set("servers", len(result.server_configs))
             s.set("clients", len(result.client_configs))
@@ -330,19 +382,23 @@ class GenerationPipeline:
 
     # -- step 1: intermediate JSON ------------------------------------------------
 
-    def _step1(self, topology: FactoryTopology,
-               result: GenerationResult) -> None:
-        def build(machine: MachineInfo) -> dict:
+    def _step1(self, topology: FactoryTopology, result: GenerationResult,
+               node_keys: dict[str, tuple[str, str]] | None = None
+               ) -> None:
+        def build(machine: MachineInfo) -> tuple[dict, bool]:
             with span(f"machine:{machine.name}",
                       points=machine.point_count):
-                return self._machine_config_cached(machine, topology)
+                return self._machine_config_cached(machine, topology,
+                                                   node_keys)
 
-        configs = map_ordered(
+        built = map_ordered(
             build, topology.machines, jobs=self.options.jobs,
             span_label=lambda machine, _i: f"machine:{machine.name}",
             pool_span="step1-pool")
-        for machine, config in zip(topology.machines, configs):
+        for machine, (config, reused) in zip(topology.machines, built):
             result.machine_configs[machine.name] = config
+            result.provenance[f"machine:{machine.name}"] = \
+                "reused" if reused else "regenerated"
         with span("servers") as s:
             for workcell in topology.workcells:
                 if not workcell.machines:
@@ -351,41 +407,87 @@ class GenerationPipeline:
                            for m in workcell.machines]
                 result.server_configs[workcell.name] = \
                     workcell_server_config(workcell.name, configs)
+                result.provenance[f"server:{workcell.name}"] = \
+                    "regenerated"
             s.set("servers", len(result.server_configs))
         result.groups = group_machines(topology.machines,
                                        self.options.capacity)
         with span("clients") as s:
             for group in result.groups:
-                result.client_configs.append(
-                    client_config(group, topology,
-                                  self.options.broker_url))
-                result.storage_configs.append(
-                    storage_config(group, topology,
-                                   self.options.broker_url,
-                                   self.options.database_url))
+                client = client_config(group, topology,
+                                       self.options.broker_url)
+                storage = storage_config(group, topology,
+                                         self.options.broker_url,
+                                         self.options.database_url)
+                result.client_configs.append(client)
+                result.storage_configs.append(storage)
+                result.provenance[f"client:{client['client']}"] = \
+                    "regenerated"
+                result.provenance[f"storage:{storage['historian']}"] = \
+                    "regenerated"
             s.set("groups", len(result.groups))
 
-    def _machine_config_cached(self, machine: MachineInfo,
-                               topology: FactoryTopology) -> dict:
-        if self.cache is None:
-            return machine_config(machine, topology)
-        # key: the machine's full spec plus the hierarchy context that
-        # flows into its intermediate JSON — nothing else of the
-        # topology affects this artifact
+    def _hierarchy_of(self, machine: MachineInfo,
+                      topology: FactoryTopology) -> dict[str, str]:
         line = next((wc.production_line for wc in topology.workcells
                      if wc.name == machine.workcell), "")
-        key = fingerprint(
-            {"machine": asdict(machine),
-             "hierarchy": {"enterprise": topology.enterprise,
-                           "site": topology.site, "area": topology.area,
-                           "production_line": line}},
-            salt=_STEP1_SALT)
-        cached = self.cache.get_json(key)
+        return {"enterprise": topology.enterprise, "site": topology.site,
+                "area": topology.area, "production_line": line}
+
+    def _legacy_machine_key(self, machine: MachineInfo,
+                            hierarchy: dict[str, str]) -> str:
+        # the pre-node-key payload: the machine's full spec minus the
+        # node paths (which exist only for the incremental engine), so
+        # entries written by earlier releases keep matching
+        payload = asdict(machine)
+        payload.pop("node_path", None)
+        if payload.get("driver"):
+            payload["driver"].pop("node_path", None)
+        return fingerprint({"machine": payload, "hierarchy": hierarchy},
+                           salt=STEP1_SALT)
+
+    def _machine_config_cached(
+            self, machine: MachineInfo, topology: FactoryTopology,
+            node_keys: dict[str, tuple[str, str]] | None = None
+    ) -> tuple[dict, bool]:
+        """The machine's intermediate JSON plus whether it was replayed.
+
+        Preferred key: the machine node's ``(node_fp, deps_fp)`` pair
+        plus the hierarchy context that flows into the JSON — stable
+        under edits elsewhere in the model. The legacy whole-spec key
+        is still consulted (and written) one release cycle; a hit there
+        migrates the entry to the node key.
+        """
+        if self.cache is None:
+            return machine_config(machine, topology), False
+        hierarchy = self._hierarchy_of(machine, topology)
+        node_key = None
+        if node_keys and machine.name in node_keys:
+            node_fp, deps_fp = node_keys[machine.name]
+            node_key = fingerprint(
+                {"node": node_fp, "deps": deps_fp,
+                 "workcell": machine.workcell, "hierarchy": hierarchy},
+                salt=STEP1_NODE_SALT)
+            cached = self.cache.get_json(node_key)
+            if isinstance(cached, dict):
+                return cached, True
+        legacy_key = self._legacy_machine_key(machine, hierarchy)
+        cached = self.cache.get_json(legacy_key)
         if isinstance(cached, dict):
-            return cached
+            if node_key is not None:
+                warnings.warn(
+                    "machine-config cache hit under the legacy "
+                    "whole-spec key; migrating the entry to the "
+                    "node-fingerprint key (legacy keys stop being "
+                    "consulted next release)",
+                    DeprecationWarning, stacklevel=2)
+                self.cache.put_json(node_key, cached)
+            return cached, True
         config = machine_config(machine, topology)
-        self.cache.put_json(key, config)
-        return config
+        if node_key is not None:
+            self.cache.put_json(node_key, config)
+        self.cache.put_json(legacy_key, config)
+        return config, False
 
     # -- step 2: Kubernetes YAML -----------------------------------------------------
 
@@ -402,15 +504,18 @@ class GenerationPipeline:
             self._render_task, tasks, jobs=self.options.jobs,
             span_label=lambda task, _i: f"render:{k8s_name(task[1])}",
             pool_span="step2-pool")
-        for (_, name, _, _), text in zip(tasks, rendered):
+        for (_, name, _, _), (text, reused) in zip(tasks, rendered):
             result.manifests[f"{name}.yaml"] = text
+            result.provenance[f"manifest:{name}.yaml"] = \
+                "reused" if reused else "regenerated"
 
-    def _render_task(self, task: tuple[str, str, dict, int | None]) -> str:
+    def _render_task(self, task: tuple[str, str, dict, int | None]
+                     ) -> tuple[str, bool]:
         kind, name, config, port = task
         return self._render(kind, name, config, port=port)
 
     def _render(self, kind: str, name: str, config: dict,
-                *, port: int | None = None) -> str:
+                *, port: int | None = None) -> tuple[str, bool]:
         key = None
         if self.cache is not None:
             key = fingerprint(
@@ -418,13 +523,13 @@ class GenerationPipeline:
                  "config": config, "image": COMPONENT_IMAGES[kind],
                  "template": template_source(kind),
                  **self._semantic_options()},
-                salt=_STEP2_SALT)
+                salt=STEP2_SALT)
             cached = self.cache.get_text(key)
             if cached is not None:
                 with span(f"render:{k8s_name(name)}", template=kind,
                           cached=True):
                     pass
-                return cached
+                return cached, True
         context = {
             "namespace": self.options.namespace,
             "broker_url": self.options.broker_url,
@@ -446,7 +551,7 @@ class GenerationPipeline:
             s.set("bytes", len(text))
         if key is not None:
             self.cache.put_text(key, text)
-        return text
+        return text, False
 
 
 def generate_configuration(model: Model,

@@ -1,0 +1,140 @@
+"""Content fingerprints: the one place hashing lives.
+
+Every cache layer in the system keys artifacts on a
+:func:`fingerprint` — SHA-256 over the canonical-JSON rendering of the
+inputs plus a salt. The salt has two components:
+
+* :data:`CACHE_SCHEMA_VERSION` — bumped whenever the on-disk artifact
+  layout changes, invalidating every entry at once;
+* a per-layer salt string — it names the producing layer (``parse``,
+  ``machine-config``, ``manifest``, ...) and embeds that layer's own
+  version, so evolving one generator never serves stale artifacts from
+  another. The per-layer salts are collected here as module constants
+  so the key schema of the whole system is visible in one screen.
+
+Canonical JSON (sorted keys, no whitespace, ``default=str`` for exotic
+leaf values) makes the fingerprint independent of dict insertion order
+and stable across processes.
+
+Anything that can answer "what is your content hash?" implements the
+:class:`Fingerprintable` protocol; :func:`fingerprint_of` dispatches on
+it, so composite keys can mix plain values and fingerprintable objects.
+
+This module used to be spread over ``repro.cache.fingerprint`` plus
+ad-hoc salt constants in ``resolver.py``, ``codegen/pipeline.py`` and
+``service/server.py``; those import paths still work for one release
+behind a :class:`DeprecationWarning`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Protocol, runtime_checkable
+
+#: Bump to invalidate every cached artifact (on-disk layout change).
+CACHE_SCHEMA_VERSION = 1
+
+# -- per-layer salts ---------------------------------------------------------
+# Bump a salt whenever the corresponding layer's artifact format changes.
+
+#: Cached parse trees: embeds the parser/AST generation, so grammar or
+#: node-layout changes never replay stale trees.
+PARSE_TREE_SALT = "sysml-parse-tree/1"
+
+#: The whole-model fingerprint derived from the source texts.
+MODEL_SALT = "sysml-model/1"
+
+#: Structural (Merkle) fingerprints of model subtrees — the per-node
+#: keys of the incremental engine.
+NODE_SALT = "sysml-node/1"
+
+#: Per-node dependency fingerprints (a node's deep fingerprint plus the
+#: fingerprints of everything it resolved through).
+DEPS_SALT = "sysml-deps/1"
+
+#: The extracted ISA-95 topology pickle. (v2: machines carry their
+#: model node path for incremental re-elaboration.)
+TOPOLOGY_SALT = "isa95-topology/2"
+
+#: Per-machine intermediate JSON keyed on the *whole machine record*
+#: (legacy; superseded by :data:`STEP1_NODE_SALT`).
+STEP1_SALT = "machine-config/1"
+
+#: Per-machine intermediate JSON keyed on ``(node_fingerprint,
+#: deps_fingerprint)`` of the machine's model subtree.
+STEP1_NODE_SALT = "machine-config-node/1"
+
+#: Rendered Kubernetes manifests.
+STEP2_SALT = "manifest/1"
+
+#: The whole-result bundle of one pipeline run. (v2: pickled groups
+#: carry machine node paths.)
+RESULT_SALT = "generation-result/2"
+
+#: Service-layer single-flight and memo keys.
+SERVICE_PARSE_SALT = "service-parse/1"
+SERVICE_GENERATE_SALT = "service-generate/1"
+SERVICE_MEMO_SALT = "service-memo/1"
+
+
+def canonical_json(value: object) -> str:
+    """Deterministic JSON: sorted keys, compact, ``str()`` fallback."""
+    return json.dumps(value, sort_keys=True, separators=(",", ":"),
+                      default=str)
+
+
+def fingerprint(*parts: object, salt: str = "") -> str:
+    """SHA-256 hex digest over canonical forms of *parts* + the salt.
+
+    Each part is length-prefixed before hashing so adjacent parts can
+    never collide by concatenation (``("ab", "c")`` vs ``("a", "bc")``).
+    ``bytes`` and ``str`` parts hash as-is; everything else goes through
+    :func:`canonical_json`.
+    """
+    hasher = hashlib.sha256()
+    hasher.update(f"repro-cache/v{CACHE_SCHEMA_VERSION}|{salt}".encode())
+    for part in parts:
+        if isinstance(part, bytes):
+            data = part
+        elif isinstance(part, str):
+            data = part.encode()
+        else:
+            data = canonical_json(part).encode()
+        hasher.update(b"|%d|" % len(data))
+        hasher.update(data)
+    return hasher.hexdigest()
+
+
+@runtime_checkable
+class Fingerprintable(Protocol):
+    """Anything that can state a stable content hash of itself.
+
+    Implementors return a hex digest that changes exactly when their
+    *content* changes — never with identity, timing or process state.
+    """
+
+    def fingerprint_key(self) -> str:
+        """The stable content hash of this object."""
+        ...  # pragma: no cover - protocol
+
+
+def fingerprint_of(value: object, *, salt: str = "") -> str:
+    """Fingerprint one value, honoring :class:`Fingerprintable`.
+
+    A plain value hashes via :func:`fingerprint`; an object implementing
+    the protocol contributes its own ``fingerprint_key()`` (re-salted so
+    different layers never share keys).
+    """
+    if isinstance(value, Fingerprintable) and not isinstance(value, type):
+        return fingerprint(value.fingerprint_key(), salt=salt)
+    return fingerprint(value, salt=salt)
+
+
+__all__ = [
+    "CACHE_SCHEMA_VERSION", "DEPS_SALT", "Fingerprintable", "MODEL_SALT",
+    "NODE_SALT", "PARSE_TREE_SALT", "RESULT_SALT", "SERVICE_GENERATE_SALT",
+    "SERVICE_MEMO_SALT", "SERVICE_PARSE_SALT", "STEP1_NODE_SALT",
+    "STEP1_SALT", "STEP2_SALT", "TOPOLOGY_SALT", "canonical_json",
+    "fingerprint", "fingerprint_of",
+]

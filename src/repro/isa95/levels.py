@@ -68,6 +68,10 @@ class DriverInfo:
     parameters: dict[str, object] = field(default_factory=dict)
     variable_count: int = 0
     method_count: int = 0
+    #: Model path of the concrete driver *instance* usage this record was
+    #: extracted from ("" for unresolved reference stubs) — lets the
+    #: incremental engine re-extract exactly this driver after an edit.
+    node_path: str = ""
 
 
 @dataclass
@@ -80,6 +84,10 @@ class MachineInfo:
     variables: list[VariableSpec] = field(default_factory=list)
     services: list[ServiceSpec] = field(default_factory=list)
     driver: DriverInfo | None = None
+    #: Model path of the machine's part usage (see
+    #: :func:`repro.sysml.depgraph.node_path`) — the incremental
+    #: engine's handle for re-elaborating just this machine.
+    node_path: str = ""
 
     @property
     def point_count(self) -> int:

@@ -150,6 +150,9 @@ class TopologyExtractor:
                 type_name = typ.name
         machine = MachineInfo(name=node.name, type_name=type_name,
                               workcell=workcell)
+        if node.usage is not None:
+            from ..sysml.depgraph import node_path
+            machine.node_path = node_path(node.usage)
         for child in node.children:
             if self._node_conforms(child, QN_MACHINE_DATA):
                 machine.variables.extend(self._extract_variables(child))
@@ -157,6 +160,48 @@ class TopologyExtractor:
                 machine.services.extend(self._extract_services(child))
         machine.driver = self._machine_driver_stub(node)
         return machine
+
+    # -- incremental re-extraction ------------------------------------------
+
+    def extract_machine_at(self, usage: PartUsage,
+                           workcell: str) -> MachineInfo:
+        """Re-extract one machine from its part usage, standalone.
+
+        Elaborates just this usage (the same standalone elaboration
+        :meth:`_extract_driver` has always used) and resolves its driver
+        against the current top-level parts — the incremental engine's
+        per-machine path. Byte-equivalence with a full extraction is
+        enforced by the ``incremental-vs-cold`` conformance oracle.
+        """
+        node = elaborate(usage)
+        propagate_bindings(node)
+        machine = self._extract_machine(node, workcell)
+        self.attach_drivers_to(machine)
+        return machine
+
+    def attach_drivers_to(self, *machines: MachineInfo) -> None:
+        """Resolve driver stubs for the given machines (see
+        :meth:`_attach_drivers`)."""
+        driver_usages = [p for p in self._top_level_parts()
+                         if self._conforms(p, self._defs[QN_DRIVER])]
+        by_name = {p.name: p for p in driver_usages}
+        by_type_obj: dict[int, PartUsage] = {}
+        for part in driver_usages:
+            typ = part.effective_type()
+            if typ is not None:
+                by_type_obj.setdefault(id(typ), part)
+        for machine in machines:
+            stub = machine.driver
+            if stub is None:
+                continue
+            usage = by_name.get(stub.name)
+            if usage is None:
+                stub_type = self._stub_type_by_machine.get(machine.name)
+                if stub_type is not None:
+                    usage = by_type_obj.get(id(stub_type))
+            if usage is None:
+                continue  # reference only; leave the stub as-is
+            machine.driver = self._extract_driver(usage)
 
     def _extract_variables(self, data_node: InstanceNode,
                            category: str = "") -> list[VariableSpec]:
@@ -238,34 +283,17 @@ class TopologyExtractor:
     # -- driver instance resolution -----------------------------------------------------
 
     def _attach_drivers(self, topology: FactoryTopology) -> None:
-        driver_usages = [p for p in self._top_level_parts()
-                         if self._conforms(p, self._defs[QN_DRIVER])]
-        by_name = {p.name: p for p in driver_usages}
-        by_type_obj: dict[int, PartUsage] = {}
-        for part in driver_usages:
-            typ = part.effective_type()
-            if typ is not None:
-                by_type_obj.setdefault(id(typ), part)
-        for machine in topology.machines:
-            stub = machine.driver
-            if stub is None:
-                continue
-            usage = by_name.get(stub.name)
-            if usage is None:
-                stub_type = self._stub_type_by_machine.get(machine.name)
-                if stub_type is not None:
-                    usage = by_type_obj.get(id(stub_type))
-            if usage is None:
-                continue  # reference only; leave the stub as-is
-            machine.driver = self._extract_driver(usage)
+        self.attach_drivers_to(*topology.machines)
 
     def _extract_driver(self, usage: PartUsage) -> DriverInfo:
+        from ..sysml.depgraph import node_path
         typ = usage.effective_type()
         info = DriverInfo(
             name=usage.name or "",
             protocol=typ.name if typ is not None and typ.name else "",
             is_generic=(typ is not None and
-                        typ.conforms_to(self._defs[QN_GENERIC_DRIVER])))
+                        typ.conforms_to(self._defs[QN_GENERIC_DRIVER])),
+            node_path=node_path(usage))
         tree = elaborate(usage)
         propagate_bindings(tree)
         for child in tree.children:

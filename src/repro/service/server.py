@@ -19,6 +19,14 @@ into a long-running concurrent service. Each request travels::
   semantic options, so N identical in-flight requests execute the
   pipeline exactly once and share one byte-identical payload.
 
+When ``PipelineOptions.incremental`` is on (the default), the leader
+executes through a warm per-option-set :class:`IncrementalEngine`
+instead of a cold pipeline run: an edited source set regenerates only
+the artifacts whose model subtree actually changed, and the response
+reports the split via ``X-Repro-Reused`` / ``X-Repro-Regenerated``
+headers. The payload itself stays deterministic — provenance travels
+in headers, never in the bundle.
+
 :class:`ServiceHTTPServer` (a stdlib ``ThreadingHTTPServer``) exposes
 the service as::
 
@@ -42,10 +50,12 @@ from collections import OrderedDict
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import urlsplit
 
-from ..cache import fingerprint
+from ..codegen.incremental import IncrementalEngine
 from ..codegen.options import PipelineOptions
 from ..codegen.pipeline import GenerationPipeline, GenerationResult
 from ..faults import FaultInjected, fault_point
+from ..fingerprint import (SERVICE_GENERATE_SALT, SERVICE_MEMO_SALT,
+                           SERVICE_PARSE_SALT, fingerprint)
 from ..obs import METRICS, snapshot_delta
 from ..sysml import load_model
 from ..sysml.errors import SysMLError
@@ -61,10 +71,9 @@ _EXECUTIONS = METRICS.counter("service.pipeline_executions")
 _MEMO_HITS = METRICS.counter("service.memo_hits")
 _LATENCY = METRICS.histogram("service.request_seconds")
 
-# Per-layer salts, same convention as the pipeline's cache keys.
-_PARSE_SALT = "service-parse/1"
-_GENERATE_SALT = "service-generate/1"
-_MEMO_SALT = "service-memo/1"
+#: How many per-option-set incremental engines the service keeps warm.
+#: Each engine holds one parsed model session, so this bounds memory.
+MAX_ENGINES = 4
 
 #: Keys of ``options`` overrides a request may carry — exactly the
 #: output-shaping knobs; execution knobs (jobs/cache) stay server-side.
@@ -138,6 +147,14 @@ class ConfigurationService:
         self._memo: OrderedDict[str, bytes] = OrderedDict()
         self._memo_entries = memo_entries
         self._memo_lock = threading.Lock()
+        #: Warm incremental engines, one per semantic-options set.
+        #: Each slot pairs the engine with its own lock: a ModelSession
+        #: mutates state on update, so runs against one engine must be
+        #: serialized even when the sources (and thus the generation
+        #: single-flight keys) differ.
+        self._engines: OrderedDict[
+            str, tuple[IncrementalEngine, threading.Lock]] = OrderedDict()
+        self._engines_lock = threading.Lock()
         #: Captured by the drain's flush hook — the service's final
         #: telemetry, available after shutdown for reporting.
         self.final_metrics: dict[str, object] | None = None
@@ -168,8 +185,9 @@ class ConfigurationService:
             options = self._resolve_options(overrides)
             memo_key = fingerprint(list(sources),
                                    self._semantic(options),
-                                   salt=_MEMO_SALT)
+                                   salt=SERVICE_MEMO_SALT)
             payload = self._memo_get(memo_key)
+            counts = None
             if payload is not None:
                 _MEMO_HITS.inc()
                 role = "memo"
@@ -178,21 +196,26 @@ class ConfigurationService:
                     model = self._load(sources)
                     generate_key = fingerprint(
                         model.content_fingerprint,
-                        self._semantic(options), salt=_GENERATE_SALT)
-                    payload, leader = self._generate_flight.do(
+                        self._semantic(options),
+                        salt=SERVICE_GENERATE_SALT)
+                    (payload, counts), leader = self._generate_flight.do(
                         generate_key,
-                        lambda: self._execute(model, options))
+                        lambda: self._execute(model, options,
+                                              list(sources)))
                     role = "leader" if leader else "follower"
                 self._memo_put(memo_key, payload)
             seconds = time.perf_counter() - started
             _LATENCY.observe(seconds)
             _RESPONSES.inc()
-            return payload, {
+            info: dict[str, object] = {
                 "singleflight": role,
                 "seconds": seconds,
                 "metrics_delta": snapshot_delta(before,
                                                 METRICS.snapshot()),
             }
+            if counts is not None:
+                info["reused"], info["regenerated"] = counts
+            return payload, info
         finally:
             self.lifecycle.request_finished()
 
@@ -217,18 +240,56 @@ class ConfigurationService:
         after resolution, so handing one instance to several request
         threads is safe.
         """
-        key = fingerprint(list(sources), salt=_PARSE_SALT)
+        key = fingerprint(list(sources), salt=SERVICE_PARSE_SALT)
         model, _ = self._parse_flight.do(
             key, lambda: load_model(*sources, cache=self.pipeline.cache))
         return model
 
-    def _execute(self, model, options: PipelineOptions) -> bytes:
-        """One real pipeline execution (the single-flight leader path)."""
+    def _engine_slot(self, options: PipelineOptions):
+        """The warm incremental engine for one semantic-options set.
+
+        A small LRU: each engine carries a full model session, so a
+        service seeing many distinct option sets cycles the oldest
+        out rather than accumulating sessions without bound.
+        """
+        key = fingerprint(self._semantic(options),
+                          salt=SERVICE_GENERATE_SALT)
+        with self._engines_lock:
+            slot = self._engines.get(key)
+            if slot is None:
+                slot = (IncrementalEngine(options), threading.Lock())
+                self._engines[key] = slot
+                while len(self._engines) > MAX_ENGINES:
+                    self._engines.popitem(last=False)
+            else:
+                self._engines.move_to_end(key)
+            return slot
+
+    def _execute(self, model, options: PipelineOptions,
+                 sources: list[str] | None = None
+                 ) -> tuple[bytes, tuple[int, int] | None]:
+        """One real pipeline execution (the single-flight leader path).
+
+        Returns ``(payload, counts)`` where *counts* is the
+        ``(reused, regenerated)`` artifact provenance pair when the
+        incremental engine served the request, else ``None``. The
+        whole tuple is the single-flight value, so coalesced
+        followers see the leader's reuse counts too.
+        """
         _EXECUTIONS.inc()
+        if sources is not None and options.incremental:
+            engine, lock = self._engine_slot(options)
+            with lock:
+                result = engine.generate(*sources)
+            states = list(result.provenance.values())
+            counts = (states.count("reused"), states.count("regenerated"))
+            return (bundle_bytes(result, model.content_fingerprint,
+                                 options), counts)
         pipeline = self.pipeline if options is self.options \
             else GenerationPipeline(options)
         result = pipeline.run_on_model(model)
-        return bundle_bytes(result, model.content_fingerprint, options)
+        return (bundle_bytes(result, model.content_fingerprint, options),
+                None)
 
     # -- result memo -----------------------------------------------------
 
@@ -354,10 +415,14 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
             self._send_error(500, "internal", f"{type(exc).__name__}: "
                                               f"{exc}")
         else:
-            self._send_bytes(200, payload, extra_headers={
+            headers = {
                 "X-Repro-Singleflight": str(info["singleflight"]),
                 "X-Repro-Seconds": f"{info['seconds']:.6f}",
-            })
+            }
+            if "reused" in info:
+                headers["X-Repro-Reused"] = str(info["reused"])
+                headers["X-Repro-Regenerated"] = str(info["regenerated"])
+            self._send_bytes(200, payload, extra_headers=headers)
 
     def _parse_request_body(self) -> tuple[list[str], dict | None]:
         length = int(self.headers.get("Content-Length") or 0)

@@ -18,6 +18,9 @@ imports and documentation comments.
 """
 
 from .builder import build_model
+from .depgraph import (DepGraph, DepRecorder, NodeIndex, NodeKey, ROOT_KEY,
+                       anchor_key, deep_fingerprint, node_key, node_path,
+                       scope_fingerprint)
 from .diff import Change, ModelDiff, diff_models
 from .files import (convert_model_file, load_model_file, load_model_files,
                     save_model_file)
@@ -34,6 +37,7 @@ from .elements import (Alias, Assignment, AttributeDefinition,
 from .errors import (Diagnostic, DiagnosticReport, LexerError, ParseError,
                      ResolutionError, SourceLocation, SysMLError,
                      ValidationError)
+from .incremental import ModelSession, ModelUpdate, clear_resolved_state
 from .instances import (ElaborationError, InstanceNode, elaborate,
                         elaborate_model, propagate_bindings)
 from .interchange import (model_from_dict, model_from_json, model_to_dict,
@@ -58,8 +62,11 @@ __all__ = [
     "Model", "Namespace", "Package", "ParseError", "PartDefinition",
     "PartUsage", "PerformAction", "PortDefinition", "PortUsage",
     "RedefinitionUsage", "ResolutionError", "SourceLocation", "SysMLError",
-    "Change", "ModelDiff", "convert_model_file", "diff_models",
-    "load_model_file", "load_model_files", "save_model_file",
+    "Change", "DepGraph", "DepRecorder", "ModelDiff", "ModelSession",
+    "ModelUpdate", "NodeIndex", "NodeKey", "ROOT_KEY", "anchor_key",
+    "clear_resolved_state", "convert_model_file", "deep_fingerprint",
+    "diff_models", "load_model_file", "load_model_files", "node_key",
+    "node_path", "save_model_file", "scope_fingerprint",
     "Type", "Usage", "ValidationError", "build_model",
     "count_definition_closure", "definitions_in", "elaborate",
     "elaborate_model", "instance_counts", "iter_definitions", "iter_usages",

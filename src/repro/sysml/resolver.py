@@ -15,44 +15,111 @@ then in inherited members (when the scope is a type), then in wildcard
 imports of enclosing namespaces, then outward through the owner chain.
 Qualified names resolve their first segment that way and descend through
 (effective) members.
+
+With a :class:`~repro.sysml.depgraph.DepRecorder` attached, every
+lookup additionally records *which namespaces it consulted* and *what
+it finally resolved to* into a dependency graph — the raw material of
+incremental re-resolution (see :mod:`repro.sysml.incremental`).
+:meth:`Resolver.resolve_only` reruns the same passes over an explicit
+subset of elements, which is how dirty subtrees are re-resolved without
+touching the rest of the model.
 """
 
 from __future__ import annotations
 
+from typing import Iterable
+
 from ..obs import span as _span
 from .ast_nodes import FeatureChain, QualifiedName
-from .elements import (Assignment, BindingConnector, Connector, Definition,
-                       Element, Import, Model, Namespace, PerformAction,
-                       RedefinitionUsage, Type, Usage)
+from .elements import (Alias, Assignment, BindingConnector, Connector,
+                       Definition, Element, Import, Model, Namespace,
+                       PerformAction, RedefinitionUsage, Type, Usage)
 from .errors import ResolutionError
 
 
 class Resolver:
     """Resolves all by-name references in a model, in place."""
 
-    def __init__(self, model: Model):
+    def __init__(self, model: Model, recorder=None):
         self.model = model
+        #: Optional :class:`~repro.sysml.depgraph.DepRecorder`; when set,
+        #: lookups record scope consultations and resolution targets.
+        self.recorder = recorder
 
     def resolve(self) -> Model:
         with _span("resolve") as s:
-            with _span("imports"):
-                self._resolve_imports()
-            with _span("aliases"):
-                self._resolve_aliases()
-            with _span("types"):
-                self._resolve_types()
-            with _span("features"):
-                self._resolve_features()
+            self._run_passes(lambda: list(self.model.all_elements()))
             if s.enabled:
                 s.set("passes", 4)
                 s.set("elements",
                       sum(1 for _ in self.model.all_elements()))
         return self.model
 
-    def _resolve_aliases(self) -> None:
-        from .elements import Alias
-        for alias in self.model.elements_of_type(Alias):
-            assert isinstance(alias, Alias)
+    def resolve_only(self, elements: list[Element]) -> None:
+        """Rerun all passes restricted to *elements* (pre-order list).
+
+        Callers must first clear stale resolved state on those elements
+        (:func:`~repro.sysml.incremental.clear_resolved_state`); lookup
+        still sees the whole model, so references out of the subset
+        resolve against already-resolved surroundings.
+        """
+        with _span("resolve-incremental") as s:
+            self._run_passes(lambda: elements)
+            if s.enabled:
+                s.set("elements", len(elements))
+
+    def _run_passes(self, elements: "callable") -> None:
+        with _span("imports"):
+            self._resolve_imports(elements())
+        with _span("aliases"):
+            self._resolve_aliases(elements())
+        with _span("types"):
+            self._resolve_types(elements())
+        with _span("features"):
+            self._resolve_features(elements())
+
+    # -- recording ------------------------------------------------------------
+
+    def _as_consumer(self, element: Element) -> None:
+        if self.recorder is not None:
+            self.recorder.set_consumer(element)
+
+    def _consulted(self, scope: Element) -> None:
+        if self.recorder is not None:
+            self.recorder.consulted(scope)
+
+    def _consulted_subtree(self, scope: Element) -> None:
+        if self.recorder is not None:
+            self.recorder.consulted_subtree(scope)
+
+    def _resolved(self, element: Element | None) -> None:
+        if self.recorder is not None:
+            self.recorder.resolved(element)
+
+    # -- pass 0a: imports ------------------------------------------------------
+
+    def _resolve_imports(self, elements: Iterable[Element]) -> None:
+        for imp in elements:
+            if not isinstance(imp, Import):
+                continue
+            self._as_consumer(imp)
+            scope = imp.owner or self.model
+            target = self._lookup_qualified(imp.target_name, scope,
+                                            use_imports=False)
+            if target is None:
+                raise ResolutionError(
+                    f"cannot resolve import target '{imp.target_name}'",
+                    imp.target_name.location)
+            imp.target = target
+            self._resolved(target)
+
+    # -- pass 0b: aliases ------------------------------------------------------
+
+    def _resolve_aliases(self, elements: Iterable[Element]) -> None:
+        for alias in elements:
+            if not isinstance(alias, Alias):
+                continue
+            self._as_consumer(alias)
             scope = alias.owner or self.model
             target = self._lookup_qualified(alias.target_name, scope)
             if target is None:
@@ -62,34 +129,24 @@ class Resolver:
             if isinstance(target, Alias):
                 target = target.target or target
             alias.target = target
-
-    # -- pass 0: imports -----------------------------------------------------
-
-    def _resolve_imports(self) -> None:
-        for imp in self.model.elements_of_type(Import):
-            assert isinstance(imp, Import)
-            scope = imp.owner or self.model
-            target = self._lookup_qualified(imp.target_name, scope,
-                                            use_imports=False)
-            if target is None:
-                raise ResolutionError(
-                    f"cannot resolve import target '{imp.target_name}'",
-                    imp.target_name.location)
-            imp.target = target
+            self._resolved(target)
 
     # -- pass 1: types ---------------------------------------------------------
 
-    def _resolve_types(self) -> None:
-        for element in list(self.model.all_elements()):
+    def _resolve_types(self, elements: Iterable[Element]) -> None:
+        for element in elements:
             if isinstance(element, Type):
+                self._as_consumer(element)
                 self._resolve_type_clauses(element)
             if isinstance(element, Connector) and element.type_name is not None:
+                self._as_consumer(element)
                 resolved = self._require(element.type_name, element)
                 if not isinstance(resolved, Definition):
                     raise ResolutionError(
                         f"connector type '{element.type_name}' is not a "
                         f"definition", element.type_name.location)
                 element.typ = resolved
+                self._resolved(resolved)
 
     def _resolve_type_clauses(self, element: Type) -> None:
         for general_name in element.specialization_names:
@@ -100,6 +157,7 @@ class Resolver:
                     f"specialized", general_name.location)
             if general not in element.specializations:
                 element.specializations.append(general)
+            self._resolved(general)
         if isinstance(element, Usage) and element.type_name is not None:
             typ = self._require(element.type_name, element)
             if not isinstance(typ, (Definition, Usage)):
@@ -107,25 +165,34 @@ class Resolver:
                     f"'{element.type_name}' cannot type a usage",
                     element.type_name.location)
             element.typ = typ
+            self._resolved(typ)
 
     # -- pass 2: features --------------------------------------------------------
 
-    def _resolve_features(self) -> None:
-        for element in list(self.model.all_elements()):
+    def _resolve_features(self, elements: Iterable[Element]) -> None:
+        pending = list(elements)
+        for element in pending:
             if isinstance(element, Usage) and element.redefinition_names:
+                self._as_consumer(element)
                 self._resolve_redefinitions(element)
-        for element in list(self.model.all_elements()):
+        for element in pending:
+            self._as_consumer(element)
             if isinstance(element, BindingConnector):
                 element.left = self._resolve_chain(element.left_chain, element)
                 element.right = self._resolve_chain(element.right_chain, element)
+                self._resolved(element.left)
+                self._resolved(element.right)
             elif isinstance(element, Connector):
                 element.source = self._resolve_chain(element.source_chain,
                                                      element)
                 element.target = self._resolve_chain(element.target_chain,
                                                      element)
+                self._resolved(element.source)
+                self._resolved(element.target)
             elif isinstance(element, PerformAction):
                 element.target = self._resolve_chain(element.target_chain,
                                                      element)
+                self._resolved(element.target)
             elif isinstance(element, Assignment):
                 self._resolve_assignment(element)
 
@@ -146,6 +213,7 @@ class Resolver:
                     f"'{target_name}' does not name a feature usage",
                     target_name.location)
             usage.redefines.append(target)
+            self._resolved(target)
         if isinstance(usage, RedefinitionUsage) and usage.redefines:
             # The shorthand ':>> x = v;' takes its name and kind from the
             # redefined feature.
@@ -164,6 +232,7 @@ class Resolver:
                 except ResolutionError:
                     resolved = None
             assignment.resolved_value = resolved
+            self._resolved(resolved)
 
     # -- lookup machinery ------------------------------------------------------
 
@@ -182,6 +251,7 @@ class Resolver:
         if current is None:
             return None
         for part in name.parts[1:]:
+            self._consulted(current)
             current = _member_of(current, part)
             if current is None:
                 return None
@@ -191,6 +261,7 @@ class Resolver:
                        use_imports: bool = True) -> Element | None:
         node: Element | None = scope
         while node is not None and node is not self.model:
+            self._consulted(node)
             found = _member_of(node, name, include_self=True)
             if found is not None:
                 return found
@@ -201,6 +272,7 @@ class Resolver:
             node = node.owner
         # the model root (library packages resolve only by qualified name
         # or through the implicit-import fallback below)
+        self._consulted(self.model)
         for child in self.model.owned_elements:
             if child.name == name and not _is_library_package(child):
                 return _deref_alias(child)
@@ -214,6 +286,7 @@ class Resolver:
         for package_name in IMPLICIT_LIBRARY_PACKAGES:
             package = self.model.member(package_name)
             if package is not None:
+                self._consulted(package)
                 found = _member_of(package, name)
                 if found is not None:
                     return found
@@ -224,11 +297,16 @@ class Resolver:
             if not isinstance(child, Import) or child.target is None:
                 continue
             target = child.target
+            self._consulted(target)
             if child.wildcard:
                 found = _member_of(target, name)
                 if found is not None:
                     return found
                 if child.recursive and isinstance(target, Namespace):
+                    # A recursive wildcard can match *anywhere* in the
+                    # target subtree, so the dependency is on its whole
+                    # content, not just its member table.
+                    self._consulted_subtree(target)
                     for descendant in target.descendants():
                         if descendant.name == name:
                             return descendant
@@ -246,6 +324,7 @@ class Resolver:
         same-named own members, which merely shadow) never match.
         """
         if len(name.parts) == 1 and isinstance(scope, Type):
+            self._consulted(scope)
             found = scope.inherited_members().get(name.parts[0])
             if found is not None and found is not exclude:
                 return found
@@ -265,6 +344,7 @@ class Resolver:
                 f"cannot resolve '{chain.parts[0]}' (in chain '{chain}') "
                 f"from {scope.qualified_name}", chain.location)
         for part in chain.parts[1:]:
+            self._consulted(current)
             nxt = _member_of(current, part)
             if nxt is None:
                 raise ResolutionError(
@@ -280,7 +360,6 @@ def _is_library_package(element: Element) -> bool:
 
 
 def _deref_alias(element: Element) -> Element:
-    from .elements import Alias
     if isinstance(element, Alias) and element.target is not None:
         return element.target
     return element
@@ -292,7 +371,6 @@ def _member_of(element: Element, name: str, *,
 
     Aliases are transparent: looking up an alias name yields its target.
     """
-    from .elements import Alias
     if include_self and element.name == name:
         return element
     found: Element | None = None
@@ -310,12 +388,25 @@ def resolve_model(model: Model) -> Model:
     return Resolver(model).resolve()
 
 
-#: Invalidation salt of cached parse trees: embeds the parser/AST
-#: generation, so grammar or node-layout changes never replay stale trees.
-PARSE_CACHE_SALT = "sysml-parse-tree/1"
+_DEPRECATED_SALTS = {
+    # moved to repro.fingerprint under new names
+    "PARSE_CACHE_SALT": "PARSE_TREE_SALT",
+    "MODEL_FINGERPRINT_SALT": "MODEL_SALT",
+}
 
-#: Salt of the whole-model fingerprint derived from the source texts.
-MODEL_FINGERPRINT_SALT = "sysml-model/1"
+
+def __getattr__(name: str):
+    if name in _DEPRECATED_SALTS:
+        import warnings
+
+        from .. import fingerprint as _fp_module
+        replacement = _DEPRECATED_SALTS[name]
+        warnings.warn(
+            f"repro.sysml.resolver.{name} is deprecated; use "
+            f"repro.fingerprint.{replacement} instead",
+            DeprecationWarning, stacklevel=2)
+        return getattr(_fp_module, replacement)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 def _parse_source(payload: tuple[str, str]):
@@ -332,18 +423,19 @@ def _parse_sources(sources: list[str], names: list[str], *,
     """Parse every source, reusing cached trees and fanning out misses.
 
     Cache keys cover the source text *and* its filename (parse trees
-    embed source locations), salted with :data:`PARSE_CACHE_SALT`.
-    Results always come back in source order.
+    embed source locations), salted with
+    :data:`repro.fingerprint.PARSE_TREE_SALT`. Results always come back
+    in source order.
     """
+    from ..fingerprint import PARSE_TREE_SALT, fingerprint
     from ..obs import span as _obs_span
     from ..parallel import map_ordered
 
     keys: list[str | None] = [None] * len(sources)
     trees: list = [None] * len(sources)
     if cache is not None:
-        from ..cache import fingerprint
         for index, (text, name) in enumerate(zip(sources, names)):
-            keys[index] = fingerprint(text, name, salt=PARSE_CACHE_SALT)
+            keys[index] = fingerprint(text, name, salt=PARSE_TREE_SALT)
             tree = cache.get_object(keys[index])
             if tree is not None:
                 trees[index] = tree
@@ -362,9 +454,22 @@ def _parse_sources(sources: list[str], names: list[str], *,
     return trees
 
 
+def model_fingerprint(sources: list[str], names: list[str], *,
+                      include_stdlib: bool) -> str:
+    """The whole-model content fingerprint of a source set.
+
+    *sources*/*names* must already include the stdlib prefix when
+    *include_stdlib* is true (exactly what :func:`load_model` hashes),
+    so incremental reloads can reproduce the cold fingerprint.
+    """
+    from ..fingerprint import MODEL_SALT, fingerprint
+    return fingerprint([include_stdlib], *sources, *names, salt=MODEL_SALT)
+
+
 def load_model(*texts: str, filenames: list[str] | None = None,
                include_stdlib: bool = True, cache=None, jobs: int = 1,
-               parse_mode: str = "thread") -> Model:
+               parse_mode: str = "thread",
+               record_deps: bool = False) -> Model:
     """Parse, build and resolve one or more textual-notation sources.
 
     The miniature standard library (``ScalarValues``, ``Base``) is
@@ -374,18 +479,22 @@ def load_model(*texts: str, filenames: list[str] | None = None,
     independent sources on a worker pool (*parse_mode* ``'thread'`` or
     ``'process'`` — processes pay pickling but sidestep the GIL for
     this CPU-bound phase).
+
+    With ``record_deps=True`` resolution additionally records the
+    dependency graph and per-node fingerprint index used by the
+    incremental engine; they are attached as ``model.dep_graph``
+    (:class:`~repro.sysml.depgraph.DepGraph`) and ``model.node_index``
+    (:class:`~repro.sysml.depgraph.NodeIndex`).
     """
     from .builder import build_model
-    from .stdlib import SCALAR_VALUES_SOURCE
-
     from .elements import Package
+    from .stdlib import IMPLICIT_LIBRARY_PACKAGES, SCALAR_VALUES_SOURCE
 
     names = list(filenames or [f"<model{i}>" for i in range(len(texts))])
     sources = list(texts)
     if include_stdlib:
         sources.insert(0, SCALAR_VALUES_SOURCE)
         names.insert(0, "<stdlib>")
-    from .stdlib import IMPLICIT_LIBRARY_PACKAGES
 
     trees = _parse_sources(sources, names, cache=cache, jobs=jobs,
                            parse_mode=parse_mode)
@@ -402,7 +511,13 @@ def load_model(*texts: str, filenames: list[str] | None = None,
             if isinstance(element, Package) and \
                     element.name in IMPLICIT_LIBRARY_PACKAGES:
                 element.is_library = True
-    from ..cache import fingerprint as _fingerprint
-    model.content_fingerprint = _fingerprint(
-        [include_stdlib], *sources, *names, salt=MODEL_FINGERPRINT_SALT)
+    model.content_fingerprint = model_fingerprint(
+        sources, names, include_stdlib=include_stdlib)
+    if record_deps:
+        from .depgraph import DepGraph, DepRecorder, NodeIndex
+        graph = DepGraph()
+        Resolver(model, recorder=DepRecorder(graph)).resolve()
+        model.dep_graph = graph
+        model.node_index = NodeIndex.of_model(model)
+        return model
     return resolve_model(model)

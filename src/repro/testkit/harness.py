@@ -21,7 +21,7 @@ import time
 from dataclasses import dataclass, field
 from pathlib import Path
 
-from ..cache import fingerprint
+from ..fingerprint import fingerprint
 from ..obs import METRICS
 from ..parallel import map_ordered
 from .corpus import CorpusConfig, FactoryScenario, generate_scenario

@@ -12,6 +12,9 @@ Each oracle states one differential property:
   byte-identical bundles;
 * ``serve``        — the configuration service returns exactly the bytes
   a direct pipeline run produces;
+* ``incremental``  — the incremental engine's output is byte-identical
+  to a cold pipeline run, and no-op / comment-only edits reuse every
+  artifact;
 * ``grouping``     — client grouping is a partition (every machine
   assigned exactly once), respects capacity, and is deterministic.
 * ``chaos``        — opt-in (``repro conformance --chaos``): under a
@@ -187,6 +190,67 @@ def _check_serve(ctx: TrialContext) -> None:
         raise OracleFailure("repeat request missed the result memo")
 
 
+def _comparable_bundle(result, options: PipelineOptions) -> bytes:
+    """Bundle bytes with the model fingerprint pinned.
+
+    Incremental-vs-cold compares runs over *different* source text
+    (comment-only edits), whose content fingerprints legitimately
+    differ; everything else in the bundle must still be identical.
+    """
+    import json as _json
+
+    from ..service.server import bundle_from_result
+    return _json.dumps(bundle_from_result(result, "-", options),
+                       indent=2).encode("utf-8")
+
+
+def _check_incremental(ctx: TrialContext) -> None:
+    from ..codegen import GenerationPipeline, IncrementalEngine
+    options = ctx.options
+    reference = _comparable_bundle(
+        generate_configuration(ctx.model, options=options), options)
+
+    engine = IncrementalEngine(options)
+    cold = _comparable_bundle(engine.generate(*ctx.sources), options)
+    if cold != reference:
+        raise OracleFailure(
+            "incremental engine cold run differs from direct pipeline run")
+
+    repeat_result = engine.generate(*ctx.sources)
+    if _comparable_bundle(repeat_result, options) != reference:
+        raise OracleFailure("identical re-generate changed bundle bytes")
+    stale = sorted(artifact for artifact, state
+                   in repeat_result.provenance.items()
+                   if state != "reused")
+    if stale:
+        raise OracleFailure(
+            f"identical re-generate regenerated artifacts: {stale}")
+
+    # a comment-only edit changes the text but no anchor fingerprint,
+    # so the engine must reuse everything and emit identical bytes
+    touched = [ctx.sources[0] + "\n// conformance touch\n"] \
+        + list(ctx.sources[1:])
+    touched_result = engine.generate(*touched)
+    if _comparable_bundle(touched_result, options) != reference:
+        raise OracleFailure("comment-only edit changed bundle bytes")
+    stale = sorted(artifact for artifact, state
+                   in touched_result.provenance.items()
+                   if state != "reused")
+    if stale:
+        raise OracleFailure(
+            f"comment-only edit regenerated artifacts: {stale}")
+
+    # and the engine's output for the edited text must byte-match what
+    # a cold pipeline run over that same text produces
+    cold_touched = _comparable_bundle(
+        GenerationPipeline(options).run_on_model(load_model(*touched)),
+        options)
+    if _comparable_bundle(touched_result, options) != cold_touched:
+        raise OracleFailure(
+            "incremental output for edited sources differs from a cold "
+            "run over the same sources")
+
+
 # -- chaos: resilience under a seeded fault plan -----------------------------
 
 def chaos_plan(seed: int) -> "FaultPlan":
@@ -310,6 +374,10 @@ ORACLES: dict[str, Oracle] = {
         Oracle("serve",
                "configuration service returns the direct pipeline bytes",
                _check_serve),
+        Oracle("incremental",
+               "incremental engine output byte-identical to cold runs; "
+               "no-op and comment-only edits reuse every artifact",
+               _check_incremental),
         Oracle("grouping",
                "client grouping partitions machines within capacity, "
                "deterministically",

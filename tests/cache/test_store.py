@@ -6,7 +6,8 @@ import pickle
 
 import pytest
 
-from repro.cache import ArtifactCache, fingerprint
+from repro.cache import ArtifactCache
+from repro.fingerprint import fingerprint
 from repro.obs import METRICS
 
 
@@ -160,3 +161,20 @@ class TestMaintenance:
         cache.put_text(key, "two")
         assert cache.get_text(key) == "two"
         assert cache.stats()["entries"] == 1
+
+    def test_stats_snapshots_index_under_store_lock(self, cache):
+        # regression: stats() used to walk the directory without the
+        # lock, so a concurrent put's evict pass could unlink files
+        # between glob and stat, mixing pre- and post-eviction counts
+        cache.put_text(fingerprint("locked"), "data")
+        seen = []
+        original = cache._entries
+
+        def guarded():
+            seen.append(cache._lock.locked())
+            return original()
+
+        cache._entries = guarded
+        stats = cache.stats()
+        assert seen == [True]
+        assert stats["entries"] == 1

@@ -9,7 +9,8 @@ either a miss (None) or a complete, valid value.
 import json
 import threading
 
-from repro.cache import ArtifactCache, fingerprint
+from repro.cache import ArtifactCache
+from repro.fingerprint import fingerprint
 
 
 def run_threads(workers):

@@ -237,3 +237,27 @@ class TestTopologyValidation:
         report = validate_topology(topo)
         assert any(d.rule == "missing-driver-parameter"
                    for d in report.warnings)
+
+
+class TestExtractMachineAt:
+    """Standalone re-elaboration of one machine usage must reproduce
+    exactly what whole-model extraction produces — the incremental
+    engine splices its output into a retained topology."""
+
+    def test_equivalent_to_full_extraction(self):
+        from dataclasses import asdict
+
+        from repro.isa95.topology import TopologyExtractor
+        from repro.sysml.depgraph import find_by_path
+
+        model = load_model(MINI_FACTORY, record_deps=True)
+        full = extract_topology(model).machine("mill")
+        usage = find_by_path(model, full.node_path)
+        alone = TopologyExtractor(model).extract_machine_at(
+            usage, full.workcell)
+        assert asdict(alone) == asdict(full)
+
+    def test_node_paths_populated(self, topology):
+        machine = topology.machine("mill")
+        assert machine.node_path.endswith("::mill")
+        assert machine.driver.node_path

@@ -91,10 +91,12 @@ class TestLiveModelChange:
         warehouse_spec.categories["Storage"].append(
             VariableSpec("humidity", "Real", unit="%"))
         new_model = load_model(*icelab_sources(specs))
-        incremental = regenerate(deployed.generation, deployed.model,
-                                 new_model,
-                                 GenerationPipeline(
-                                     PipelineOptions(namespace="icelab")))
+        with pytest.deprecated_call():
+            incremental = regenerate(deployed.generation, deployed.model,
+                                     new_model,
+                                     GenerationPipeline(
+                                         PipelineOptions(
+                                             namespace="icelab")))
         assert incremental.changed_machines == ["warehouse"]
 
         # 2. the plant itself gains the sensor (new machine firmware)

@@ -15,12 +15,11 @@ import pytest
 
 from fixtures import EMCO_WORKCELL_SOURCE
 
-from repro.cache import fingerprint
 from repro.codegen import GenerationPipeline, PipelineOptions
+from repro.fingerprint import SERVICE_GENERATE_SALT, fingerprint
 from repro.obs import METRICS, snapshot_delta
 from repro.service import (ConfigurationService, ServiceClient,
                            ServiceError, ServiceHTTPServer, bundle_bytes)
-from repro.service.server import _GENERATE_SALT
 from repro.sysml import load_model
 from repro.testkit import wait_until
 
@@ -36,10 +35,10 @@ class GatedExecute:
         self._original = service._execute
         service._execute = self
 
-    def __call__(self, model, options):
+    def __call__(self, model, options, sources=None):
         self.entered.set()
         assert self.release.wait(10), "gate never released"
-        return self._original(model, options)
+        return self._original(model, options, sources)
 
 
 @pytest.fixture
@@ -71,7 +70,7 @@ def generate_key(service):
     model = load_model(*SOURCES)
     return fingerprint(model.content_fingerprint,
                        service._semantic(service.options),
-                       salt=_GENERATE_SALT)
+                       salt=SERVICE_GENERATE_SALT)
 
 
 class TestGenerateEndpoint:
@@ -194,6 +193,46 @@ class TestSingleFlightOverHTTP:
         direct = GenerationPipeline(service.options).run_on_model(model)
         assert bodies == {bundle_bytes(direct, model.content_fingerprint,
                                        service.options)}
+
+
+class TestIncrementalServing:
+    def test_reuse_counters_in_headers(self, serve):
+        server, _ = serve()
+        edited = [EMCO_WORKCELL_SOURCE.replace("10.197.12.11",
+                                               "10.197.12.99")]
+        with ServiceClient(port=server.port) as client:
+            _, first_headers, _ = client.generate_raw(SOURCES)
+            _, second_headers, second_body = client.generate_raw(edited)
+        assert first_headers["x-repro-reused"] == "0"
+        assert int(first_headers["x-repro-regenerated"]) > 0
+        # one driver-IP edit: the warm engine reuses everything except
+        # the touched machine, its workcell server and that manifest
+        assert int(second_headers["x-repro-reused"]) > 0
+        assert second_headers["x-repro-regenerated"] == "3"
+        # and the incrementally served bytes match a cold pipeline run
+        model = load_model(*edited)
+        direct = GenerationPipeline(PipelineOptions()).run_on_model(model)
+        assert second_body == bundle_bytes(direct, model.content_fingerprint,
+                                           PipelineOptions())
+
+    def test_memo_hit_has_no_reuse_headers(self, serve):
+        server, _ = serve()
+        with ServiceClient(port=server.port) as client:
+            client.generate_raw(SOURCES)
+            _, headers, _ = client.generate_raw(SOURCES)
+        assert headers["x-repro-singleflight"] == "memo"
+        assert "x-repro-reused" not in headers
+
+    def test_incremental_off_serves_identical_bytes(self, serve):
+        server, _ = serve(PipelineOptions(incremental=False))
+        with ServiceClient(port=server.port) as client:
+            _, headers, body = client.generate_raw(SOURCES)
+        assert "x-repro-reused" not in headers
+        model = load_model(*SOURCES)
+        direct = GenerationPipeline(
+            PipelineOptions(incremental=False)).run_on_model(model)
+        assert body == bundle_bytes(direct, model.content_fingerprint,
+                                    PipelineOptions(incremental=False))
 
 
 class TestBackpressureOverHTTP:

@@ -1,0 +1,145 @@
+"""Dependency-graph and fingerprint unit properties.
+
+The incremental engine's correctness rests on a few invariants of
+:mod:`repro.sysml.depgraph`:
+
+* deep fingerprints are syntactic — comments and whitespace never
+  change them, any token of substance does;
+* ``producer_closure`` follows target edges transitively, so a machine
+  usage reaches its definition's supertypes;
+* ``node_dependency_fingerprints`` moves exactly when the node's own
+  subtree or something its resolution depends on changes.
+"""
+
+from repro.sysml import load_model
+from repro.sysml.depgraph import (NodeKey, anchor_key, deep_fingerprint,
+                                  find_by_path, node_dependency_fingerprints,
+                                  node_path, subtree_anchor_keys)
+
+LIBRARY = """
+package Lib {
+    abstract part def Gadget {
+        attribute serial : String;
+    }
+    part def Widget :> Gadget {
+        attribute size : Integer;
+    }
+}
+"""
+
+PLANT = """
+package Plant {
+    import Lib::*;
+    part w1 : Widget {
+        attribute size : Integer = 3;
+    }
+    part w2 : Widget {
+        attribute size : Integer = 5;
+    }
+}
+"""
+
+
+def _load(*sources):
+    return load_model(*sources, record_deps=True)
+
+
+class TestNodeKey:
+    def test_is_under_matches_prefix_segments(self):
+        key = NodeKey("PartUsage", "Plant::w1::size")
+        assert key.is_under("Plant::w1")
+        assert key.is_under("Plant::w1::size")
+        assert not key.is_under("Plant::w2")
+        # segment boundary, not a raw string prefix
+        assert not key.is_under("Plant::w")
+
+    def test_node_path_roundtrips_through_find_by_path(self):
+        model = _load(LIBRARY, PLANT)
+        w1 = find_by_path(model, "Plant::w1")
+        assert w1 is not None
+        assert node_path(w1) == "Plant::w1"
+        assert find_by_path(model, node_path(w1)) is w1
+
+
+class TestDeepFingerprint:
+    def test_comment_and_whitespace_insensitive(self):
+        base = _load(LIBRARY, PLANT)
+        commented = PLANT.replace(
+            "part w1 : Widget {",
+            "// a comment\n    part w1 : Widget {")
+        other = _load(LIBRARY, commented)
+        assert (deep_fingerprint(find_by_path(base, "Plant::w1"))
+                == deep_fingerprint(find_by_path(other, "Plant::w1")))
+
+    def test_value_change_moves_the_hash(self):
+        base = _load(LIBRARY, PLANT)
+        edited = _load(LIBRARY, PLANT.replace("= 3", "= 4"))
+        assert (deep_fingerprint(find_by_path(base, "Plant::w1"))
+                != deep_fingerprint(find_by_path(edited, "Plant::w1")))
+
+    def test_sibling_edit_does_not_leak(self):
+        base = _load(LIBRARY, PLANT)
+        edited = _load(LIBRARY, PLANT.replace("= 5", "= 6"))
+        assert (deep_fingerprint(find_by_path(base, "Plant::w1"))
+                == deep_fingerprint(find_by_path(edited, "Plant::w1")))
+
+
+class TestProducerClosure:
+    def test_usage_reaches_definition_supertype(self):
+        model = _load(LIBRARY, PLANT)
+        w1 = find_by_path(model, "Plant::w1")
+        closure = model.dep_graph.producer_closure(subtree_anchor_keys(w1))
+        paths = {key.path for key in closure}
+        assert "Lib::Widget" in paths
+        # transitively through Widget's specialization edge
+        assert "Lib::Gadget" in paths
+
+    def test_closure_excludes_unreferenced_siblings(self):
+        model = _load(LIBRARY, PLANT)
+        w1 = find_by_path(model, "Plant::w1")
+        closure = model.dep_graph.producer_closure(subtree_anchor_keys(w1))
+        assert not any(key.is_under("Plant::w2") for key in closure)
+
+
+class TestNodeDependencyFingerprints:
+    def _keys(self, model, path="Plant::w1"):
+        return node_dependency_fingerprints(
+            model, model.dep_graph, model.node_index, path)
+
+    def test_stable_for_identical_sources(self):
+        assert (self._keys(_load(LIBRARY, PLANT))
+                == self._keys(_load(LIBRARY, PLANT)))
+
+    def test_own_edit_moves_node_fp_only(self):
+        base = self._keys(_load(LIBRARY, PLANT))
+        edited = self._keys(_load(LIBRARY, PLANT.replace("= 3", "= 4")))
+        assert edited[0] != base[0]
+        assert edited[1] == base[1]
+
+    def test_dependency_edit_moves_deps_fp(self):
+        base = self._keys(_load(LIBRARY, PLANT))
+        deeper = LIBRARY.replace("attribute serial : String;",
+                                 "attribute serial : String;\n"
+                                 "        attribute batch : String;")
+        edited = self._keys(_load(deeper, PLANT))
+        assert edited[0] == base[0]
+        assert edited[1] != base[1]
+
+    def test_sibling_edit_moves_neither(self):
+        base = self._keys(_load(LIBRARY, PLANT))
+        edited = self._keys(_load(LIBRARY, PLANT.replace("= 5", "= 6")))
+        assert edited == base
+
+    def test_vanished_path_returns_none(self):
+        model = _load(LIBRARY, PLANT)
+        assert node_dependency_fingerprints(
+            model, model.dep_graph, model.node_index, "Plant::nope") is None
+
+
+class TestSubtreeAnchorKeys:
+    def test_contains_root_and_named_descendants(self):
+        model = _load(LIBRARY, PLANT)
+        w1 = find_by_path(model, "Plant::w1")
+        keys = subtree_anchor_keys(w1)
+        assert anchor_key(w1) in keys
+        assert all(key.path.startswith("Plant::w1") for key in keys)
