@@ -1,0 +1,89 @@
+"""Gate a fresh BENCH_scaling.json against the committed baseline.
+
+CI machines are slower and noisier than the workstation that produced
+the committed trajectory, so absolute times are useless as a gate.
+What *is* hardware-robust are the shape ratios:
+
+* ``wall_growth`` — how much slower tier ×N is than tier ×1 in the
+  same process on the same box;
+* ``lexer_speedup`` — the streaming lexer vs the reference scanner,
+  again measured side by side.
+
+For every tier present in both files, the candidate's growth factor
+may be at most ``1 + TOLERANCE`` times the baseline's, and its lexer
+speedup at least ``1 - TOLERANCE`` times the baseline's (±25% by
+default). Improvements always pass.
+
+Usage::
+
+    python benchmarks/check_scaling_regression.py \
+        --baseline BENCH_scaling.json --candidate /tmp/BENCH_scaling.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+TOLERANCE = 0.25
+
+
+def _tiers_by_scale(report: dict) -> dict[int, dict]:
+    return {tier["scale"]: tier for tier in report["tiers"]}
+
+
+def check(baseline: dict, candidate: dict,
+          tolerance: float = TOLERANCE) -> list[str]:
+    """Every regression beyond *tolerance*, as human-readable lines."""
+    failures: list[str] = []
+    base_tiers = _tiers_by_scale(baseline)
+    cand_tiers = _tiers_by_scale(candidate)
+    shared = sorted(set(base_tiers) & set(cand_tiers))
+    if len(shared) < 2:
+        return [f"need >= 2 shared tiers to compare shapes, got {shared}"]
+    for scale in shared:
+        base, cand = base_tiers[scale], cand_tiers[scale]
+        speedup_floor = base["lexer_speedup"] * (1 - tolerance)
+        if cand["lexer_speedup"] < speedup_floor:
+            failures.append(
+                f"x{scale}: lexer speedup {cand['lexer_speedup']:.2f}x "
+                f"fell below {speedup_floor:.2f}x "
+                f"(baseline {base['lexer_speedup']:.2f}x - {tolerance:.0%})")
+        if scale == 1:
+            continue
+        growth_ceiling = base["wall_growth"] * (1 + tolerance)
+        if cand["wall_growth"] > growth_ceiling:
+            failures.append(
+                f"x{scale}: wall growth {cand['wall_growth']:.2f}x "
+                f"exceeds {growth_ceiling:.2f}x "
+                f"(baseline {base['wall_growth']:.2f}x + {tolerance:.0%})")
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", type=Path,
+                        default=Path("BENCH_scaling.json"))
+    parser.add_argument("--candidate", type=Path, required=True)
+    parser.add_argument("--tolerance", type=float, default=TOLERANCE)
+    args = parser.parse_args(argv)
+
+    baseline = json.loads(args.baseline.read_text())
+    candidate = json.loads(args.candidate.read_text())
+    failures = check(baseline, candidate, args.tolerance)
+    shared = sorted(set(_tiers_by_scale(baseline))
+                    & set(_tiers_by_scale(candidate)))
+    if failures:
+        print("scaling regression gate FAILED:")
+        for line in failures:
+            print(f"  - {line}")
+        return 1
+    print(f"scaling regression gate passed on tiers {shared} "
+          f"(tolerance {args.tolerance:.0%})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

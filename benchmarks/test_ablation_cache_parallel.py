@@ -42,17 +42,23 @@ def scaled_model():
     return load_model(*sources)
 
 
-def _timed_generate(model, options):
-    started = time.perf_counter()
-    result = GenerationPipeline(options).run_on_model(model)
-    return result, time.perf_counter() - started
+def _timed_generate(model, options, rounds=1):
+    # min-of-N: a single shot is at the mercy of a gen-2 GC pass, whose
+    # cost scales with everything else the test session has loaded
+    result, best = None, None
+    for _ in range(rounds):
+        started = time.perf_counter()
+        result = GenerationPipeline(options).run_on_model(model)
+        elapsed = time.perf_counter() - started
+        best = elapsed if best is None else min(best, elapsed)
+    return result, best
 
 
 def test_cache_and_parallel_ablation(scaled_model, tmp_path, benchmark):
     cache_dir = str(tmp_path / "cache")
 
     cold_serial, cold_serial_s = _timed_generate(
-        scaled_model, PipelineOptions(jobs=1))
+        scaled_model, PipelineOptions(jobs=1), rounds=3)
     cold_parallel, cold_parallel_s = _timed_generate(
         scaled_model, PipelineOptions(jobs=4))
 
@@ -63,7 +69,7 @@ def test_cache_and_parallel_ablation(scaled_model, tmp_path, benchmark):
 
     METRICS.reset()
     warm_options = PipelineOptions(cache_dir=cache_dir)
-    warm, warm_s = _timed_generate(scaled_model, warm_options)
+    warm, warm_s = _timed_generate(scaled_model, warm_options, rounds=3)
     warm_snap = METRICS.snapshot()
 
     # the benchmarked quantity: a warm-cache generation run

@@ -8,59 +8,16 @@ on disk under a fingerprint of its inputs (SHA-256 over canonical JSON
 plus a schema/version salt), so a warm run re-reads instead of
 re-computing.
 
-Hashing itself lives in :mod:`repro.fingerprint`; the re-exports here
-(``fingerprint``, ``canonical_json``, ``CACHE_SCHEMA_VERSION``) are
-deprecated and will disappear after one release.
+Hashing itself lives in :mod:`repro.fingerprint`.
 
 See DESIGN.md ("Artifact cache") for the fingerprint composition and
 invalidation rules.
 """
 
-import warnings as _warnings
-
-from .. import fingerprint as _fp_module
-from . import fingerprint as _legacy_fingerprint_module  # noqa: F401
 from .store import (ArtifactCache, CACHE_DIR_ENV, DEFAULT_CACHE_MAX_BYTES,
                     default_cache_dir)
 
 __all__ = [
-    "ArtifactCache", "CACHE_DIR_ENV", "CACHE_SCHEMA_VERSION",
-    "DEFAULT_CACHE_MAX_BYTES", "canonical_json", "default_cache_dir",
-    "fingerprint",
+    "ArtifactCache", "CACHE_DIR_ENV", "DEFAULT_CACHE_MAX_BYTES",
+    "default_cache_dir",
 ]
-
-
-def _deprecated(name: str):
-    _warnings.warn(
-        f"importing {name} from repro.cache is deprecated; use "
-        f"repro.fingerprint.{name} instead",
-        DeprecationWarning, stacklevel=3)
-    return getattr(_fp_module, name)
-
-
-# Wrapper functions (not bare re-exports) so the deprecation fires on
-# *call/access*, keeping `from repro.cache import fingerprint` working
-# one release per the CHANGES.md policy.
-def fingerprint(*parts: object, salt: str = ""):
-    """Deprecated alias of :func:`repro.fingerprint.fingerprint`."""
-    _warnings.warn(
-        "repro.cache.fingerprint is deprecated; use "
-        "repro.fingerprint.fingerprint instead",
-        DeprecationWarning, stacklevel=2)
-    return _fp_module.fingerprint(*parts, salt=salt)
-
-
-def canonical_json(value: object) -> str:
-    """Deprecated alias of :func:`repro.fingerprint.canonical_json`."""
-    _warnings.warn(
-        "repro.cache.canonical_json is deprecated; use "
-        "repro.fingerprint.canonical_json instead",
-        DeprecationWarning, stacklevel=2)
-    return _fp_module.canonical_json(value)
-
-
-def __getattr__(name: str):
-    if name == "CACHE_SCHEMA_VERSION":
-        return _deprecated(name)
-    raise AttributeError(
-        f"module {__name__!r} has no attribute {name!r}")

@@ -4,8 +4,9 @@ from .client_config import client_config, topic_root
 from .docs_gen import generate_handbook
 from .incremental import (IncrementalEngine, IncrementalResult,
                           changed_machine_names, regenerate)
-from .grouping import (ClientGroup, DEFAULT_CLIENT_CAPACITY, GroupingError,
-                       group_machines, grouping_stats, lower_bound_clients)
+from .grouping import (ClientGroup, DEFAULT_CLIENT_CAPACITY,
+                       GROUPING_ALGORITHMS, GroupingError, group_machines,
+                       grouping_stats, lower_bound_clients)
 from .machine_config import (WORKCELL_SERVER_PORT, machine_config,
                              workcell_endpoint, workcell_server_config)
 from .options import PipelineOptions
@@ -15,6 +16,7 @@ from .storage_config import storage_config
 
 __all__ = [
     "COMPONENT_IMAGES", "ClientGroup", "DEFAULT_CLIENT_CAPACITY",
+    "GROUPING_ALGORITHMS",
     "IncrementalEngine", "IncrementalResult", "changed_machine_names",
     "generate_handbook",
     "regenerate", "PipelineOptions",

@@ -177,14 +177,16 @@ class _EngineFallback(Exception):
     """Raised internally when an edit cannot be localized to machines."""
 
 
-def _grouping_signature(topology: FactoryTopology, capacity: int) -> tuple:
-    """Exactly the inputs the first-fit-decreasing packing reads:
-    capacity plus each machine's (name, point count). Anything else —
+def _grouping_signature(topology: FactoryTopology, capacity: int,
+                        algorithm: str) -> tuple:
+    """Exactly the inputs the bin packing reads: the algorithm,
+    capacity, plus each machine's (name, point count). Anything else —
     variable renames, driver params, hierarchy labels — cannot move a
     machine between groups, so equal signatures mean equal membership.
     """
-    return (capacity, tuple(sorted((m.name, m.point_count)
-                                   for m in topology.machines)))
+    return (capacity, algorithm,
+            tuple(sorted((m.name, m.point_count)
+                         for m in topology.machines)))
 
 
 class IncrementalEngine:
@@ -270,7 +272,8 @@ class IncrementalEngine:
                               if m.driver is not None
                               and m.driver.node_path}
         self._signature = _grouping_signature(result.topology,
-                                              self.options.capacity)
+                                              self.options.capacity,
+                                              self.options.grouping)
 
     # -- the partial path ----------------------------------------------------
 
@@ -331,7 +334,8 @@ class IncrementalEngine:
         otherwise rebuild the retained membership around the current
         :class:`MachineInfo` objects (first-fit-decreasing is a pure
         function of the signature, so membership cannot differ)."""
-        signature = _grouping_signature(topology, self.options.capacity)
+        signature = _grouping_signature(topology, self.options.capacity,
+                                        self.options.grouping)
         if signature == self._signature and self.previous.groups:
             by_name = {m.name: m for m in topology.machines}
             return [ClientGroup(index=group.index, capacity=group.capacity,
@@ -339,7 +343,8 @@ class IncrementalEngine:
                                           for m in group.machines],
                                 oversized=group.oversized)
                     for group in self.previous.groups]
-        return group_machines(topology.machines, self.options.capacity)
+        return group_machines(topology.machines, self.options.capacity,
+                              algorithm=self.options.grouping)
 
     def _partial_run(self, update: ModelUpdate) -> GenerationResult:
         started = time.perf_counter()

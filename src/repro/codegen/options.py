@@ -26,6 +26,10 @@ class PipelineOptions:
     """Everything configurable about one generation pipeline run."""
 
     capacity: int = DEFAULT_CLIENT_CAPACITY
+    #: Client bin-packing algorithm (``repro.codegen.grouping``):
+    #: ``"first-fit"`` (default, byte-compatible) or ``"best-fit"``
+    #: (never more clients than first-fit).
+    grouping: str = "first-fit"
     namespace: str = "factory"
     broker_url: str = "mqtt://broker:1883"
     database_url: str = "ts://factorydb:8086"
@@ -56,6 +60,7 @@ class PipelineOptions:
         """Serializable form; the (unserializable) tracer is omitted."""
         return {
             "capacity": self.capacity,
+            "grouping": self.grouping,
             "namespace": self.namespace,
             "broker_url": self.broker_url,
             "database_url": self.database_url,

@@ -309,6 +309,7 @@ class GenerationPipeline:
         settings, so serial/parallel runs share cache entries."""
         return {
             "capacity": self.options.capacity,
+            "grouping": self.options.grouping,
             "namespace": self.options.namespace,
             "broker_url": self.options.broker_url,
             "database_url": self.options.database_url,
@@ -411,7 +412,8 @@ class GenerationPipeline:
                     "regenerated"
             s.set("servers", len(result.server_configs))
         result.groups = group_machines(topology.machines,
-                                       self.options.capacity)
+                                       self.options.capacity,
+                                       algorithm=self.options.grouping)
         with span("clients") as s:
             for group in result.groups:
                 client = client_config(group, topology,

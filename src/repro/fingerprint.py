@@ -22,8 +22,10 @@ it, so composite keys can mix plain values and fingerprintable objects.
 
 This module used to be spread over ``repro.cache.fingerprint`` plus
 ad-hoc salt constants in ``resolver.py``, ``codegen/pipeline.py`` and
-``service/server.py``; those import paths still work for one release
-behind a :class:`DeprecationWarning`.
+``service/server.py``. The ``repro.cache`` re-exports are gone (their
+one-release deprecation window has elapsed); the renamed salt constants
+on ``resolver.py`` remain importable for one more release behind a
+:class:`DeprecationWarning`.
 """
 
 from __future__ import annotations

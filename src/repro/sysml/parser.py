@@ -16,7 +16,7 @@ from .ast_nodes import (AssignmentNode, BindNode, ConnectNode, DefinitionNode,
                         Multiplicity, PackageNode, PerformNode, QualifiedName,
                         TypeRef, UsageNode, EndNode)
 from .errors import ParseError
-from .lexer import tokenize
+from .lexer import iter_tokens
 from .tokens import Token, TokenKind
 
 _USAGE_KINDS = ("part", "attribute", "port", "action", "interface",
@@ -28,21 +28,67 @@ class Parser:
     """Parses one source text into a :class:`ModelNode`."""
 
     def __init__(self, text: str, filename: str = "<model>"):
-        self.tokens = tokenize(text, filename)
-        self.index = 0
+        #: Token source: a streaming lexer plus a small lookahead
+        #: buffer. The grammar needs at most three tokens of lookahead
+        #: (``_peek(2)``), so the buffer stays tiny even for
+        #: multi-megabyte package sources — the full ``list[Token]`` is
+        #: never materialized.
+        self._stream = iter_tokens(text, filename)
+        self._buffer: list[Token] = []
+        self._cursor = 0
+        self._speculating = 0
+        self._eof: Token | None = None
+        self.token_count = 0
         self.filename = filename
 
     # -- token stream helpers ---------------------------------------------
 
+    def _fill(self, count: int) -> None:
+        buffer = self._buffer
+        while len(buffer) < count:
+            if self._eof is not None:
+                buffer.append(self._eof)
+                continue
+            token = next(self._stream)
+            self.token_count += 1
+            if token.kind is TokenKind.EOF:
+                self._eof = token
+            buffer.append(token)
+
     def _peek(self, offset: int = 0) -> Token:
-        index = min(self.index + offset, len(self.tokens) - 1)
-        return self.tokens[index]
+        index = self._cursor + offset
+        if len(self._buffer) <= index:
+            self._fill(index + 1)
+        return self._buffer[index]
 
     def _advance(self) -> Token:
-        token = self.tokens[self.index]
+        cursor = self._cursor
+        if len(self._buffer) <= cursor:
+            self._fill(cursor + 1)
+        token = self._buffer[cursor]
         if token.kind is not TokenKind.EOF:
-            self.index += 1
+            self._cursor = cursor + 1
+            # Compact consumed tokens unless a speculative parse could
+            # still rewind past them; the window therefore stays at the
+            # grammar's tiny lookahead for arbitrarily large sources.
+            if self._speculating == 0 and self._cursor > 32:
+                del self._buffer[:self._cursor]
+                self._cursor = 0
         return token
+
+    # -- speculative parsing ----------------------------------------------
+
+    def _mark(self) -> int:
+        """Open a rewind point; pair with :meth:`_rewind` or :meth:`_commit`."""
+        self._speculating += 1
+        return self._cursor
+
+    def _rewind(self, checkpoint: int) -> None:
+        self._speculating -= 1
+        self._cursor = checkpoint
+
+    def _commit(self) -> None:
+        self._speculating -= 1
 
     def _check(self, kind: TokenKind, value: str | None = None) -> bool:
         token = self._peek()
@@ -335,19 +381,20 @@ class Parser:
         Returns None when the member is actually a plain usage (e.g. an
         interface usage without a connect part), rewinding the stream.
         """
-        checkpoint = self.index
+        checkpoint = self._mark()
         name: str | None = None
         type_ref: TypeRef | None = None
         if self._check_name() and not self._check_keyword("connect"):
             name = self._advance().value
         if self._match(TokenKind.COLON):
             if not self._check_name():
-                self.index = checkpoint
+                self._rewind(checkpoint)
                 return None
             type_ref = self._parse_type_ref()
         if not self._check_keyword("connect"):
-            self.index = checkpoint
+            self._rewind(checkpoint)
             return None
+        self._commit()
         self._advance()
         source = self._parse_feature_chain()
         self._expect_keyword("to")
@@ -505,7 +552,7 @@ def parse(text: str, filename: str = "<model>") -> ModelNode:
         parser = Parser(text, filename)
         tree = parser.parse_model()
         if s.enabled:
-            s.set("tokens", len(parser.tokens))
+            s.set("tokens", parser.token_count)
             s.set("bytes", len(text))
             s.set("members", len(tree.members))
     return tree

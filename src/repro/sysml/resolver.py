@@ -45,6 +45,42 @@ class Resolver:
         #: Optional :class:`~repro.sysml.depgraph.DepRecorder`; when set,
         #: lookups record scope consultations and resolution targets.
         self.recorder = recorder
+        # -- lookup memoization --------------------------------------------
+        # Member tables, inherited-member tables and root-scope scans are
+        # rebuilt from the element tree on every lookup (see
+        # repro.sysml.elements), which makes resolution quadratic in deep
+        # category nesting and machine count at mega-factory scale. The
+        # resolver memoizes them per element, with *fine-grained*
+        # invalidation at the only mutation sites that can change a
+        # lookup's answer mid-resolve:
+        #
+        # * a name change (the ``:>> x = v`` shorthand adopts the
+        #   redefined feature's name) invalidates the owner's member
+        #   table and inherited tables built over it;
+        # * a lattice change (``specializations``/``typ``/``redefines``)
+        #   invalidates the element's inherited table and — through the
+        #   ``_inh_deps`` reverse index recorded at build time — every
+        #   cached table whose supertype closure touches the element;
+        # * an alias retarget invalidates root-scope scans (the only
+        #   cache that stores dereferenced alias targets).
+        #
+        # Memoization is disabled whenever a DepRecorder is attached:
+        # the dependency graph must observe every namespace the lookup
+        # *would* consult, so the incremental engine always runs on the
+        # unmemoized path.
+        self._memo_enabled = recorder is None
+        self._members_memo: dict[int, tuple[Element,
+                                            dict[str, Element]]] = {}
+        self._inherited_memo: dict[int, tuple[Type,
+                                              dict[str, Element]]] = {}
+        #: id(element) -> ids of types whose cached inherited table was
+        #: built over that element (supertype closure + redefines chains)
+        self._inh_deps: dict[int, set[int]] = {}
+        self._root_memo: dict[str, Element | None] = {}
+        #: per-scope Import children — pure tree structure, which never
+        #: changes during resolution, so entries are valid for the whole
+        #: resolve (targets on the Import objects are read live)
+        self._imports_memo: dict[int, tuple[Element, list[Import]]] = {}
 
     def resolve(self) -> Model:
         with _span("resolve") as s:
@@ -96,6 +132,109 @@ class Resolver:
         if self.recorder is not None:
             self.recorder.resolved(element)
 
+    # -- memoized member tables ------------------------------------------------
+
+    def _name_changed(self, element: Element) -> None:
+        """An element's *name* changed: drop the owner's member table,
+        every inherited table built over the owner, and (if the change
+        is visible from the root scope) the root-scan memo."""
+        owner = element.owner
+        if owner is not None:
+            self._members_memo.pop(id(owner), None)
+            self._drop_inherited_dependents(id(owner))
+        if owner is None or owner is self.model:
+            self._root_memo.clear()
+
+    def _lattice_changed(self, element: Element) -> None:
+        """*element*'s supertype closure changed (``specializations``,
+        ``typ`` or ``redefines`` mutated): drop its inherited table and
+        every cached table whose closure walked through it."""
+        self._inherited_memo.pop(id(element), None)
+        self._drop_inherited_dependents(id(element))
+
+    def _drop_inherited_dependents(self, key: int) -> None:
+        for dependent in self._inh_deps.pop(key, ()):
+            self._inherited_memo.pop(dependent, None)
+
+    def _member_table(self, element: Element) -> dict[str, Element]:
+        """Own-member table of *element*, memoized per owner.
+
+        Matches :meth:`Namespace.member` exactly — first child wins and
+        empty-string names participate (hostile corpus models use the
+        quoted empty name ``''``), unlike the ``members`` property which
+        drops falsy names. Invalidated by :meth:`_name_changed` on the
+        owner; the element tree itself never gains or loses children
+        during resolution.
+        """
+        if self._memo_enabled:
+            entry = self._members_memo.get(id(element))
+            if entry is not None:
+                return entry[1]
+        table: dict[str, Element] = {}
+        for child in element.owned_elements:
+            name = child.name
+            if name is not None and name not in table:
+                table[name] = child
+        if self._memo_enabled:
+            # the entry keeps a strong reference to the element so the
+            # ``id()`` key cannot be recycled under the memo
+            self._members_memo[id(element)] = (element, table)
+        return table
+
+    def _inherited(self, typ: Type) -> dict[str, Element]:
+        """Inherited-member table of *typ*, invalidation-memoized.
+
+        Built via :meth:`Type.inherited_members` (``members`` property
+        semantics — falsy names excluded). At build time the supertype
+        closure is registered in the ``_inh_deps`` reverse index so a
+        later lattice or name mutation on any element the closure
+        touched invalidates exactly the affected tables. The
+        registration walks ``all_supertypes()`` *plus* the transitive
+        ``redefines`` chains of every usage in it: ``effective_type()``
+        follows redefines through intermediate usages that never appear
+        in the supertype list themselves, yet whose typing still feeds
+        the closure.
+        """
+        if not self._memo_enabled:
+            return typ.inherited_members()
+        entry = self._inherited_memo.get(id(typ))
+        if entry is not None:
+            return entry[1]
+        table = typ.inherited_members()
+        key = id(typ)
+        seen: set[int] = set()
+        stack: list[Element] = [typ, *typ.all_supertypes()]
+        while stack:
+            dep = stack.pop()
+            dep_id = id(dep)
+            if dep_id in seen:
+                continue
+            seen.add(dep_id)
+            if dep is not typ:
+                self._inh_deps.setdefault(dep_id, set()).add(key)
+            if isinstance(dep, Usage):
+                stack.extend(dep.redefines)
+        self._inherited_memo[key] = (typ, table)
+        return table
+
+    def _member_of(self, element: Element, name: str, *,
+                   include_self: bool = False) -> Element | None:
+        """Memoized equivalent of the module-level :func:`_member_of`."""
+        if not self._memo_enabled:
+            return _member_of(element, name, include_self=include_self)
+        if include_self and element.name == name:
+            return element
+        found: Element | None = None
+        if isinstance(element, Type):
+            found = self._member_table(element).get(name)
+            if found is None:
+                found = self._inherited(element).get(name)
+        elif isinstance(element, Namespace):
+            found = self._member_table(element).get(name)
+        if isinstance(found, Alias):
+            return found.target
+        return found
+
     # -- pass 0a: imports ------------------------------------------------------
 
     def _resolve_imports(self, elements: Iterable[Element]) -> None:
@@ -110,6 +249,8 @@ class Resolver:
                 raise ResolutionError(
                     f"cannot resolve import target '{imp.target_name}'",
                     imp.target_name.location)
+            # import targets are consulted live (never cached), so
+            # setting one invalidates nothing
             imp.target = target
             self._resolved(target)
 
@@ -129,6 +270,9 @@ class Resolver:
             if isinstance(target, Alias):
                 target = target.target or target
             alias.target = target
+            # root scans are the one cache that stores *dereferenced*
+            # alias targets; member tables keep the Alias and deref live
+            self._root_memo.clear()
             self._resolved(target)
 
     # -- pass 1: types ---------------------------------------------------------
@@ -146,6 +290,7 @@ class Resolver:
                         f"connector type '{element.type_name}' is not a "
                         f"definition", element.type_name.location)
                 element.typ = resolved
+                self._lattice_changed(element)
                 self._resolved(resolved)
 
     def _resolve_type_clauses(self, element: Type) -> None:
@@ -157,6 +302,7 @@ class Resolver:
                     f"specialized", general_name.location)
             if general not in element.specializations:
                 element.specializations.append(general)
+                self._lattice_changed(element)
             self._resolved(general)
         if isinstance(element, Usage) and element.type_name is not None:
             typ = self._require(element.type_name, element)
@@ -165,6 +311,7 @@ class Resolver:
                     f"'{element.type_name}' cannot type a usage",
                     element.type_name.location)
             element.typ = typ
+            self._lattice_changed(element)
             self._resolved(typ)
 
     # -- pass 2: features --------------------------------------------------------
@@ -213,12 +360,14 @@ class Resolver:
                     f"'{target_name}' does not name a feature usage",
                     target_name.location)
             usage.redefines.append(target)
+            self._lattice_changed(usage)
             self._resolved(target)
         if isinstance(usage, RedefinitionUsage) and usage.redefines:
             # The shorthand ':>> x = v;' takes its name and kind from the
             # redefined feature.
             if usage.name is None:
                 usage.name = usage.redefines[0].name
+                self._name_changed(usage)
 
     def _resolve_assignment(self, assignment: Assignment) -> None:
         from .ast_nodes import FeatureRefExpr
@@ -252,7 +401,7 @@ class Resolver:
             return None
         for part in name.parts[1:]:
             self._consulted(current)
-            current = _member_of(current, part)
+            current = self._member_of(current, part)
             if current is None:
                 return None
         return current
@@ -262,7 +411,7 @@ class Resolver:
         node: Element | None = scope
         while node is not None and node is not self.model:
             self._consulted(node)
-            found = _member_of(node, name, include_self=True)
+            found = self._member_of(node, name, include_self=True)
             if found is not None:
                 return found
             if use_imports:
@@ -270,6 +419,25 @@ class Resolver:
                 if found is not None:
                     return found
             node = node.owner
+        return self._lookup_root(name)
+
+    def _lookup_root(self, name: str) -> Element | None:
+        """Root-scope lookup, memoized per name (misses included).
+
+        At mega-factory scale the model root owns thousands of machine
+        packages, and every unqualified name that escapes its owner
+        chain rescans them — memoizing by name makes the root scan
+        amortized O(1) instead of O(packages) per lookup. Invalidated
+        wholesale on alias retargets and root-visible name changes.
+        """
+        if self._memo_enabled and name in self._root_memo:
+            return self._root_memo[name]
+        found = self._scan_root(name)
+        if self._memo_enabled:
+            self._root_memo[name] = found
+        return found
+
+    def _scan_root(self, name: str) -> Element | None:
         # the model root (library packages resolve only by qualified name
         # or through the implicit-import fallback below)
         self._consulted(self.model)
@@ -287,19 +455,28 @@ class Resolver:
             package = self.model.member(package_name)
             if package is not None:
                 self._consulted(package)
-                found = _member_of(package, name)
+                found = self._member_of(package, name)
                 if found is not None:
                     return found
         return None
 
+    def _imports_of(self, scope: Element) -> list[Import]:
+        entry = self._imports_memo.get(id(scope))
+        if entry is not None:
+            return entry[1]
+        imports = [child for child in scope.owned_elements
+                   if isinstance(child, Import)]
+        self._imports_memo[id(scope)] = (scope, imports)
+        return imports
+
     def _lookup_in_imports(self, name: str, scope: Element) -> Element | None:
-        for child in scope.owned_elements:
-            if not isinstance(child, Import) or child.target is None:
+        for child in self._imports_of(scope):
+            if child.target is None:
                 continue
             target = child.target
             self._consulted(target)
             if child.wildcard:
-                found = _member_of(target, name)
+                found = self._member_of(target, name)
                 if found is not None:
                     return found
                 if child.recursive and isinstance(target, Namespace):
@@ -325,10 +502,10 @@ class Resolver:
         """
         if len(name.parts) == 1 and isinstance(scope, Type):
             self._consulted(scope)
-            found = scope.inherited_members().get(name.parts[0])
+            found = self._inherited(scope).get(name.parts[0])
             if found is not None and found is not exclude:
                 return found
-            found = scope.member(name.parts[0])
+            found = self._member_table(scope).get(name.parts[0])
             if found is not None and found is not exclude:
                 return found
         found = self._lookup_qualified(name, scope)
@@ -345,7 +522,7 @@ class Resolver:
                 f"from {scope.qualified_name}", chain.location)
         for part in chain.parts[1:]:
             self._consulted(current)
-            nxt = _member_of(current, part)
+            nxt = self._member_of(current, part)
             if nxt is None:
                 raise ResolutionError(
                     f"'{current.qualified_name}' has no member '{part}' "

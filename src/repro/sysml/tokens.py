@@ -47,8 +47,17 @@ KEYWORDS = frozenset({
 })
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Token:
+    """One lexical token.
+
+    Slot-based: a factory-scale model lexes to millions of tokens, so
+    the per-instance ``__dict__`` of a regular class would dominate the
+    front end's allocation churn. Identifier values are additionally
+    interned by the lexer, which makes the parser's keyword checks and
+    the resolver's name-table lookups pointer-comparison fast.
+    """
+
     kind: TokenKind
     value: str
     location: SourceLocation

@@ -10,6 +10,8 @@ any disagreement to a minimal reproducer.
 Entry points:
 
 * :func:`generate_scenario` — one seed -> one :class:`FactoryScenario`;
+* :func:`mega_factory_specs` / :func:`mega_factory_sources` — the
+  deterministic ICE-Lab×N corpus behind the A4 scaling bench;
 * :data:`ORACLES` / :func:`run_oracle` — the oracle registry;
 * :func:`run_conformance` — the parallel trial harness behind
   ``repro conformance``;
@@ -19,6 +21,7 @@ Entry points:
 """
 
 from .corpus import CorpusConfig, FactoryScenario, generate_scenario
+from .scale import mega_factory_sources, mega_factory_specs
 from .harness import ConformanceReport, TrialResult, run_conformance, run_trial
 from .oracles import (ORACLES, OracleFailure, TrialContext, chaos_plan,
                       oracle_names, run_oracle)
@@ -27,7 +30,8 @@ from .waiting import Deadline, wait_for_event, wait_until
 
 __all__ = [
     "ConformanceReport", "CorpusConfig", "Deadline", "FactoryScenario",
-    "ORACLES", "OracleFailure", "TrialContext", "TrialResult",
+    "ORACLES", "OracleFailure", "mega_factory_sources",
+    "mega_factory_specs", "TrialContext", "TrialResult",
     "chaos_plan", "ddmin", "generate_scenario", "oracle_names",
     "run_conformance", "run_oracle", "run_trial", "shrink_failure",
     "wait_for_event", "wait_until", "write_reproducer",

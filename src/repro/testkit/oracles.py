@@ -36,7 +36,7 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from ..codegen import (PipelineOptions, generate_configuration,
-                       group_machines)
+                       group_machines, lower_bound_clients)
 from ..isa95.topology import extract_topology
 from ..sysml import load_model, print_element
 from ..sysml.elements import Model
@@ -320,39 +320,58 @@ def _check_chaos(ctx: TrialContext) -> None:
 
 # -- semantic invariants -----------------------------------------------------
 
-def _check_grouping(ctx: TrialContext) -> None:
-    topology = extract_topology(ctx.model)
-    capacity = ctx.options.capacity
-    groups = group_machines(topology.machines, capacity)
+def _check_one_grouping(machines, capacity: int, algorithm: str) -> list:
+    """Partition/capacity/oversized/index/determinism invariants for one
+    packing algorithm; returns the groups for cross-algorithm checks."""
+    groups = group_machines(machines, capacity, algorithm=algorithm)
     assigned: list[str] = [name for group in groups
                            for name in group.machine_names]
-    expected = sorted(machine.name for machine in topology.machines)
+    expected = sorted(machine.name for machine in machines)
     if sorted(assigned) != expected:
         missing = sorted(set(expected) - set(assigned))
         extra = sorted(name for name in assigned
                        if assigned.count(name) > 1)
         raise OracleFailure(
-            f"grouping is not a partition (missing={missing}, "
+            f"{algorithm} grouping is not a partition (missing={missing}, "
             f"duplicated={sorted(set(extra))})")
     for group in groups:
         if group.oversized:
             if len(group.machines) != 1:
                 raise OracleFailure(
-                    f"oversized client {group.name} holds "
+                    f"{algorithm}: oversized client {group.name} holds "
                     f"{len(group.machines)} machines")
             if group.points <= capacity:
                 raise OracleFailure(
-                    f"client {group.name} marked oversized at "
+                    f"{algorithm}: client {group.name} marked oversized at "
                     f"{group.points}/{capacity} points")
         elif group.points > capacity:
             raise OracleFailure(
-                f"client {group.name} over capacity: "
+                f"{algorithm}: client {group.name} over capacity: "
                 f"{group.points}/{capacity} points")
     if [group.index for group in groups] != list(range(1, len(groups) + 1)):
-        raise OracleFailure("client indices are not sequential")
-    rerun = group_machines(topology.machines, capacity)
+        raise OracleFailure(f"{algorithm}: client indices are not sequential")
+    rerun = group_machines(machines, capacity, algorithm=algorithm)
     if [g.machine_names for g in rerun] != [g.machine_names for g in groups]:
-        raise OracleFailure("grouping is not deterministic across runs")
+        raise OracleFailure(
+            f"{algorithm} grouping is not deterministic across runs")
+    return groups
+
+
+def _check_grouping(ctx: TrialContext) -> None:
+    topology = extract_topology(ctx.model)
+    capacity = ctx.options.capacity
+    first_fit = _check_one_grouping(topology.machines, capacity, "first-fit")
+    best_fit = _check_one_grouping(topology.machines, capacity, "best-fit")
+    # the opt-in solver must be equivalent or better, never worse
+    if len(best_fit) > len(first_fit):
+        raise OracleFailure(
+            f"best-fit used more clients than first-fit "
+            f"({len(best_fit)} > {len(first_fit)})")
+    bound = lower_bound_clients(topology.machines, capacity)
+    if len(best_fit) < bound:
+        raise OracleFailure(
+            f"best-fit beat the information-theoretic lower bound "
+            f"({len(best_fit)} < {bound}) — the packing is unsound")
 
 
 #: The registry, in canonical execution order (front end first, then

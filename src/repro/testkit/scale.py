@@ -1,0 +1,98 @@
+"""Mega-factory corpus: deterministic ICE-Lab×N replication.
+
+The seeded corpus (:mod:`repro.testkit.corpus`) explores *shape*
+diversity; this module explores *size*. ``mega_factory_specs(scale)``
+replicates the ICE lab's nine-machine inventory across ``scale``
+workcell blocks — ×100 is on the order of a thousand machines and
+~50k data points, the regime where real plants modeled on ISA-95
+substrates live — while staying a pure function of ``scale``:
+
+* machine copies get deterministic names (``emco_c003``) and their own
+  workcells, so the ISA-95 topology grows wide;
+* driver flavours rotate per block between the original protocol, a
+  generic OPC UA variant and a Modbus variant (each flavour gets its
+  own part-definition library, so the *definition* count stays bounded
+  while the *usage* count grows linearly — exactly the load that makes
+  unmemoized name resolution quadratic);
+* the flavoured libraries nest their variable categories two levels
+  deeper, keeping deep-hierarchy lookup on the hot path.
+
+``mega_factory_sources(scale)`` realizes the specs as textual SysML v2
+through the same emitters the ICE-lab model uses, ready for
+``load_model`` / the generation pipeline. The A4 scaling bench
+(``benchmarks/test_ablation_scaling.py``) is the primary consumer.
+"""
+
+from __future__ import annotations
+
+from ..icelab.model_gen import icelab_sources
+from ..isa95.levels import VariableSpec
+from ..machines.catalog import DriverSpec, MachineSpec
+from ..machines.specs import ICE_LAB_SPECS
+
+#: Driver flavour rotation: (type-name suffix, protocol override,
+#: is_generic, category prefix). The empty suffix keeps the original
+#: ICE-lab driver; flavoured copies reference their own library.
+_FLAVOURS = (
+    ("", None, None, ""),
+    ("Ua", "ScaleOPCUAGenericDriver", True, "Plant/North/"),
+    ("Mb", "ScaleModbusDriver", False, "Plant/South/"),
+)
+
+
+def _copy_variables(spec: MachineSpec,
+                    category_prefix: str) -> dict[str, list[VariableSpec]]:
+    """Fresh VariableSpec objects per copy (``MachineSpec.__post_init__``
+    writes back into them), under an optionally deepened category."""
+    categories: dict[str, list[VariableSpec]] = {}
+    for category, variables in spec.categories.items():
+        deep = f"{category_prefix}{category}" if category_prefix else category
+        categories[deep] = [
+            VariableSpec(name=v.name, data_type=v.data_type,
+                         category=(f"{category_prefix}{v.category}"
+                                   if category_prefix and v.category
+                                   else v.category),
+                         description=v.description, unit=v.unit,
+                         initial_value=v.initial_value)
+            for v in variables]
+    return categories
+
+
+def _replicate(spec: MachineSpec, block: int) -> MachineSpec:
+    suffix, protocol, is_generic, category_prefix = \
+        _FLAVOURS[block % len(_FLAVOURS)]
+    driver = spec.driver
+    if protocol is not None:
+        driver = DriverSpec(
+            protocol=protocol, is_generic=is_generic,
+            parameters={**spec.driver.parameters,
+                        "endpoint":
+                        f"opc.tcp://10.{block % 250}.{block // 250}.1:4840"})
+    return MachineSpec(
+        name=f"{spec.name}_c{block:03d}",
+        display_name=f"{spec.display_name} (cell {block})",
+        type_name=f"{spec.type_name}{suffix}",
+        workcell=f"scaleCell{block:03d}",
+        driver=driver,
+        categories=_copy_variables(spec, category_prefix),
+        services=list(spec.services))
+
+
+def mega_factory_specs(scale: int) -> list[MachineSpec]:
+    """The ICE lab replicated into *scale* workcell blocks.
+
+    ``scale=1`` is exactly the paper's inventory; ``scale=N`` appends
+    ``N - 1`` replicated blocks. Deterministic: equal scales yield
+    byte-identical spec lists (and therefore byte-identical sources).
+    """
+    if scale < 1:
+        raise ValueError(f"scale must be >= 1, got {scale}")
+    specs = list(ICE_LAB_SPECS)
+    for block in range(1, scale):
+        specs.extend(_replicate(spec, block) for spec in ICE_LAB_SPECS)
+    return specs
+
+
+def mega_factory_sources(scale: int) -> list[str]:
+    """Textual SysML v2 sources of the ×\\ *scale* mega factory."""
+    return icelab_sources(mega_factory_specs(scale))

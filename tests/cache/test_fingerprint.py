@@ -49,25 +49,3 @@ class TestFingerprint:
     def test_dict_key_order_irrelevant(self):
         assert (fingerprint({"a": 1, "b": 2})
                 == fingerprint({"b": 2, "a": 1}))
-
-
-class TestLegacyCacheReexports:
-    """repro.cache keeps the old names one release, warning on use."""
-
-    def test_fingerprint_shim_warns_and_matches(self):
-        import repro.cache
-        with pytest.deprecated_call():
-            legacy = repro.cache.fingerprint("a", {"k": 1}, salt="s/1")
-        assert legacy == fingerprint("a", {"k": 1}, salt="s/1")
-
-    def test_canonical_json_shim_warns_and_matches(self):
-        import repro.cache
-        with pytest.deprecated_call():
-            legacy = repro.cache.canonical_json({"b": 2, "a": 1})
-        assert legacy == canonical_json({"b": 2, "a": 1})
-
-    def test_schema_version_shim_warns(self):
-        import repro.cache
-        from repro.fingerprint import CACHE_SCHEMA_VERSION
-        with pytest.deprecated_call():
-            assert repro.cache.CACHE_SCHEMA_VERSION == CACHE_SCHEMA_VERSION
