@@ -1,0 +1,77 @@
+"""A5 (ablation, ours): scenario-engine throughput on the mega-factory.
+
+How fast can the discrete-event engine chew through a plant ten times
+the ICE lab? The engine's promise is *prediction before deployment*,
+which only matters if a what-if suite over a large factory returns in
+interactive time. This ablation simulates a dense order book on the
+x10 mega-factory (min-of-N), reports events/second, and emits
+``BENCH_sim.json`` so perf PRs can diff the trajectory.
+
+Every timed run is also digest-checked against the first: a throughput
+number for a nondeterministic engine would be meaningless.
+"""
+
+import json
+import time
+from pathlib import Path
+
+from conftest import print_comparison
+from repro.isa95 import extract_topology
+from repro.sim import (ScenarioReport, build_scenario, run_scenario,
+                       simulate_suite)
+from repro.sysml import load_model
+from repro.testkit.scale import mega_factory_sources
+
+SCALE = 10
+SEED = 7
+ROUNDS = 3
+#: Floor for events/second on the x10 factory; the engine does integer
+#: heap operations only, so regressions past this are real.
+EVENTS_PER_SECOND_TARGET = 20_000.0
+
+
+def test_mega_factory_simulation_throughput():
+    topology = extract_topology(
+        load_model(*mega_factory_sources(SCALE)))
+    machines = len(topology.machines)
+    # a dense book: ~10 jobs per machine keeps every region contended
+    # and the event count high enough for a stable ev/s figure
+    spec = build_scenario("baseline", topology, seed=SEED,
+                          jobs=10 * machines)
+    reference: ScenarioReport | None = None
+    times = []
+    for _ in range(ROUNDS):
+        start = time.perf_counter()
+        report = run_scenario(spec)
+        times.append(time.perf_counter() - start)
+        if reference is None:
+            reference = report
+        assert report.digest == reference.digest
+    best = min(times)
+    events_per_second = reference.events / best
+
+    suite_start = time.perf_counter()
+    briefing = simulate_suite(topology, seed=SEED,
+                              base_jobs=2 * len(topology.workcells))
+    suite_seconds = time.perf_counter() - suite_start
+
+    Path("BENCH_sim.json").write_text(json.dumps({
+        "benchmark": "sim-mega-factory-throughput",
+        "scale": SCALE,
+        "machines": machines,
+        "jobs": len(reference.jobs),
+        "events": reference.events,
+        "rounds": ROUNDS,
+        "best_seconds": round(best, 6),
+        "events_per_second": round(events_per_second, 1),
+        "suite_scenarios": len(briefing.reports),
+        "suite_seconds": round(suite_seconds, 6),
+        "events_per_second_target": EVENTS_PER_SECOND_TARGET,
+    }, indent=2) + "\n")
+    print_comparison("A5 — scenario engine on the x10 mega-factory", [
+        ("one scenario", f"{reference.events} events",
+         f"{best * 1e3:.1f} ms", f"{events_per_second:,.0f} ev/s"),
+        ("canonical trio", f"{len(briefing.reports)} scenarios",
+         f"{suite_seconds * 1e3:.1f} ms", ""),
+    ])
+    assert events_per_second >= EVENTS_PER_SECOND_TARGET

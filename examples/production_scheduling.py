@@ -1,76 +1,112 @@
-"""Scheduling a batch of production jobs over the deployed factory.
+"""Scheduling a batch of production jobs with the scenario engine.
 
-Demonstrates the SOM promise end-to-end: production processes are plain
-sequences of machine services, so a batch of jobs can be *scheduled*
-(machines execute one service at a time, process order preserved) and
-then dispatched through the message broker to the deployed stack.
+The order book is four explicit part recipes over the ICE lab's
+machines. Instead of ad-hoc slot scheduling, the batch runs through
+``repro.sim``: the discrete-event engine books every machine (one
+service at a time, route order preserved), service durations come from
+the configuration itself (:class:`ServiceTimeModel`), and the resulting
+schedule is dispatched step by step through the message broker to the
+deployed stack. A what-if pass then re-simulates the same book under a
+mill slowdown — prediction before deployment, the scenario engine's
+whole point.
 
 Run with:  python examples/production_scheduling.py
 """
 
 from repro.icelab import run_icelab
-from repro.som import ProductionProcess, Scheduler
+from repro.sim import (FactorySimulation, Job, JobStep, ScenarioReport,
+                       ServiceTimeModel, Slowdown, Workload, units)
+
+#: (job, route) — each stop is (machine, service, *broker args).
+RECIPES = {
+    "part-A": [("warehouse", "fetch_tray", 1),
+               ("kairos1", "move_to", 2.0, 1.0),
+               ("emco", "load_program", "part_a.nc"),
+               ("emco", "start_program"),
+               ("qcPc", "inspect", "part-A")],
+    "part-B": [("warehouse", "fetch_tray", 2),
+               ("kairos1", "pick", "blank-B"),
+               ("emco", "load_program", "part_b.nc"),
+               ("emco", "start_program"),
+               ("qcPc", "inspect", "part-B")],
+    "assembly": [("warehouse", "fetch_tray", 3),
+                 ("kairos2", "pick", "housing"),
+                 ("ur5", "load_program", "assemble"),
+                 ("ur5", "play"),
+                 ("siemensPlc", "start_cycle"),
+                 ("fiam", "start_tightening")],
+    "logistics": [("conveyor", "register_pallet", 42),
+                  ("conveyor", "route_pallet", 42, 6),
+                  ("kairos2", "dock")],
+}
+
+#: Milling and long-running programs dominate; everything else uses
+#: the configuration-derived default durations.
+OVERRIDES = {"emco.start_program": 4.0, "ur5.play": 3.0,
+             "qcPc.inspect": 2.0}
 
 
-def make_jobs() -> list[ProductionProcess]:
-    """Three part-machining jobs plus a logistics job, all contending
-    for the warehouse, the AGVs and the mill."""
-    job_a = (ProductionProcess("part-A")
-             .add_step("warehouse", "fetch_tray", 1)
-             .add_step("kairos1", "move_to", 2.0, 1.0)
-             .add_step("kairos1", "pick", "blank-A")
-             .add_step("emco", "load_program", "part_a.nc")
-             .add_step("emco", "start_program")
-             .add_step("qcPc", "inspect", "part-A"))
-    job_b = (ProductionProcess("part-B")
-             .add_step("warehouse", "fetch_tray", 2)
-             .add_step("kairos1", "pick", "blank-B")
-             .add_step("emco", "load_program", "part_b.nc")
-             .add_step("emco", "start_program")
-             .add_step("qcPc", "inspect", "part-B"))
-    job_c = (ProductionProcess("assembly")
-             .add_step("warehouse", "fetch_tray", 3)
-             .add_step("kairos2", "pick", "housing")
-             .add_step("ur5", "load_program", "assemble")
-             .add_step("ur5", "play")
-             .add_step("siemensPlc", "start_cycle")
-             .add_step("fiam", "start_tightening"))
-    job_d = (ProductionProcess("logistics")
-             .add_step("conveyor", "register_pallet", 42)
-             .add_step("conveyor", "route_pallet", 42, 6)
-             .add_step("kairos2", "dock"))
-    return [job_a, job_b, job_c, job_d]
+def make_workload(times: ServiceTimeModel) -> Workload:
+    jobs = []
+    for name, route in RECIPES.items():
+        steps = tuple(JobStep(machine, service,
+                              times.duration(machine, service))
+                      for machine, service, *_ in route)
+        work = sum(step.duration for step in steps)
+        jobs.append(Job(name=name, steps=steps, due=work * 2))
+    return Workload(jobs)
+
+
+def simulate(workload: Workload, **perturbations) -> ScenarioReport:
+    outcome = FactorySimulation(workload, **perturbations).run()
+    return ScenarioReport.from_outcome(
+        outcome, scenario="order-book", description="", seed=0)
 
 
 def main() -> None:
     print("deploying the ICE lab...")
     result = run_icelab(smoke_steps=2, seed=11)
+    times = ServiceTimeModel(result.topology, overrides=OVERRIDES)
+    workload = make_workload(times)
 
-    jobs = make_jobs()
-    # milling takes longer than a pick or a routing command
-    scheduler = Scheduler(durations={
-        "emco.start_program": 4.0,
-        "ur5.play": 3.0,
-        "qcPc.inspect": 2.0,
-    })
-
-    print("\n== schedule ==")
-    schedule = scheduler.schedule(jobs)
-    print(schedule.render())
-    assert schedule.validate() == []
+    print("\n== simulated schedule ==")
+    outcome = FactorySimulation(workload).run()
+    for entry in sorted(outcome.schedule,
+                        key=lambda e: (e.start, e.machine)):
+        print(f"  t={units(entry.start):6.2f}  {entry.machine:>10}  "
+              f"{entry.job}/{entry.service}")
+    print(f"makespan {units(outcome.makespan):g}")
 
     print("\n== dispatch over the broker ==")
-    outcome = scheduler.execute(jobs, result.orchestrator)
-    print(f"executed {outcome['executed']} steps "
-          f"({outcome['failed']} failed), "
-          f"makespan {outcome['makespan']:g} slots")
+    args_by_step = {(name, index): tuple(rest)
+                    for name, route in RECIPES.items()
+                    for index, (_, _, *rest) in enumerate(route)}
+    executed = failed = 0
+    for entry in sorted(outcome.schedule, key=lambda e: e.start):
+        arguments = args_by_step[(entry.job, entry.step_index)]
+        try:
+            result.orchestrator.invoke(entry.machine, entry.service,
+                                       *arguments)
+            executed += 1
+        except Exception as error:
+            failed += 1
+            print(f"  {entry.job}/{entry.service} failed: {error}")
+    print(f"executed {executed} steps ({failed} failed)")
 
     print("\n== machine contention ==")
-    for machine in ("warehouse", "emco", "kairos1"):
-        slots = schedule.for_machine(machine)
-        print(f"  {machine}: {len(slots)} booked slots, busy "
-              f"{sum(s.end - s.start for s in slots):g} of "
-              f"{schedule.makespan:g}")
+    report = simulate(workload)
+    for machine in report.machines:
+        if machine.steps:
+            print(f"  {machine.name:>10}: {machine.steps} steps, "
+                  f"busy {units(machine.busy):g} of "
+                  f"{units(report.makespan):g}")
+
+    print("\n== what-if: the mill runs at half speed ==")
+    degraded = simulate(workload, slowdowns=(
+        Slowdown("emco", 0, outcome.makespan * 2, num=2, den=1),))
+    print(f"makespan {units(report.makespan):g} -> "
+          f"{units(degraded.makespan):g}, late jobs "
+          f"{report.late_jobs} -> {degraded.late_jobs}")
 
     result.shutdown()
 

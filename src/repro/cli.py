@@ -9,6 +9,11 @@ Subcommands
               span tree, ``--trace=FILE`` writes the trace JSON
 ``trace``     run the full front end + generation with telemetry on and
               report the span tree (or JSON) plus process metrics
+``simulate``  predict how the configured factory behaves: run seeded
+              what-if scenarios (rush orders, machine slowdowns,
+              workcell outages) through the discrete-event scenario
+              engine and print the briefing — byte-identical output
+              for a seed, whatever ``--jobs``
 ``serve``     run the configuration service: a concurrent HTTP front end
               over the pipeline with single-flight dedup, admission
               control and graceful drain on SIGTERM
@@ -220,6 +225,61 @@ def _cmd_trace(args) -> int:
         print(f"wrote {len(text)} bytes to {args.out}")
     else:
         print(text)
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    """Simulate seeded what-if scenarios for the configured factory."""
+    from contextlib import nullcontext
+
+    from .isa95 import extract_topology
+    from .obs import Tracer
+    from .sim import SCENARIOS, simulate_suite
+    from .sysml import load_model
+    from .sysml.errors import SysMLError
+
+    if args.file:
+        with open(args.file) as handle:
+            sources = [handle.read()]
+        filenames = [args.file]
+    else:
+        from .icelab import icelab_sources
+        sources = icelab_sources()
+        filenames = None
+    names = tuple(name.strip() for name in args.scenarios.split(",")
+                  if name.strip())
+    unknown = sorted(set(names) - set(SCENARIOS))
+    if unknown:
+        print(f"unknown scenario(s): {', '.join(unknown)}; "
+              f"known: {', '.join(sorted(SCENARIOS))}", file=sys.stderr)
+        return 2
+    tracer = Tracer() if args.trace else None
+    try:
+        with tracer.activate() if tracer else nullcontext():
+            model = load_model(*sources, filenames=filenames)
+            topology = extract_topology(model)
+            briefing = simulate_suite(
+                topology, seed=args.seed, names=names,
+                policy=args.policy, jobs=args.jobs, mode=args.mode,
+                base_jobs=args.base_jobs)
+    except SysMLError as exc:
+        print(f"ERROR: {exc}", file=sys.stderr)
+        return 1
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(briefing.to_json())
+        print(f"wrote briefing to {args.out}")
+    if args.json:
+        sys.stdout.write(briefing.to_json())
+    else:
+        print(briefing.render())
+        print(f"digest {briefing.digest}")
+    if tracer is not None:
+        # wall-clock timings are opt-in: the default output above is
+        # deterministic for a seed, a trace never is
+        print("\n=== phases ===")
+        for name, seconds in tracer.trace().phase_seconds().items():
+            print(f"{name:>12}: {seconds * 1e3:9.2f}ms")
     return 0
 
 
@@ -541,6 +601,41 @@ def build_parser() -> argparse.ArgumentParser:
         "--parse-processes", action="store_true",
         help="parse sources on a process pool (CPU-bound fan-out)")
     p_trace.set_defaults(func=_cmd_trace)
+
+    p_simulate = subparsers.add_parser(
+        "simulate",
+        help="run seeded what-if scenarios through the scenario engine")
+    p_simulate.add_argument("file", nargs="?",
+                            help=".sysml file (default: built-in ICE lab)")
+    p_simulate.add_argument("--seed", type=int, default=7,
+                            help="scenario seed: fully determines the "
+                                 "order book and every perturbation")
+    p_simulate.add_argument("--scenarios",
+                            default="baseline,rush-order,slowdown",
+                            help="comma-separated scenario names; the "
+                                 "first is the briefing's baseline")
+    p_simulate.add_argument("--policy", choices=("fifo", "edd"),
+                            default="fifo",
+                            help="dispatch policy at every machine queue")
+    p_simulate.add_argument("--base-jobs", type=int, default=None,
+                            metavar="N",
+                            help="baseline order-book size (default: "
+                                 "2 jobs per workcell, min 4)")
+    p_simulate.add_argument("--jobs", type=int, default=1, metavar="N",
+                            help="scenario fan-out width (output is "
+                                 "identical to serial)")
+    p_simulate.add_argument("--mode", choices=("thread", "process",
+                                               "serial"),
+                            default="thread",
+                            help="pool flavor for --jobs > 1")
+    p_simulate.add_argument("--json", action="store_true",
+                            help="emit the briefing JSON on stdout")
+    p_simulate.add_argument("--out", metavar="PATH",
+                            help="write the briefing JSON to PATH")
+    p_simulate.add_argument("--trace", action="store_true",
+                            help="print phase timings (wall clock — "
+                                 "not part of the deterministic output)")
+    p_simulate.set_defaults(func=_cmd_simulate)
 
     p_serve = subparsers.add_parser(
         "serve", help="run the concurrent configuration service")

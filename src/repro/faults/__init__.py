@@ -8,6 +8,12 @@ fault schedule. Instrumented sites live in the artifact cache
 (``cache.get`` / ``cache.put``), the parallel executor
 (``parallel.worker``), the serving layer (``service.generate`` /
 ``service.request``) and the deployer (``k8s.apply``).
+
+:mod:`repro.faults.schedule` is the public face of the underlying
+seeded-hash contract: :func:`occurrence_fraction` is the raw
+``(seed, site, kind, n)`` draw, and the schedule helpers turn it into
+finite perturbation schedules — the primitive the scenario engine
+(:mod:`repro.sim`) shares with fault injection.
 """
 
 from .plan import (CORRUPT_PREFIX, FaultInjected, FaultPlan, FaultSpec,
@@ -16,11 +22,15 @@ from .plan import (CORRUPT_PREFIX, FaultInjected, FaultPlan, FaultSpec,
                    KIND_UNAVAILABLE, KINDS, active_plan, corrupt_at,
                    corrupt_bytes, fault_point, install_plan,
                    uninstall_plan)
+from .schedule import (min_fraction_occurrence, occurrence_fraction,
+                       occurrence_schedule, spec_schedule)
 
 __all__ = [
     "CORRUPT_PREFIX", "FaultInjected", "FaultPlan", "FaultSpec",
     "InjectedCrash", "InjectedIOError", "InjectedUnavailable",
     "KIND_CORRUPT", "KIND_CRASH", "KIND_IO", "KIND_LATENCY",
     "KIND_UNAVAILABLE", "KINDS", "active_plan", "corrupt_at",
-    "corrupt_bytes", "fault_point", "install_plan", "uninstall_plan",
+    "corrupt_bytes", "fault_point", "install_plan",
+    "min_fraction_occurrence", "occurrence_fraction",
+    "occurrence_schedule", "spec_schedule", "uninstall_plan",
 ]

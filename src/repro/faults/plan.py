@@ -34,7 +34,6 @@ Plans activate two ways:
 
 from __future__ import annotations
 
-import hashlib
 import threading
 import time
 from contextlib import contextmanager
@@ -42,6 +41,7 @@ from contextvars import ContextVar
 from dataclasses import dataclass
 
 from ..obs import METRICS
+from .schedule import occurrence_fraction
 
 _INJECTED = METRICS.counter("faults.injected")
 
@@ -165,10 +165,8 @@ class FaultPlan:
     # -- the decision procedure -----------------------------------------
 
     def _fires(self, spec: FaultSpec, occurrence: int) -> bool:
-        token = (f"{self.seed}\x1f{spec.site}\x1f{spec.kind}"
-                 f"\x1f{occurrence}").encode("utf-8")
-        digest = hashlib.sha256(token).digest()
-        fraction = int.from_bytes(digest[:8], "big") / 2.0 ** 64
+        fraction = occurrence_fraction(self.seed, spec.site, spec.kind,
+                                       occurrence)
         return fraction < spec.probability
 
     def decide(self, site: str,

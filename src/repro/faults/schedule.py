@@ -1,0 +1,107 @@
+"""The seeded-hash occurrence contract, as a public helper.
+
+:class:`~repro.faults.plan.FaultPlan` decides whether occurrence *n* at
+a ``(site, kind)`` fires by hashing ``(seed, site, kind, n)`` — a pure
+SHA-256 draw, no :mod:`random` state, no wall clock. That contract is
+useful beyond fault injection: the scenario engine (:mod:`repro.sim`)
+derives *perturbation schedules* — which machine degrades, when a rush
+order lands, how long an outage lasts — from the very same draw, so a
+simulation seed and a chaos seed speak the same deterministic language.
+
+This module is the single implementation of the hash. The plan's
+``_fires`` delegates here, and the simulator builds on the two schedule
+helpers instead of re-implementing the token format:
+
+* :func:`occurrence_fraction` — the raw draw: a float in ``[0, 1)``
+  that is a pure function of ``(seed, site, kind, occurrence)``;
+* :func:`occurrence_schedule` — the occurrence indices (out of a finite
+  opportunity count) whose draw lands under a probability;
+* :func:`spec_schedule` — the same, driven by a
+  :class:`~repro.faults.plan.FaultSpec` inside a
+  :class:`~repro.faults.plan.FaultPlan` (honours ``max_injections``).
+
+Changing the token format below silently reshuffles every seeded fault
+schedule and every simulation scenario — the pinned-vector regression
+test (``tests/faults/test_schedule.py``) exists to make that loud.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .plan import FaultPlan, FaultSpec
+
+#: Separator of the hash token fields. Part of the wire contract:
+#: changing it invalidates every pinned schedule.
+_SEPARATOR = "\x1f"
+
+
+def occurrence_fraction(seed: int, site: str, kind: str,
+                        occurrence: int) -> float:
+    """The deterministic draw for occurrence *n* at ``(site, kind)``.
+
+    A float in ``[0, 1)``: the first 8 bytes of
+    ``SHA-256(f"{seed}\\x1f{site}\\x1f{kind}\\x1f{occurrence}")`` scaled
+    by ``2**64``. This is *the* hashing contract of
+    :class:`~repro.faults.plan.FaultPlan` — the plan fires a spec iff
+    the fraction lands under its probability.
+    """
+    token = (f"{seed}{_SEPARATOR}{site}{_SEPARATOR}{kind}"
+             f"{_SEPARATOR}{occurrence}").encode("utf-8")
+    digest = hashlib.sha256(token).digest()
+    return int.from_bytes(digest[:8], "big") / 2.0 ** 64
+
+
+def occurrence_schedule(seed: int, site: str, kind: str, *,
+                        opportunities: int,
+                        probability: float) -> list[int]:
+    """Occurrence indices in ``[0, opportunities)`` that fire.
+
+    The finite-horizon view of the contract: out of *opportunities*
+    consecutive draws, the (sorted, deterministic) indices whose
+    fraction lands under *probability*. An empty list is a legitimate
+    schedule — callers that need at least one hit should fall back to
+    :func:`min_fraction_occurrence`.
+    """
+    if opportunities < 0:
+        raise ValueError(f"opportunities must be >= 0, got {opportunities}")
+    if not 0.0 <= probability <= 1.0:
+        raise ValueError("probability must be within [0, 1]")
+    return [n for n in range(opportunities)
+            if occurrence_fraction(seed, site, kind, n) < probability]
+
+
+def min_fraction_occurrence(seed: int, site: str, kind: str, *,
+                            opportunities: int) -> int:
+    """The occurrence index with the smallest draw — the deterministic
+    "pick one" primitive for schedules that must never be empty."""
+    if opportunities < 1:
+        raise ValueError(f"opportunities must be >= 1, got {opportunities}")
+    return min(range(opportunities),
+               key=lambda n: (occurrence_fraction(seed, site, kind, n), n))
+
+
+def spec_schedule(plan: "FaultPlan", spec: "FaultSpec", *,
+                  opportunities: int) -> list[int]:
+    """The firing occurrences of *spec* under *plan*, finite horizon.
+
+    Exactly what :meth:`FaultPlan.decide` would fire over
+    *opportunities* consecutive calls at the spec's site with only this
+    spec registered: the probability threshold plus the
+    ``max_injections`` cap. Pure — never touches the plan's live
+    occurrence counters.
+    """
+    fired = occurrence_schedule(
+        plan.seed, spec.site, spec.kind,
+        opportunities=opportunities, probability=spec.probability)
+    if spec.max_injections is not None:
+        fired = fired[:spec.max_injections]
+    return fired
+
+
+__all__ = [
+    "min_fraction_occurrence", "occurrence_fraction",
+    "occurrence_schedule", "spec_schedule",
+]

@@ -1,0 +1,106 @@
+"""``repro.sim`` — a deterministic scenario engine for configured factories.
+
+The pipeline's existing endpoint answers *"is the configuration
+valid?"*; this subsystem answers *"how does the configured factory
+behave?"* — before anything is deployed. It simulates the generated
+configuration as a job shop: machines from the extracted ISA-95
+topology execute their modeled services one at a time, jobs route
+through workcells in production-line order, and seeded scenarios
+perturb the baseline (rush orders, machine slowdowns, workcell
+outages) using the :mod:`repro.faults` occurrence-hash contract.
+
+Layering (each module only imports downward):
+
+* :mod:`~repro.sim.kernel` — event queue with a **total** order
+  ``(tick, priority, ordinal)``; integer clock; no wall time, no
+  unseeded randomness anywhere above it.
+* :mod:`~repro.sim.workload` — jobs/routes/service times derived from
+  a :class:`~repro.isa95.levels.FactoryTopology`.
+* :mod:`~repro.sim.policies` — pluggable dispatch (``fifo``, ``edd``).
+* :mod:`~repro.sim.engine` — machines, queues, perturbations.
+* :mod:`~repro.sim.scenarios` — seeded scenario recipes + registry.
+* :mod:`~repro.sim.report` — :class:`ScenarioReport` and the
+  cross-scenario :class:`Briefing` artifact.
+
+**Determinism contract.** For a fixed topology, seed, scenario list
+and policy, :func:`simulate_suite` produces byte-identical briefing
+JSON — across repeated runs, interpreter restarts, ``--jobs 1`` vs
+``--jobs N``, and thread vs process pools. The ``sim`` testkit oracle
+(:mod:`repro.testkit.oracles`) enforces exactly this by digest.
+"""
+
+from __future__ import annotations
+
+from ..isa95.levels import FactoryTopology
+from ..obs import METRICS, span
+from ..parallel import map_ordered
+from .engine import (FactorySimulation, Outage, ScheduleEntry,
+                     SimulationOutcome, Slowdown)
+from .kernel import (TICKS_PER_UNIT, Event, SchedulingInPastError,
+                     SimulationError, Simulator, scale_ticks, ticks,
+                     units)
+from .policies import POLICIES, policy_key
+from .report import (BRIEFING_SCHEMA, Briefing, JobOutcome,
+                     MachineUtilization, ScenarioReport)
+from .scenarios import (CANONICAL_SCENARIOS, SCENARIOS, Scenario,
+                        ScenarioSpec, build_scenario, horizon,
+                        run_scenario)
+from .workload import (Job, JobStep, ServiceTimeModel, Workload,
+                       WorkloadError, generate_workload,
+                       validate_workload)
+
+_SCENARIOS_RUN = METRICS.counter("sim.scenarios")
+_EVENTS = METRICS.counter("sim.events")
+_JOBS_SIMULATED = METRICS.counter("sim.jobs")
+
+
+def simulate_suite(topology: FactoryTopology, *, seed: int,
+                   names: tuple[str, ...] = CANONICAL_SCENARIOS,
+                   policy: str = "fifo",
+                   jobs: int = 1, mode: str = "thread",
+                   times: ServiceTimeModel | None = None,
+                   base_jobs: int | None = None,
+                   trace_events: bool = False) -> Briefing:
+    """Run a scenario suite and compare everything to the first entry.
+
+    Scenarios are materialized serially (cheap, and the baseline
+    workload is shared), then simulated via
+    :func:`repro.parallel.map_ordered` — results come back in input
+    order whatever the pool, which is half of the determinism story
+    (the other half is the kernel's total event order).
+    """
+    if not names:
+        raise ValueError("simulate_suite needs at least one scenario")
+    times = times or ServiceTimeModel(topology)
+    with span("simulation", seed=seed, scenarios=len(names),
+              policy=policy):
+        base = generate_workload(topology, seed=seed, jobs=base_jobs,
+                                 times=times)
+        specs = [build_scenario(name, topology, seed=seed, policy=policy,
+                                times=times, base=base)
+                 for name in names]
+        if trace_events:
+            reports = [run_scenario(spec, trace_events=True)
+                       for spec in specs]
+        else:
+            reports = map_ordered(
+                run_scenario, specs, jobs=jobs, mode=mode,
+                span_label=lambda spec, _: f"scenario:{spec.name}",
+                pool_span="sim.pool")
+    _SCENARIOS_RUN.inc(len(reports))
+    _EVENTS.inc(sum(report.events for report in reports))
+    _JOBS_SIMULATED.inc(sum(len(report.jobs) for report in reports))
+    return Briefing(seed=seed, policy=policy, reports=reports)
+
+
+__all__ = [
+    "BRIEFING_SCHEMA", "Briefing", "CANONICAL_SCENARIOS", "Event",
+    "FactorySimulation", "Job", "JobOutcome", "JobStep",
+    "MachineUtilization", "Outage", "POLICIES", "SCENARIOS",
+    "Scenario", "ScenarioReport", "ScenarioSpec", "ScheduleEntry",
+    "SchedulingInPastError", "ServiceTimeModel", "SimulationError",
+    "SimulationOutcome", "Simulator", "Slowdown", "TICKS_PER_UNIT",
+    "Workload", "WorkloadError", "build_scenario", "generate_workload",
+    "horizon", "policy_key", "run_scenario", "scale_ticks",
+    "simulate_suite", "ticks", "units", "validate_workload",
+]

@@ -1,0 +1,294 @@
+"""The factory simulation: jobs flowing through machine queues.
+
+Built directly on the kernel's total event order. Machines execute one
+service at a time (the SOM constraint); each waiting step sits in its
+machine's queue until the machine is idle *and* up, at which point the
+scenario's dispatch policy picks the next job. Perturbations are
+interpreted here:
+
+* :class:`Slowdown` — within the window, services started on the
+  machine stretch by ``num/den`` (integer arithmetic, applied at start
+  time — a service keeps the speed it started with);
+* :class:`Outage` — within the window the machine starts nothing new;
+  a service already in progress finishes (machines complete their
+  cycle before powering down). ``end=None`` models a permanent outage,
+  which is how jobs end up **stranded** — reported, never silently
+  dropped.
+
+Event priorities encode the tie-break semantics at equal ticks:
+state changes (outage/slowdown boundaries) apply first, then step
+completions free machines, then new releases arrive — so a job
+released exactly when a machine frees up queues behind the completed
+step's successor, deterministically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .kernel import SimulationError, Simulator, scale_ticks
+from .policies import PolicyKey, policy_key
+from .workload import Job, Workload
+
+#: Event priorities (lower runs first at the same tick).
+PRIO_CONTROL = 0   # outage / slowdown window boundaries
+PRIO_END = 1       # step completions (free the machine)
+PRIO_RELEASE = 2   # job releases
+
+
+@dataclass(frozen=True)
+class Slowdown:
+    """Machine degradation: services started in ``[start, end)`` take
+    ``num/den`` times as long."""
+
+    machine: str
+    start: int
+    end: int
+    num: int = 2
+    den: int = 1
+
+    def to_dict(self) -> dict[str, object]:
+        return {"machine": self.machine, "start": self.start,
+                "end": self.end, "factor": f"{self.num}/{self.den}"}
+
+
+@dataclass(frozen=True)
+class Outage:
+    """Machine unavailability window; ``end=None`` is permanent."""
+
+    machine: str
+    start: int
+    end: int | None
+
+    def to_dict(self) -> dict[str, object]:
+        return {"machine": self.machine, "start": self.start,
+                "end": self.end}
+
+
+@dataclass
+class QueuedJob:
+    """One job waiting in one machine's queue."""
+
+    job: Job
+    step_index: int
+    arrived: int  # tick the job joined *this* queue
+
+
+@dataclass
+class ScheduleEntry:
+    """One executed step, for the report's Gantt view."""
+
+    job: str
+    step_index: int
+    machine: str
+    service: str
+    start: int
+    end: int
+
+    def to_dict(self) -> dict[str, object]:
+        return {"job": self.job, "step": self.step_index,
+                "machine": self.machine, "service": self.service,
+                "start": self.start, "end": self.end}
+
+
+@dataclass
+class _MachineState:
+    name: str
+    up: bool = True
+    busy: bool = False
+    slow_num: int = 1
+    slow_den: int = 1
+    queue: list[QueuedJob] = field(default_factory=list)
+    busy_ticks: int = 0
+    steps_done: int = 0
+
+
+@dataclass
+class _JobState:
+    job: Job
+    next_step: int = 0
+    completed: int | None = None
+
+
+@dataclass
+class SimulationOutcome:
+    """Raw engine results (the report layer shapes these for humans)."""
+
+    workload: Workload
+    policy: str
+    schedule: list[ScheduleEntry]
+    completions: dict[str, int | None]
+    busy_ticks: dict[str, int]
+    steps_done: dict[str, int]
+    events: int
+    makespan: int
+    event_log: list[tuple[int, int, int, str]] | None = None
+
+    @property
+    def stranded(self) -> list[str]:
+        return sorted(name for name, completed in self.completions.items()
+                      if completed is None)
+
+
+def _check_windows(name: str, windows: list[tuple[int, int | None]]) -> None:
+    """Overlapping perturbation windows on one machine are ambiguous
+    (which factor applies?) — reject them instead of guessing."""
+    ordered = sorted(windows,
+                     key=lambda w: (w[0], w[1] if w[1] is not None else -1))
+    for (_, first_end), (second_start, _) in zip(ordered, ordered[1:]):
+        if first_end is None or second_start < first_end:
+            raise SimulationError(
+                f"overlapping perturbation windows on machine {name!r}")
+
+
+class FactorySimulation:
+    """One deterministic run of one workload under perturbations."""
+
+    def __init__(self, workload: Workload, *, policy: str = "fifo",
+                 slowdowns: tuple[Slowdown, ...] = (),
+                 outages: tuple[Outage, ...] = (),
+                 trace_events: bool = False):
+        self.workload = workload
+        self.policy_name = policy
+        self._key: PolicyKey = policy_key(policy)
+        self.slowdowns = tuple(slowdowns)
+        self.outages = tuple(outages)
+        self._sim = Simulator(trace_events=trace_events)
+        self._machines = {name: _MachineState(name)
+                          for name in workload.machines}
+        self._jobs = {job.name: _JobState(job) for job in workload.jobs}
+        self._schedule: list[ScheduleEntry] = []
+        self._makespan = 0
+        by_machine: dict[str, list[tuple[int, int | None]]] = {}
+        for slowdown in self.slowdowns:
+            if slowdown.machine not in self._machines:
+                raise SimulationError(
+                    f"slowdown targets unknown machine "
+                    f"{slowdown.machine!r}")
+            by_machine.setdefault(slowdown.machine, []).append(
+                (slowdown.start, slowdown.end))
+        for name, windows in sorted(by_machine.items()):
+            _check_windows(name, windows)
+        outage_windows: dict[str, list[tuple[int, int | None]]] = {}
+        for outage in self.outages:
+            if outage.machine not in self._machines:
+                raise SimulationError(
+                    f"outage targets unknown machine {outage.machine!r}")
+            outage_windows.setdefault(outage.machine, []).append(
+                (outage.start, outage.end))
+        for name, windows in sorted(outage_windows.items()):
+            _check_windows(name, windows)
+
+    # -- event actions -----------------------------------------------------
+
+    def _release(self, state: _JobState) -> None:
+        self._enqueue(state, self._sim.now)
+
+    def _enqueue(self, state: _JobState, arrived: int) -> None:
+        step = state.job.steps[state.next_step]
+        machine = self._machines[step.machine]
+        machine.queue.append(QueuedJob(state.job, state.next_step,
+                                       arrived))
+        self._dispatch(machine)
+
+    def _dispatch(self, machine: _MachineState) -> None:
+        if machine.busy or not machine.up or not machine.queue:
+            return
+        chosen = min(range(len(machine.queue)),
+                     key=lambda index: self._key(machine.queue[index]))
+        queued = machine.queue.pop(chosen)
+        state = self._jobs[queued.job.name]
+        step = queued.job.steps[queued.step_index]
+        duration = scale_ticks(step.duration, machine.slow_num,
+                               machine.slow_den)
+        start = self._sim.now
+        end = start + duration
+        machine.busy = True
+        entry = ScheduleEntry(job=queued.job.name,
+                              step_index=queued.step_index,
+                              machine=machine.name, service=step.service,
+                              start=start, end=end)
+        self._schedule.append(entry)
+        self._sim.schedule(duration,
+                           lambda: self._end_step(machine, state, entry),
+                           priority=PRIO_END,
+                           label=f"end:{machine.name}:{queued.job.name}")
+
+    def _end_step(self, machine: _MachineState, state: _JobState,
+                  entry: ScheduleEntry) -> None:
+        machine.busy = False
+        machine.busy_ticks += entry.end - entry.start
+        machine.steps_done += 1
+        self._makespan = max(self._makespan, entry.end)
+        state.next_step += 1
+        if state.next_step >= len(state.job.steps):
+            state.completed = self._sim.now
+        else:
+            self._enqueue(state, self._sim.now)
+        self._dispatch(machine)
+
+    def _set_speed(self, machine: _MachineState, num: int,
+                   den: int) -> None:
+        machine.slow_num = num
+        machine.slow_den = den
+
+    def _set_up(self, machine: _MachineState, up: bool) -> None:
+        machine.up = up
+        if up:
+            self._dispatch(machine)
+
+    # -- the run -----------------------------------------------------------
+
+    def run(self) -> SimulationOutcome:
+        controls = 0
+        for slowdown in self.slowdowns:
+            machine = self._machines[slowdown.machine]
+            self._sim.schedule_at(
+                slowdown.start,
+                lambda m=machine, s=slowdown: self._set_speed(m, s.num,
+                                                              s.den),
+                priority=PRIO_CONTROL,
+                label=f"slowdown:{slowdown.machine}")
+            self._sim.schedule_at(
+                slowdown.end, lambda m=machine: self._set_speed(m, 1, 1),
+                priority=PRIO_CONTROL,
+                label=f"restore:{slowdown.machine}")
+            controls += 2
+        for outage in self.outages:
+            machine = self._machines[outage.machine]
+            self._sim.schedule_at(
+                outage.start, lambda m=machine: self._set_up(m, False),
+                priority=PRIO_CONTROL, label=f"down:{outage.machine}")
+            controls += 1
+            if outage.end is not None:
+                self._sim.schedule_at(
+                    outage.end, lambda m=machine: self._set_up(m, True),
+                    priority=PRIO_CONTROL, label=f"up:{outage.machine}")
+                controls += 1
+        for job in self.workload.jobs:
+            state = self._jobs[job.name]
+            self._sim.schedule_at(job.release,
+                                  lambda s=state: self._release(s),
+                                  priority=PRIO_RELEASE,
+                                  label=f"release:{job.name}")
+        # every event is accounted for: releases + one end per executed
+        # step + control boundaries; anything past that bound is a bug
+        total_steps = sum(len(job.steps) for job in self.workload.jobs)
+        bound = len(self.workload.jobs) + total_steps + controls + 8
+        events = self._sim.run(max_events=bound)
+        return SimulationOutcome(
+            workload=self.workload,
+            policy=self.policy_name,
+            schedule=self._schedule,
+            completions={name: state.completed
+                         for name, state in sorted(self._jobs.items())},
+            busy_ticks={name: machine.busy_ticks
+                        for name, machine in sorted(
+                            self._machines.items())},
+            steps_done={name: machine.steps_done
+                        for name, machine in sorted(
+                            self._machines.items())},
+            events=events,
+            makespan=self._makespan,
+            event_log=self._sim.event_log,
+        )

@@ -1,0 +1,47 @@
+"""Pluggable dispatch policies: who runs next on a freed machine.
+
+A policy is a *key function* over the jobs waiting in one machine's
+queue: the waiting job with the smallest key starts next. Keys must be
+total and deterministic — every policy ends its key with the job name,
+so ties can never fall back to arrival interleaving or hash order.
+
+Two built-ins (the registry is open for more):
+
+* ``fifo`` — first come, first served, by arrival tick at this queue
+  (ties: release tick, then name);
+* ``edd``  — earliest due date first (ties: release tick, then name),
+  the classic lateness-minimizing heuristic for single machines.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .engine import QueuedJob
+
+#: key(queued) -> ordering tuple; smallest runs first.
+PolicyKey = Callable[["QueuedJob"], tuple]
+
+
+def fifo_key(queued: "QueuedJob") -> tuple:
+    return (queued.arrived, queued.job.release, queued.job.name)
+
+
+def edd_key(queued: "QueuedJob") -> tuple:
+    return (queued.job.due, queued.job.release, queued.job.name)
+
+
+POLICIES: dict[str, PolicyKey] = {
+    "fifo": fifo_key,
+    "edd": edd_key,
+}
+
+
+def policy_key(name: str) -> PolicyKey:
+    """Look up a registered policy (raises with the known names)."""
+    try:
+        return POLICIES[name]
+    except KeyError:
+        raise KeyError(f"unknown dispatch policy {name!r}; "
+                       f"known: {', '.join(sorted(POLICIES))}") from None

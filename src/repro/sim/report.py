@@ -1,0 +1,307 @@
+"""Scenario reports and the multi-scenario briefing artifact.
+
+A :class:`ScenarioReport` scores one simulated scenario by the three
+quantities the roadmap names — makespan, per-job lateness, per-machine
+utilization — plus completion/stranded counts and the executed
+schedule. A :class:`Briefing` compares variant scenarios against the
+baseline and renders as both canonical JSON (the machine artifact) and
+a text table (the human artifact).
+
+Everything in these objects is integers, strings and *rounded* floats
+derived from integers — no wall-clock, no process state — so
+``to_json()`` is byte-identical for a given seed across runs,
+interpreter restarts and worker pools, and :attr:`ScenarioReport.digest`
+is a usable equivalence key (the ``sim`` conformance oracle compares
+exactly these digests across execution modes).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from ..fingerprint import SIM_BRIEFING_SALT, SIM_REPORT_SALT, fingerprint
+from ..obs import Summarizable
+from .engine import ScheduleEntry, SimulationOutcome
+from .kernel import units
+
+#: Briefing artifact schema (the JSON's ``schema`` field).
+BRIEFING_SCHEMA = "repro/sim-briefing/1"
+
+
+def _ratio(part: int, whole: int) -> float:
+    """A rounded ratio that is a pure function of two ints."""
+    return round(part / whole, 6) if whole else 0.0
+
+
+@dataclass(frozen=True)
+class JobOutcome:
+    """One job's fate: completion, lateness, flow time (ticks)."""
+
+    name: str
+    release: int
+    due: int
+    completed: int | None
+    weight: int = 1
+
+    @property
+    def lateness(self) -> int:
+        """Positive lateness in ticks (0 when on time or stranded —
+        stranded jobs are reported separately, not as infinite
+        lateness)."""
+        if self.completed is None:
+            return 0
+        return max(0, self.completed - self.due)
+
+    @property
+    def flow(self) -> int:
+        return (self.completed - self.release
+                if self.completed is not None else 0)
+
+    def to_dict(self) -> dict[str, object]:
+        return {"name": self.name, "release": self.release,
+                "due": self.due, "completed": self.completed,
+                "lateness": self.lateness, "flow": self.flow,
+                "weight": self.weight}
+
+
+@dataclass(frozen=True)
+class MachineUtilization:
+    """One machine's share of the makespan spent serving."""
+
+    name: str
+    busy: int
+    steps: int
+    makespan: int
+
+    @property
+    def utilization(self) -> float:
+        return _ratio(self.busy, self.makespan)
+
+    def to_dict(self) -> dict[str, object]:
+        return {"name": self.name, "busy": self.busy,
+                "steps": self.steps, "utilization": self.utilization}
+
+
+@dataclass
+class ScenarioReport(Summarizable):
+    """The scored outcome of one scenario run."""
+
+    scenario: str
+    description: str
+    seed: int
+    policy: str
+    makespan: int
+    events: int
+    jobs: list[JobOutcome]
+    machines: list[MachineUtilization]
+    schedule: list[ScheduleEntry] = field(default_factory=list, repr=False)
+    perturbations: list[dict] = field(default_factory=list)
+
+    # -- headline metrics --------------------------------------------------
+
+    @property
+    def completed(self) -> int:
+        return sum(1 for job in self.jobs if job.completed is not None)
+
+    @property
+    def stranded(self) -> list[str]:
+        return [job.name for job in self.jobs if job.completed is None]
+
+    @property
+    def total_lateness(self) -> int:
+        return sum(job.lateness * job.weight for job in self.jobs)
+
+    @property
+    def max_lateness(self) -> int:
+        return max((job.lateness for job in self.jobs), default=0)
+
+    @property
+    def late_jobs(self) -> int:
+        return sum(1 for job in self.jobs if job.lateness > 0)
+
+    @property
+    def mean_utilization(self) -> float:
+        if not self.machines:
+            return 0.0
+        return round(sum(m.busy for m in self.machines)
+                     / (len(self.machines) * self.makespan), 6) \
+            if self.makespan else 0.0
+
+    def summary(self) -> dict[str, object]:
+        return {
+            "scenario": self.scenario,
+            "seed": self.seed,
+            "policy": self.policy,
+            "jobs": len(self.jobs),
+            "completed": self.completed,
+            "stranded": len(self.stranded),
+            "events": self.events,
+            "makespan": self.makespan,
+            "total_lateness": self.total_lateness,
+            "max_lateness": self.max_lateness,
+            "late_jobs": self.late_jobs,
+            "mean_utilization": self.mean_utilization,
+        }
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            **self.summary(),
+            "description": self.description,
+            "perturbations": list(self.perturbations),
+            "job_outcomes": [job.to_dict() for job in self.jobs],
+            "machine_utilization": [machine.to_dict()
+                                    for machine in self.machines],
+            "schedule": [entry.to_dict() for entry in self.schedule],
+        }
+
+    @property
+    def digest(self) -> str:
+        """Content address of the whole report (timing-free by
+        construction — there are no wall-clock fields to exclude)."""
+        return fingerprint(self.to_dict(), salt=SIM_REPORT_SALT)
+
+    def render(self) -> str:
+        lines = [f"scenario {self.scenario!r} (seed {self.seed}, "
+                 f"policy {self.policy}): "
+                 f"{self.completed}/{len(self.jobs)} jobs, "
+                 f"makespan {units(self.makespan):g}"]
+        if self.stranded:
+            lines.append(f"  stranded: {', '.join(self.stranded)}")
+        for machine in self.machines:
+            lines.append(f"  {machine.name:>12}: "
+                         f"{machine.utilization:7.1%} busy, "
+                         f"{machine.steps} steps")
+        return "\n".join(lines)
+
+    @classmethod
+    def from_outcome(cls, outcome: SimulationOutcome, *, scenario: str,
+                     description: str, seed: int,
+                     perturbations: list[dict] | None = None
+                     ) -> "ScenarioReport":
+        jobs = [JobOutcome(name=job.name, release=job.release,
+                           due=job.due,
+                           completed=outcome.completions[job.name],
+                           weight=job.weight)
+                for job in outcome.workload.jobs]
+        jobs.sort(key=lambda job: job.name)
+        machines = [MachineUtilization(
+            name=name, busy=outcome.busy_ticks[name],
+            steps=outcome.steps_done[name], makespan=outcome.makespan)
+            for name in outcome.workload.machines]
+        return cls(scenario=scenario, description=description, seed=seed,
+                   policy=outcome.policy, makespan=outcome.makespan,
+                   events=outcome.events, jobs=jobs, machines=machines,
+                   schedule=list(outcome.schedule),
+                   perturbations=list(perturbations or []))
+
+
+def _delta(variant: int | float, baseline: int | float) -> str:
+    """A signed human delta (``+12``, ``-3``, ``±0``)."""
+    difference = variant - baseline
+    if isinstance(difference, float):
+        difference = round(difference, 6)
+    if difference == 0:
+        return "±0"
+    return f"{difference:+g}"
+
+
+@dataclass
+class Briefing(Summarizable):
+    """The cross-scenario comparison artifact.
+
+    The first report is the baseline; every other scenario's headline
+    metrics carry deltas against it. ``to_json()`` is the committed
+    artifact format (golden-tested for the ICE lab), ``render()`` the
+    console table.
+    """
+
+    seed: int
+    policy: str
+    reports: list[ScenarioReport]
+
+    def __post_init__(self) -> None:
+        if not self.reports:
+            raise ValueError("a briefing needs at least one scenario")
+
+    @property
+    def baseline(self) -> ScenarioReport:
+        return self.reports[0]
+
+    def report(self, scenario: str) -> ScenarioReport:
+        for report in self.reports:
+            if report.scenario == scenario:
+                return report
+        raise KeyError(f"no scenario named {scenario!r}")
+
+    def summary(self) -> dict[str, object]:
+        return {
+            "seed": self.seed,
+            "policy": self.policy,
+            "scenarios": [report.scenario for report in self.reports],
+            "baseline": self.baseline.scenario,
+        }
+
+    def comparison(self) -> list[dict[str, object]]:
+        """Per-scenario headline metrics with deltas vs baseline."""
+        base = self.baseline.summary()
+        rows = []
+        for report in self.reports:
+            row = report.summary()
+            if report is not self.baseline:
+                row["deltas"] = {
+                    metric: _delta(row[metric], base[metric])
+                    for metric in ("makespan", "total_lateness",
+                                   "max_lateness", "late_jobs",
+                                   "mean_utilization")}
+            rows.append(row)
+        return rows
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "schema": BRIEFING_SCHEMA,
+            **self.summary(),
+            "digest": self.digest,
+            "comparison": self.comparison(),
+            "reports": [report.to_dict() for report in self.reports],
+        }
+
+    @property
+    def digest(self) -> str:
+        return fingerprint(
+            self.seed, self.policy,
+            [report.digest for report in self.reports],
+            salt=SIM_BRIEFING_SALT)
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2) + "\n"
+
+    def render(self) -> str:
+        """The console comparison table."""
+        headers = ("scenario", "jobs", "makespan", "late", "lateness",
+                   "max late", "util", "stranded")
+        rows: list[tuple[str, ...]] = []
+        base = self.baseline
+        for report in self.reports:
+            mark = "" if report is base else (
+                f" ({_delta(report.makespan, base.makespan)})")
+            rows.append((
+                report.scenario,
+                f"{report.completed}/{len(report.jobs)}",
+                f"{units(report.makespan):g}{mark}",
+                str(report.late_jobs),
+                f"{units(report.total_lateness):g}",
+                f"{units(report.max_lateness):g}",
+                f"{report.mean_utilization:.1%}",
+                str(len(report.stranded)),
+            ))
+        widths = [max(len(headers[i]), *(len(row[i]) for row in rows))
+                  for i in range(len(headers))]
+        lines = [f"briefing: seed {self.seed}, policy {self.policy}, "
+                 f"baseline {base.scenario!r}"]
+        lines.append("  " + "  ".join(
+            header.ljust(widths[i]) for i, header in enumerate(headers)))
+        for row in rows:
+            lines.append("  " + "  ".join(
+                cell.ljust(widths[i]) for i, cell in enumerate(row)))
+        return "\n".join(lines)

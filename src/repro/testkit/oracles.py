@@ -17,6 +17,10 @@ Each oracle states one differential property:
   artifact;
 * ``grouping``     — client grouping is a partition (every machine
   assigned exactly once), respects capacity, and is deterministic.
+* ``sim``          — scenario-engine briefings for one seed are
+  byte-identical across repeat runs, ``jobs=1`` vs ``jobs=N`` and
+  thread vs process pools, and reports do not depend on job input
+  order.
 * ``chaos``        — opt-in (``repro conformance --chaos``): under a
   seeded fault plan injecting cache corruption, cache I/O errors and
   worker crashes, the pipeline still emits bundles byte-identical to
@@ -374,6 +378,51 @@ def _check_grouping(ctx: TrialContext) -> None:
             f"({len(best_fit)} < {bound}) — the packing is unsound")
 
 
+def _check_sim(ctx: TrialContext) -> None:
+    """The scenario engine's determinism contract, by digest.
+
+    One seed + one topology must produce byte-identical briefings
+    across repeated runs, ``jobs=1`` vs ``jobs=N``, thread vs process
+    pools — and a report must not depend on the input order of the
+    job list it simulates.
+    """
+    from ..sim import (CANONICAL_SCENARIOS, Workload, build_scenario,
+                       run_scenario, simulate_suite)
+    topology = extract_topology(ctx.model)
+    if not topology.machines:
+        return  # nothing to simulate — trivially deterministic
+    seed = ctx.scenario.seed if ctx.scenario is not None else 0
+    serial = simulate_suite(topology, seed=seed, mode="serial")
+    for mode in ("thread", "process"):
+        pooled = simulate_suite(topology, seed=seed, jobs=4, mode=mode)
+        if pooled.digest != serial.digest:
+            raise OracleFailure(
+                f"jobs=4 {mode}-pool briefing digest differs from serial")
+        if pooled.to_json() != serial.to_json():
+            raise OracleFailure(
+                f"jobs=4 {mode}-pool briefing JSON differs from serial")
+    again = simulate_suite(topology, seed=seed, mode="serial")
+    if again.digest != serial.digest:
+        raise OracleFailure("repeated serial simulation changed digest")
+    if list(CANONICAL_SCENARIOS) != [report.scenario
+                                     for report in serial.reports]:
+        raise OracleFailure("briefing scenario order differs from the "
+                            "requested scenario list")
+    # input-order independence: the same job *set*, handed over in
+    # reverse, must simulate to the same report
+    spec = build_scenario("baseline", topology, seed=seed)
+    reversed_spec = type(spec)(
+        name=spec.name, description=spec.description, seed=spec.seed,
+        policy=spec.policy,
+        workload=Workload(list(reversed(spec.workload.jobs)),
+                          machines=spec.workload.machines),
+        slowdowns=spec.slowdowns, outages=spec.outages,
+        perturbations=spec.perturbations)
+    if run_scenario(reversed_spec).digest != run_scenario(spec).digest:
+        raise OracleFailure(
+            "report digest depends on job input order")
+
+
 #: The registry, in canonical execution order (front end first, then
 #: pipeline equivalences, then semantic invariants).
 ORACLES: dict[str, Oracle] = {
@@ -401,6 +450,11 @@ ORACLES: dict[str, Oracle] = {
                "client grouping partitions machines within capacity, "
                "deterministically",
                _check_grouping),
+        Oracle("sim",
+               "scenario-engine briefings byte-identical across repeat "
+               "runs, jobs=1/N and thread/process pools; reports "
+               "independent of job input order",
+               _check_sim),
         Oracle("chaos",
                "under a seeded fault plan (cache corruption/IO errors, "
                "worker crashes, injected 503s) bundles stay "

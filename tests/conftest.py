@@ -43,3 +43,10 @@ def crash_corpus_files():
 def emco_model():
     """The paper's running example (workcell 02), parsed and resolved."""
     return load_model(EMCO_WORKCELL_SOURCE)
+
+
+@pytest.fixture(scope="session")
+def topology():
+    """The extracted ICE-lab factory (6 workcells, 10 machines)."""
+    from repro.icelab.factory import icelab_topology
+    return icelab_topology()

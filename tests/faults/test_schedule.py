@@ -1,0 +1,108 @@
+"""The extracted occurrence-hash contract (:mod:`repro.faults.schedule`).
+
+``FaultPlan`` used to inline the seeded SHA-256 draw; the helper module
+is now the single implementation, shared with the scenario engine. The
+pinned vectors below were captured from the *pre-refactor* inline code,
+so any drift in the token format (separator, field order, byte count)
+fails loudly here — and would silently reshuffle every seeded fault
+schedule and simulation scenario.
+"""
+
+import pytest
+
+from repro.faults import (FaultPlan, FaultSpec, min_fraction_occurrence,
+                          occurrence_fraction, occurrence_schedule,
+                          spec_schedule)
+
+#: Captured from FaultPlan(seed=7, ...).decide(...) before the refactor.
+PINNED_CACHE_GET_CORRUPT_03 = [
+    False, False, False, True, True, False, True, False, False, False,
+    True, False, False, False, True, False, True, True, False, False]
+PINNED_WORKER_CRASH_05 = [
+    False, False, False, False, False, True, False, True, True, False,
+    False, True, True, True, True, True, True, True, True, False]
+#: round(occurrence_fraction(7, "cache.get", "corrupt", n), 6) for n<8,
+#: captured from the pre-refactor inline hash.
+PINNED_FRACTIONS = [0.749628, 0.500317, 0.640735, 0.062979,
+                    0.016009, 0.411854, 0.047819, 0.618526]
+
+
+class TestPinnedContract:
+    def test_fraction_vector_unchanged(self):
+        observed = [round(occurrence_fraction(7, "cache.get", "corrupt", n), 6)
+                    for n in range(8)]
+        assert observed == PINNED_FRACTIONS
+
+    def test_fault_plan_firing_pattern_unchanged(self):
+        specs = (FaultSpec("cache.get", "corrupt", probability=0.3),
+                 FaultSpec("parallel.worker", "crash", probability=0.5))
+        plan = FaultPlan(seed=7, specs=specs)
+        fired = [plan.decide("cache.get") is not None for _ in range(20)]
+        assert fired == PINNED_CACHE_GET_CORRUPT_03
+        plan = FaultPlan(seed=7, specs=specs)
+        fired = [plan.decide("parallel.worker") is not None
+                 for _ in range(20)]
+        assert fired == PINNED_WORKER_CRASH_05
+
+    def test_plan_fires_matches_helper(self):
+        spec = FaultSpec("some.site", "io-error", probability=0.4)
+        plan = FaultPlan(seed=13, specs=(spec,))
+        for occurrence in range(50):
+            expected = occurrence_fraction(
+                13, "some.site", "io-error", occurrence) < 0.4
+            assert plan._fires(spec, occurrence) is expected
+
+
+class TestScheduleHelpers:
+    def test_schedule_matches_live_plan_decisions(self):
+        spec = FaultSpec("sim.slowdown", "latency", probability=0.35)
+        plan = FaultPlan(seed=42, specs=(spec,))
+        schedule = spec_schedule(plan, spec, opportunities=30)
+        live = [n for n in range(30)
+                if plan.decide("sim.slowdown") is not None]
+        assert schedule == live
+
+    def test_schedule_is_pure(self):
+        spec = FaultSpec("sim.outage", "unavailable", probability=0.5)
+        plan = FaultPlan(seed=3, specs=(spec,))
+        first = spec_schedule(plan, spec, opportunities=16)
+        # consuming the live counters must not change the pure schedule
+        for _ in range(10):
+            plan.decide("sim.outage")
+        assert spec_schedule(plan, spec, opportunities=16) == first
+
+    def test_max_injections_caps_schedule(self):
+        spec = FaultSpec("site", "crash", probability=1.0,
+                         max_injections=3)
+        plan = FaultPlan(seed=0, specs=(spec,))
+        assert spec_schedule(plan, spec, opportunities=10) == [0, 1, 2]
+
+    def test_probability_bounds(self):
+        assert occurrence_schedule(1, "s", "crash", opportunities=20,
+                                   probability=0.0) == []
+        assert occurrence_schedule(1, "s", "crash", opportunities=20,
+                                   probability=1.0) == list(range(20))
+        with pytest.raises(ValueError):
+            occurrence_schedule(1, "s", "crash", opportunities=5,
+                                probability=1.5)
+        with pytest.raises(ValueError):
+            occurrence_schedule(1, "s", "crash", opportunities=-1,
+                                probability=0.5)
+
+    def test_min_fraction_occurrence_is_argmin(self):
+        fractions = [occurrence_fraction(9, "pick", "latency", n)
+                     for n in range(12)]
+        winner = min_fraction_occurrence(9, "pick", "latency",
+                                         opportunities=12)
+        assert fractions[winner] == min(fractions)
+        with pytest.raises(ValueError):
+            min_fraction_occurrence(9, "pick", "latency", opportunities=0)
+
+    def test_seed_site_kind_all_separate_streams(self):
+        base = [occurrence_fraction(1, "a", "crash", n) for n in range(8)]
+        assert [occurrence_fraction(2, "a", "crash", n)
+                for n in range(8)] != base
+        assert [occurrence_fraction(1, "b", "crash", n)
+                for n in range(8)] != base
+        assert [occurrence_fraction(1, "a", "io-error", n)
+                for n in range(8)] != base

@@ -1,0 +1,136 @@
+"""Scenario recipes, reports and the briefing artifact."""
+
+import json
+
+import pytest
+
+from repro.sim import (CANONICAL_SCENARIOS, SCENARIOS, Briefing,
+                       ScenarioReport, build_scenario, horizon,
+                       run_scenario, simulate_suite)
+
+
+class TestRegistry:
+    def test_canonical_trio_registered(self):
+        assert CANONICAL_SCENARIOS == ("baseline", "rush-order",
+                                       "slowdown")
+        for name in CANONICAL_SCENARIOS:
+            assert name in SCENARIOS
+
+    def test_unknown_scenario_raises(self, topology):
+        with pytest.raises(KeyError, match="unknown scenario"):
+            build_scenario("meteor-strike", topology, seed=0)
+
+
+class TestBuilders:
+    def test_baseline_has_no_perturbations(self, topology):
+        spec = build_scenario("baseline", topology, seed=7)
+        assert spec.slowdowns == () and spec.outages == ()
+        assert spec.perturbations == ()
+
+    def test_rush_order_adds_weighted_jobs(self, topology):
+        base = build_scenario("baseline", topology, seed=7)
+        rush = build_scenario("rush-order", topology, seed=7)
+        extra = [job for job in rush.workload.jobs
+                 if job.name.startswith("rush-")]
+        assert extra and len(rush.workload) == len(base.workload) \
+            + len(extra)
+        assert all(job.weight == 2 for job in extra)
+        assert all(record["type"] == "rush-order"
+                   for record in rush.perturbations)
+
+    def test_slowdown_targets_used_machines(self, topology):
+        spec = build_scenario("slowdown", topology, seed=7)
+        used = {step.machine for job in spec.workload.jobs
+                for step in job.steps}
+        assert spec.slowdowns
+        for slowdown in spec.slowdowns:
+            assert slowdown.machine in used
+            assert 0 <= slowdown.start < slowdown.end <= \
+                horizon(spec.workload)
+
+    def test_outage_covers_one_workcell(self, topology):
+        spec = build_scenario("outage", topology, seed=7)
+        assert spec.outages
+        workcells = {record["workcell"] for record in spec.perturbations}
+        assert len(workcells) == 1
+        cell = topology.workcell(workcells.pop())
+        members = {machine.name for machine in cell.machines}
+        assert {outage.machine for outage in spec.outages} <= members
+
+    def test_blackout_is_permanent(self, topology):
+        spec = build_scenario("blackout", topology, seed=7)
+        assert all(outage.end is None for outage in spec.outages)
+
+    def test_specs_deterministic_across_builds(self, topology):
+        first = build_scenario("rush-order", topology, seed=9)
+        second = build_scenario("rush-order", topology, seed=9)
+        assert first.workload.to_dict() == second.workload.to_dict()
+        assert first.perturbations == second.perturbations
+
+
+class TestReports:
+    def test_report_accounts_for_every_job(self, topology):
+        spec = build_scenario("baseline", topology, seed=7)
+        report = run_scenario(spec)
+        assert len(report.jobs) == len(spec.workload)
+        assert report.completed + len(report.stranded) == len(report.jobs)
+        assert report.makespan > 0
+
+    def test_blackout_reports_stranded_jobs(self, topology):
+        report = run_scenario(build_scenario("blackout", topology,
+                                             seed=7))
+        assert report.stranded
+        assert report.completed + len(report.stranded) == len(report.jobs)
+
+    def test_digest_stable_and_sensitive(self, topology):
+        spec = build_scenario("baseline", topology, seed=7)
+        report = run_scenario(spec)
+        assert report.digest == run_scenario(spec).digest
+        other = run_scenario(build_scenario("baseline", topology, seed=8))
+        assert report.digest != other.digest
+
+    def test_render_lists_every_machine(self, topology):
+        report = run_scenario(build_scenario("baseline", topology,
+                                             seed=7))
+        text = report.render()
+        for machine in report.machines:
+            assert machine.name in text
+
+
+class TestBriefing:
+    def test_briefing_compares_against_first_report(self, topology):
+        briefing = simulate_suite(topology, seed=7)
+        rows = briefing.comparison()
+        assert "deltas" not in rows[0]
+        assert all("deltas" in row for row in rows[1:])
+        assert briefing.baseline.scenario == "baseline"
+
+    def test_briefing_json_round_trips(self, topology):
+        briefing = simulate_suite(topology, seed=7)
+        document = json.loads(briefing.to_json())
+        assert document["schema"] == "repro/sim-briefing/1"
+        assert document["digest"] == briefing.digest
+        assert [r["scenario"] for r in document["reports"]] == \
+            list(CANONICAL_SCENARIOS)
+
+    def test_briefing_lookup_by_name(self, topology):
+        briefing = simulate_suite(topology, seed=7)
+        assert briefing.report("slowdown").scenario == "slowdown"
+        with pytest.raises(KeyError):
+            briefing.report("meteor-strike")
+
+    def test_empty_briefing_rejected(self):
+        with pytest.raises(ValueError):
+            Briefing(seed=0, policy="fifo", reports=[])
+
+    def test_policies_change_outcomes_not_contract(self, topology):
+        fifo = simulate_suite(topology, seed=7)
+        edd = simulate_suite(topology, seed=7, policy="edd")
+        assert fifo.digest != edd.digest
+        assert [r.scenario for r in fifo.reports] == \
+            [r.scenario for r in edd.reports]
+
+    def test_report_is_a_scenario_report(self, topology):
+        briefing = simulate_suite(topology, seed=7)
+        assert all(isinstance(report, ScenarioReport)
+                   for report in briefing.reports)

@@ -1,0 +1,132 @@
+"""Engine semantics: dispatch policies, perturbations, stranding."""
+
+import pytest
+
+from repro.sim import (FactorySimulation, Job, JobStep, Outage,
+                       SimulationError, Slowdown, Workload)
+
+
+def route(name, *stops, release=0, due=1000):
+    steps = tuple(JobStep(machine, "s", duration)
+                  for machine, duration in stops)
+    return Job(name=name, steps=steps, release=release, due=due)
+
+
+def run(jobs, **kwargs):
+    machines = kwargs.pop("machines", ())
+    workload = Workload(jobs, machines=machines)
+    return FactorySimulation(workload, **kwargs).run()
+
+
+class TestDispatch:
+    def test_single_machine_serializes(self):
+        outcome = run([route("a", ("mill", 10)),
+                       route("b", ("mill", 10))])
+        spans = sorted((e.start, e.end) for e in outcome.schedule)
+        assert spans == [(0, 10), (10, 20)]
+        assert outcome.makespan == 20
+
+    def test_fifo_serves_in_arrival_order(self):
+        outcome = run([route("late", ("mill", 5), release=2),
+                       route("early", ("mill", 5), release=1)])
+        assert [e.job for e in outcome.schedule] == ["early", "late"]
+
+    def test_edd_prefers_urgent_job(self):
+        # both queued while the machine grinds the opener; EDD picks
+        # the tighter due date, FIFO the earlier arrival
+        jobs = [route("opener", ("mill", 10)),
+                route("relaxed", ("mill", 5), release=1, due=900),
+                route("urgent", ("mill", 5), release=2, due=30)]
+        fifo = run(list(jobs))
+        edd = run(list(jobs), policy="edd")
+        assert [e.job for e in fifo.schedule] == \
+            ["opener", "relaxed", "urgent"]
+        assert [e.job for e in edd.schedule] == \
+            ["opener", "urgent", "relaxed"]
+
+    def test_routes_chain_across_machines(self):
+        outcome = run([route("a", ("mill", 10), ("arm", 5))])
+        mill, arm = outcome.schedule
+        assert (mill.machine, arm.machine) == ("mill", "arm")
+        assert arm.start == mill.end
+        assert outcome.completions["a"] == 15
+
+    def test_unknown_policy_raises(self):
+        with pytest.raises(KeyError, match="unknown dispatch policy"):
+            run([route("a", ("mill", 1))], policy="lifo")
+
+
+class TestSlowdown:
+    def test_services_in_window_stretch(self):
+        outcome = run([route("a", ("mill", 10), release=5)],
+                      slowdowns=(Slowdown("mill", 0, 100, num=2, den=1),))
+        entry = outcome.schedule[0]
+        assert entry.end - entry.start == 20
+
+    def test_service_keeps_speed_it_started_with(self):
+        # slowdown begins mid-service: the running service is unaffected
+        outcome = run([route("a", ("mill", 10))],
+                      slowdowns=(Slowdown("mill", 5, 50),))
+        assert outcome.makespan == 10
+
+    def test_window_end_restores_full_speed(self):
+        outcome = run([route("a", ("mill", 10), release=50)],
+                      slowdowns=(Slowdown("mill", 0, 30),))
+        assert outcome.makespan == 60
+
+    def test_overlapping_windows_rejected(self):
+        with pytest.raises(SimulationError, match="overlapping"):
+            run([route("a", ("mill", 1))],
+                slowdowns=(Slowdown("mill", 0, 10),
+                           Slowdown("mill", 5, 15)))
+
+    def test_unknown_machine_rejected(self):
+        with pytest.raises(SimulationError, match="unknown machine"):
+            run([route("a", ("mill", 1))],
+                slowdowns=(Slowdown("ghost", 0, 10),))
+
+
+class TestOutage:
+    def test_outage_defers_new_starts(self):
+        outcome = run([route("a", ("mill", 10), release=5)],
+                      outages=(Outage("mill", 0, 30),))
+        entry = outcome.schedule[0]
+        assert entry.start == 30
+        assert outcome.completions["a"] == 40
+
+    def test_in_flight_service_finishes_through_outage(self):
+        outcome = run([route("a", ("mill", 10))],
+                      outages=(Outage("mill", 5, 50),))
+        assert outcome.completions["a"] == 10
+
+    def test_permanent_outage_strands_jobs(self):
+        outcome = run([route("done", ("mill", 5)),
+                       route("stuck", ("mill", 5), release=20)],
+                      outages=(Outage("mill", 10, None),))
+        assert outcome.completions["done"] == 5
+        assert outcome.completions["stuck"] is None
+        assert outcome.stranded == ["stuck"]
+
+    def test_queued_work_resumes_after_outage(self):
+        outcome = run([route("a", ("mill", 5)),
+                       route("b", ("mill", 5), release=1)],
+                      outages=(Outage("mill", 5, 20),))
+        assert [(e.start, e.end) for e in outcome.schedule] == \
+            [(0, 5), (20, 25)]
+
+
+class TestAccounting:
+    def test_busy_ticks_and_steps(self):
+        outcome = run([route("a", ("mill", 10), ("arm", 5)),
+                       route("b", ("mill", 3))])
+        assert outcome.busy_ticks == {"arm": 5, "mill": 13}
+        assert outcome.steps_done == {"arm": 1, "mill": 2}
+
+    def test_event_log_is_monotone(self):
+        outcome = run([route("a", ("mill", 4), ("arm", 2)),
+                       route("b", ("arm", 3), release=1)],
+                      trace_events=True)
+        keys = [entry[:3] for entry in outcome.event_log]
+        assert keys == sorted(keys)
+        times = [entry[0] for entry in outcome.event_log]
+        assert times == sorted(times)
