@@ -285,12 +285,15 @@ def _cmd_simulate(args) -> int:
 
 def _cmd_serve(args) -> int:
     """Run the concurrent configuration service until SIGTERM/SIGINT."""
+    import json as _json
     import signal
     import threading
 
     from .codegen import PipelineOptions
     from .service import ConfigurationService, ServiceHTTPServer
 
+    if args.workers > 0:
+        return _cmd_serve_sharded(args)
     cache = _resolve_cache(args)
     options = PipelineOptions(
         capacity=args.capacity, namespace=args.namespace,
@@ -328,6 +331,9 @@ def _cmd_serve(args) -> int:
     print(f"drained: completed={report.completed} "
           f"waited={report.waited_seconds:.2f}s "
           f"remaining={report.remaining}", flush=True)
+    if args.drain_report_file:
+        with open(args.drain_report_file, "w") as handle:
+            handle.write(_json.dumps(report.summary()) + "\n")
     snapshot = service.final_metrics or {}
     for name in ("service.requests", "service.responses",
                  "service.pipeline_executions",
@@ -335,6 +341,105 @@ def _cmd_serve(args) -> int:
         if name in snapshot:
             print(f"{name:>36}: {snapshot[name]}")
     return 0 if report.completed else 1
+
+
+def _cmd_serve_sharded(args) -> int:
+    """Run the sharded tier: N worker processes behind the router."""
+    import json as _json
+    import signal
+    import tempfile
+    import threading
+
+    from .codegen import PipelineOptions
+    from .service import RouterHTTPServer, RouterService, WorkerProcess
+
+    cache = _resolve_cache(args)
+    if cache is None:
+        # workers are separate processes; a shared content-addressed
+        # store is what lets one shard's artifacts serve another after
+        # a re-shard, so the sharded tier always runs with a cache
+        from .cache import ArtifactCache, default_cache_dir
+        cache = ArtifactCache(default_cache_dir())
+    serve_args = [
+        "--capacity", str(args.capacity),
+        "--namespace", args.namespace,
+        "--max-inflight", str(args.max_inflight),
+        "--backpressure", args.backpressure,
+        "--block-deadline", str(args.block_deadline),
+        "--rate", str(args.rate),
+        "--drain-deadline", str(args.drain_deadline),
+        "--jobs", str(args.jobs),
+        "--cache-dir", str(cache.directory),
+    ]
+    if args.cache_max_bytes is not None:
+        serve_args += ["--cache-max-bytes", str(args.cache_max_bytes)]
+    options = PipelineOptions(
+        capacity=args.capacity, namespace=args.namespace, jobs=args.jobs,
+        cache_dir=str(cache.directory))
+    workdir = tempfile.mkdtemp(prefix="repro-shards-")
+    workers = [WorkerProcess(f"worker{i}", host=args.host,
+                             serve_args=serve_args, workdir=workdir)
+               for i in range(args.workers)]
+    exit_code = 1
+    try:
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.wait_ready()
+        router = RouterService(workers, options)
+        server = RouterHTTPServer((args.host, args.port), router)
+        router.start_probes()
+        if args.port_file:
+            with open(args.port_file, "w") as handle:
+                handle.write(f"{server.port}\n")
+        print(f"routing on http://{args.host}:{server.port} over "
+              f"{len(workers)} worker(s): "
+              + ", ".join(f"{w.name}={w.port}" for w in workers)
+              + f" (cache={cache.directory})", flush=True)
+
+        def _graceful(signum, frame):
+            # shutdown() must come from outside serve_forever's thread
+            threading.Thread(
+                target=server.drain_and_shutdown,
+                args=(args.drain_deadline,), name="drain",
+                daemon=True).start()
+
+        signal.signal(signal.SIGTERM, _graceful)
+        signal.signal(signal.SIGINT, _graceful)
+        try:
+            server.serve_forever(poll_interval=0.1)
+        finally:
+            server.server_close()
+        report = router.lifecycle.last_drain
+        if report is None:  # no drain signal: drain the topology now
+            topology = router.drain(args.drain_deadline)
+        else:
+            # _graceful already drained router + workers; rebuild the
+            # topology view from the workers' report files
+            from .service import TopologyDrainReport
+            topology = TopologyDrainReport(
+                router=report,
+                workers={worker.name: worker.drain(args.drain_deadline)
+                         for worker in workers})
+        print(f"drained: completed={topology.completed} "
+              f"router_remaining={topology.router.remaining}",
+              flush=True)
+        for name, worker_report in sorted(topology.workers.items()):
+            if worker_report is None:
+                print(f"  {name}: NO REPORT (crashed or killed)",
+                      flush=True)
+            else:
+                print(f"  {name}: completed={worker_report.completed} "
+                      f"waited={worker_report.waited_seconds:.2f}s "
+                      f"remaining={worker_report.remaining}", flush=True)
+        if args.drain_report_file:
+            with open(args.drain_report_file, "w") as handle:
+                handle.write(_json.dumps(topology.summary()) + "\n")
+        exit_code = 0 if topology.completed else 1
+    finally:
+        for worker in workers:
+            worker.close()
+    return exit_code
 
 
 def _cmd_watch(args) -> int:
@@ -664,6 +769,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--drain-deadline", type=float, default=10.0,
                          metavar="SECONDS",
                          help="graceful-drain bound on SIGTERM/SIGINT")
+    p_serve.add_argument(
+        "--workers", type=int, default=0, metavar="N",
+        help="run the sharded tier: N worker processes behind a "
+             "consistent-hash router (0 = single-process service)")
+    p_serve.add_argument(
+        "--drain-report-file", metavar="PATH",
+        help="write the final drain report as JSON to PATH "
+             "(single node: the DrainReport; --workers N: the "
+             "topology report incl. every worker)")
     _add_perf_arguments(p_serve)
     p_serve.set_defaults(func=_cmd_serve)
 

@@ -3,7 +3,8 @@
 A :class:`FaultPlan` is a pure description of *which* faults to inject
 *where*: a seed plus a tuple of :class:`FaultSpec` entries, each naming
 a fault site (``cache.get``, ``parallel.worker``, ``service.request``,
-``k8s.apply``, ...), a fault kind and a probability. Instrumented code
+``router.dispatch``, ``k8s.apply``, ...), a fault kind and a
+probability. Instrumented code
 declares its sites by calling :func:`fault_point` (raising kinds:
 IO errors, worker crashes, service unavailability, latency) or
 :func:`corrupt_at` (payload corruption) — both are no-ops unless a plan

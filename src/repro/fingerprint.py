@@ -79,6 +79,12 @@ SERVICE_PARSE_SALT = "service-parse/1"
 SERVICE_GENERATE_SALT = "service-generate/1"
 SERVICE_MEMO_SALT = "service-memo/1"
 
+#: Consistent-hash ring of the sharded serving tier: vnode placement
+#: points (:mod:`repro.service.ring`). Bumping it remaps every key —
+#: equivalent to a full re-shard — so only bump on a ring change that
+#: is *meant* to move traffic.
+ROUTER_RING_SALT = "router-ring/1"
+
 #: Scenario-engine artifacts (:mod:`repro.sim`): one simulated
 #: scenario's report, and the multi-scenario briefing. Bump when the
 #: report schema or the simulation semantics change.
@@ -141,7 +147,8 @@ def fingerprint_of(value: object, *, salt: str = "") -> str:
 
 __all__ = [
     "CACHE_SCHEMA_VERSION", "DEPS_SALT", "Fingerprintable", "MODEL_SALT",
-    "NODE_SALT", "PARSE_TREE_SALT", "RESULT_SALT", "SERVICE_GENERATE_SALT",
+    "NODE_SALT", "PARSE_TREE_SALT", "RESULT_SALT", "ROUTER_RING_SALT",
+    "SERVICE_GENERATE_SALT",
     "SERVICE_MEMO_SALT", "SERVICE_PARSE_SALT", "SIM_BRIEFING_SALT",
     "SIM_REPORT_SALT", "STEP1_NODE_SALT", "STEP1_SALT", "STEP2_SALT",
     "TOPOLOGY_SALT", "canonical_json", "fingerprint", "fingerprint_of",

@@ -18,7 +18,7 @@ Three pieces:
 """
 
 from .metrics import (Counter, Gauge, Histogram, METRICS, MetricsRegistry,
-                      snapshot_delta)
+                      aggregate_snapshots, snapshot_delta)
 from .summary import Summarizable
 from .trace import PipelineTrace, SpanRecord, TRACE_SCHEMA_VERSION
 from .tracer import (NULL_SPAN, NULL_TRACER, NullTracer, Span, Tracer,
@@ -28,6 +28,6 @@ __all__ = [
     "Counter", "Gauge", "Histogram", "METRICS", "MetricsRegistry",
     "NULL_SPAN", "NULL_TRACER", "NullTracer", "PipelineTrace", "Span",
     "SpanRecord", "Summarizable", "TRACE_SCHEMA_VERSION", "Tracer",
-    "activation", "current_tracer", "record_span", "snapshot_delta",
-    "span",
+    "activation", "aggregate_snapshots", "current_tracer", "record_span",
+    "snapshot_delta", "span",
 ]

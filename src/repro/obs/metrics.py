@@ -212,3 +212,56 @@ def snapshot_delta(before: dict[str, object],
         elif value != prev:
             delta[name] = value
     return delta
+
+
+def aggregate_snapshots(
+        snapshots: list[dict[str, object]]) -> dict[str, object]:
+    """Merge per-process registry snapshots into one fleet view.
+
+    The sharded serving router calls each worker's ``/metrics`` and
+    presents the union: counters and gauges **sum exactly** (each worker
+    process owns its own registry, so there is nothing to double-count),
+    and histograms merge as:
+
+    * ``count`` — exact sum;
+    * ``mean`` — exact count-weighted mean;
+    * ``max`` — exact max;
+    * ``p50``/``p95`` — count-weighted average of the per-worker
+      percentiles. This is an *approximation* (true fleet percentiles
+      need the raw observations, which workers don't export); it is
+      exact when shards see identically distributed latencies and
+      bounded by the per-worker extremes otherwise.
+
+    A name missing from some snapshots contributes only where present.
+    """
+    merged: dict[str, object] = {}
+    histogram_counts: dict[str, int] = {}
+    for snapshot in snapshots:
+        for name, value in snapshot.items():
+            if isinstance(value, dict):  # histogram snapshot
+                count = int(value.get("count", 0))
+                current = merged.get(name)
+                if not isinstance(current, dict):
+                    current = {"count": 0, "mean": 0.0, "p50": 0.0,
+                               "p95": 0.0, "max": 0.0}
+                    merged[name] = current
+                    histogram_counts[name] = 0
+                if count == 0:
+                    continue
+                seen = histogram_counts[name]
+                total = seen + count
+                for field in ("mean", "p50", "p95"):
+                    current[field] = (
+                        (current[field] * seen
+                         + float(value.get(field, 0.0)) * count) / total)
+                current["max"] = max(current["max"],
+                                     float(value.get("max", 0.0)))
+                current["count"] = total
+                histogram_counts[name] = total
+            elif isinstance(value, (int, float)):
+                base = merged.get(name, 0)
+                merged[name] = (base if isinstance(base, (int, float))
+                                else 0) + value
+            else:  # non-numeric oddity: last writer wins
+                merged[name] = value
+    return merged

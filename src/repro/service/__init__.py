@@ -14,9 +14,17 @@ resident and shares it safely among many callers:
   ``ThreadingHTTPServer`` front end (``POST /v1/generate``,
   ``GET /healthz``, ``GET /metrics``, ``GET /cache/stats``);
 * :mod:`.client` — the small blocking :class:`ServiceClient` used by
-  tests, the load benchmark and CI.
+  tests, the load benchmark and CI;
+* :mod:`.ring` / :mod:`.worker` / :mod:`.router` — the sharded tier:
+  a consistent-hash :class:`HashRing`, worker stacks (in-process or
+  child ``repro serve`` processes) and the :class:`RouterService`
+  front end with health probes, deterministic failover and
+  cross-shard ``/metrics`` / ``/cache/stats`` aggregation;
+* :mod:`.topology` — the tier described in its own SysML v2 model and
+  emitted as Kubernetes manifests (the dogfood path).
 
-Start it from the CLI with ``repro serve``.
+Start a single node with ``repro serve``; start the sharded tier with
+``repro serve --workers N``.
 """
 
 from .admission import (AdmissionController, AdmissionError,
@@ -27,19 +35,31 @@ from .admission import (AdmissionController, AdmissionError,
 from .client import RetriableServiceError, ServiceClient, ServiceError
 from .lifecycle import (DrainReport, STATE_DRAINING, STATE_SERVING,
                         STATE_STOPPED, ServiceLifecycle)
+from .ring import DEFAULT_VNODES, HashRing, RingEmpty
+from .router import (RouterHTTPServer, RouterRequestHandler,
+                     RouterService, TopologyDrainReport)
 from .server import (BadRequest, ConfigurationService,
                      ServiceHTTPServer, ServiceRequestHandler,
-                     bundle_bytes, bundle_from_result)
+                     bundle_bytes, bundle_from_result,
+                     parse_generate_body)
 from .singleflight import SingleFlight
+from .topology import (serving_topology_manifests, serving_topology_sysml,
+                       deploy_serving_topology)
+from .worker import LocalWorker, WorkerEndpoint, WorkerProcess
 
 __all__ = [
     "AdmissionController", "AdmissionError", "AdmissionRejected",
     "AdmissionShed", "AdmissionTimeout", "BadRequest",
-    "ConfigurationService", "DrainReport", "POLICIES", "POLICY_BLOCK",
+    "ConfigurationService", "DEFAULT_VNODES", "DrainReport", "HashRing",
+    "LocalWorker", "POLICIES", "POLICY_BLOCK",
     "POLICY_REJECT", "POLICY_SHED", "RateLimited", "RateLimiter",
-    "RetriableServiceError",
+    "RetriableServiceError", "RingEmpty", "RouterHTTPServer",
+    "RouterRequestHandler", "RouterService",
     "STATE_DRAINING", "STATE_SERVING", "STATE_STOPPED", "ServiceClient",
     "ServiceDraining", "ServiceError", "ServiceHTTPServer",
     "ServiceLifecycle", "ServiceRequestHandler", "SingleFlight",
-    "TokenBucket", "bundle_bytes", "bundle_from_result",
+    "TokenBucket", "TopologyDrainReport", "WorkerEndpoint",
+    "WorkerProcess", "bundle_bytes", "bundle_from_result",
+    "deploy_serving_topology", "parse_generate_body",
+    "serving_topology_manifests", "serving_topology_sysml",
 ]

@@ -52,6 +52,20 @@ class DrainReport(Summarizable):
             "flushed": self.flushed,
         }
 
+    @classmethod
+    def from_summary(cls, summary: dict[str, object]) -> "DrainReport":
+        """Rehydrate a report from :meth:`summary` output.
+
+        The sharded supervisor collects worker drain reports over
+        process boundaries (``--drain-report-file`` JSON); this is the
+        receiving end of that round-trip.
+        """
+        return cls(
+            completed=bool(summary["completed"]),
+            waited_seconds=float(summary["waited_seconds"]),
+            remaining=int(summary["remaining"]),
+            flushed=int(summary["flushed"]))
+
 
 class ServiceLifecycle:
     """Tracks in-flight requests and coordinates the graceful drain."""

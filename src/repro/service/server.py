@@ -85,6 +85,41 @@ class BadRequest(Exception):
     """A malformed request body or unknown option (HTTP 400)."""
 
 
+def parse_generate_body(body: bytes, content_type: str | None
+                        ) -> tuple[list[str], dict | None]:
+    """Decode one ``POST /v1/generate`` body into ``(sources, overrides)``.
+
+    Shared by the worker-facing handler here and the sharded router's
+    front-end handler (:mod:`repro.service.router`) so both tiers accept
+    exactly the same wire format: a JSON object carrying ``sources``
+    (or a single ``source``) plus optional ``options``, or a plain-text
+    body treated as one SysML document. Raises :class:`BadRequest`.
+    """
+    media = (content_type or "").split(";")[0].strip().lower()
+    if media != "application/json":
+        source = body.decode("utf-8", errors="replace")
+        if not source.strip():
+            raise BadRequest("empty request body")
+        return [source], None
+    try:
+        document = json.loads(body)
+    except ValueError as exc:
+        raise BadRequest(f"invalid JSON body: {exc}") from exc
+    if not isinstance(document, dict):
+        raise BadRequest("JSON body must be an object")
+    sources = document.get("sources")
+    if sources is None and "source" in document:
+        sources = [document["source"]]
+    if not isinstance(sources, list) or not sources \
+            or not all(isinstance(s, str) for s in sources):
+        raise BadRequest(
+            "body must carry 'sources': [str, ...] (or 'source')")
+    overrides = document.get("options")
+    if overrides is not None and not isinstance(overrides, dict):
+        raise BadRequest("'options' must be an object")
+    return sources, overrides
+
+
 def bundle_from_result(result: GenerationResult, model_fingerprint: str,
                        options: PipelineOptions) -> dict[str, object]:
     """The deterministic manifest bundle for one generation result.
@@ -427,30 +462,7 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
     def _parse_request_body(self) -> tuple[list[str], dict | None]:
         length = int(self.headers.get("Content-Length") or 0)
         body = self.rfile.read(length)
-        content_type = (self.headers.get("Content-Type") or "").split(
-            ";")[0].strip().lower()
-        if content_type != "application/json":
-            source = body.decode("utf-8", errors="replace")
-            if not source.strip():
-                raise BadRequest("empty request body")
-            return [source], None
-        try:
-            document = json.loads(body)
-        except ValueError as exc:
-            raise BadRequest(f"invalid JSON body: {exc}") from exc
-        if not isinstance(document, dict):
-            raise BadRequest("JSON body must be an object")
-        sources = document.get("sources")
-        if sources is None and "source" in document:
-            sources = [document["source"]]
-        if not isinstance(sources, list) or not sources \
-                or not all(isinstance(s, str) for s in sources):
-            raise BadRequest(
-                "body must carry 'sources': [str, ...] (or 'source')")
-        overrides = document.get("options")
-        if overrides is not None and not isinstance(overrides, dict):
-            raise BadRequest("'options' must be an object")
-        return sources, overrides
+        return parse_generate_body(body, self.headers.get("Content-Type"))
 
     # -- responses -------------------------------------------------------
 

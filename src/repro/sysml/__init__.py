@@ -49,7 +49,8 @@ from .queries import (ElementCounts, count_definition_closure,
                       definitions_in, instance_counts, model_summary,
                       scope_counts, specializations_of, usages_in,
                       usages_typed_by)
-from .resolver import load_model, resolve_model
+from .resolver import (content_fingerprint_of_sources, load_model,
+                       resolve_model)
 from .validation import validate_model
 
 __all__ = [
@@ -64,7 +65,8 @@ __all__ = [
     "RedefinitionUsage", "ResolutionError", "SourceLocation", "SysMLError",
     "Change", "DepGraph", "DepRecorder", "ModelDiff", "ModelSession",
     "ModelUpdate", "NodeIndex", "NodeKey", "ROOT_KEY", "anchor_key",
-    "clear_resolved_state", "convert_model_file", "deep_fingerprint",
+    "clear_resolved_state", "content_fingerprint_of_sources",
+    "convert_model_file", "deep_fingerprint",
     "diff_models", "load_model_file", "load_model_files", "node_key",
     "node_path", "save_model_file", "scope_fingerprint",
     "Type", "Usage", "ValidationError", "build_model",

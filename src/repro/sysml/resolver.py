@@ -643,6 +643,25 @@ def model_fingerprint(sources: list[str], names: list[str], *,
     return fingerprint([include_stdlib], *sources, *names, salt=MODEL_SALT)
 
 
+def content_fingerprint_of_sources(
+        sources: list[str], filenames: list[str] | None = None, *,
+        include_stdlib: bool = True) -> str:
+    """What ``load_model(*sources).content_fingerprint`` would be.
+
+    A pure function of the source texts — no lexing, parsing or
+    resolution happens. The sharded serving router uses it to derive
+    the same shard-affinity key a worker derives after actually
+    loading the model, so routing costs a hash, not a parse.
+    """
+    names = list(filenames or [f"<model{i}>" for i in range(len(sources))])
+    texts = list(sources)
+    if include_stdlib:
+        from .stdlib import SCALAR_VALUES_SOURCE
+        texts.insert(0, SCALAR_VALUES_SOURCE)
+        names.insert(0, "<stdlib>")
+    return model_fingerprint(texts, names, include_stdlib=include_stdlib)
+
+
 def load_model(*texts: str, filenames: list[str] | None = None,
                include_stdlib: bool = True, cache=None, jobs: int = 1,
                parse_mode: str = "thread",

@@ -21,12 +21,18 @@ Each oracle states one differential property:
   byte-identical across repeat runs, ``jobs=1`` vs ``jobs=N`` and
   thread vs process pools, and reports do not depend on job input
   order.
+* ``sharded``      — the sharded serving tier is transparent: a
+  request routed through the consistent-hash router (1 worker or N
+  workers) returns exactly the direct-pipeline bytes, the router's
+  parse-free routing key equals the worker-side single-flight key,
+  and repeats stick to the same shard (memo-visible affinity);
 * ``chaos``        — opt-in (``repro conformance --chaos``): under a
-  seeded fault plan injecting cache corruption, cache I/O errors and
-  worker crashes, the pipeline still emits bundles byte-identical to
-  the fault-free reference, and the serving path returns either those
-  same bytes or a *typed retriable* error — never a corrupt or partial
-  bundle, never an untyped crash.
+  seeded fault plan injecting cache corruption, cache I/O errors,
+  worker crashes and router-dispatch crashes, the pipeline still
+  emits bundles byte-identical to the fault-free reference, and the
+  serving paths (single-node and sharded) return either those same
+  bytes or a *typed retriable* error — never a corrupt or partial
+  bundle, never an untyped crash, never a hang.
 
 Oracles never return a value; agreement is silence, disagreement raises
 :class:`OracleFailure` with a deterministic message (the harness digest
@@ -255,6 +261,68 @@ def _check_incremental(ctx: TrialContext) -> None:
             "run over the same sources")
 
 
+def _check_sharded(ctx: TrialContext) -> None:
+    """The sharded tier must be observationally identical to a direct
+    pipeline run — for any worker count."""
+    from ..fingerprint import SERVICE_GENERATE_SALT, fingerprint
+    from ..service import LocalWorker, RouterService
+    from ..service.server import REQUEST_OPTION_KEYS
+    reference = ctx.direct_payload
+    options = ctx.options
+
+    # 1 worker: the degenerate ring must already be transparent
+    with LocalWorker("solo", options) as solo:
+        router_one = RouterService([solo], options)
+        status, _headers, one_payload, _name = router_one.dispatch(
+            ctx.sources)
+        if status != 200:
+            raise OracleFailure(
+                f"1-worker router returned HTTP {status}")
+        if one_payload != reference:
+            raise OracleFailure(
+                "1-worker routed bundle differs from direct pipeline run")
+
+    # N workers: same bytes, stable shard affinity, memo-hit repeats
+    workers = [LocalWorker(f"shard{i}", options).start()
+               for i in range(3)]
+    try:
+        router = RouterService(workers, options)
+        # the router's parse-free routing key must equal the key the
+        # owning worker derives after actually parsing the sources —
+        # that identity is what keeps per-shard single-flight/memo
+        # collapsing effective
+        semantic = {key: getattr(options, key)
+                    for key in REQUEST_OPTION_KEYS}
+        worker_key = fingerprint(ctx.model.content_fingerprint,
+                                 semantic, salt=SERVICE_GENERATE_SALT)
+        if router.routing_key(ctx.sources) != worker_key:
+            raise OracleFailure(
+                "router routing key differs from the worker-side "
+                "generation single-flight key")
+        status, first_headers, n_payload, first_worker = \
+            router.dispatch(ctx.sources)
+        if status != 200:
+            raise OracleFailure(f"3-worker router returned HTTP {status}")
+        if n_payload != one_payload:
+            raise OracleFailure(
+                "3-worker routed bundle differs from the 1-worker bundle")
+        status, repeat_headers, repeat_payload, repeat_worker = \
+            router.dispatch(ctx.sources)
+        if repeat_worker != first_worker:
+            raise OracleFailure(
+                f"repeat request changed shard "
+                f"({first_worker} -> {repeat_worker})")
+        if repeat_payload != n_payload:
+            raise OracleFailure("repeat routed request served "
+                                "different bytes")
+        if repeat_headers.get("x-repro-singleflight") != "memo":
+            raise OracleFailure(
+                "repeat routed request missed the shard's result memo")
+    finally:
+        for worker in workers:
+            worker.close()
+
+
 # -- chaos: resilience under a seeded fault plan -----------------------------
 
 def chaos_plan(seed: int) -> "FaultPlan":
@@ -275,6 +343,8 @@ def chaos_plan(seed: int) -> "FaultPlan":
         FaultSpec("parallel.worker", "crash", probability=0.25),
         FaultSpec("service.generate", "unavailable", probability=0.5,
                   max_injections=2, retry_after=0.01),
+        FaultSpec("router.dispatch", "crash", probability=0.25,
+                  max_injections=2),
     ))
 
 
@@ -320,6 +390,41 @@ def _check_chaos(ctx: TrialContext) -> None:
                     raise OracleFailure(
                         "served bundle under faults differs from the "
                         "fault-free reference")
+    # the sharded path: an injected crash at router.dispatch simulates
+    # the owning worker dying mid-request — the router must fail over
+    # to a surviving shard and return the byte-identical payload, or
+    # surface a typed retriable error; never a hang, never mixed bytes.
+    # dispatch() runs in this thread, so the context-local plan is
+    # visible at the fault site (the HTTP handler threads would not be).
+    from ..service import LocalWorker, RouterService
+    shards = [LocalWorker(f"chaos-shard{i}", ctx.options).start()
+              for i in range(2)]
+    try:
+        router = RouterService(shards, ctx.options)
+        with plan.activated():
+            for _ in range(3):
+                try:
+                    status, _headers, payload, _worker = router.dispatch(
+                        ctx.sources)
+                except Exception as error:
+                    if not getattr(error, "retriable", False):
+                        raise OracleFailure(
+                            f"router raised non-retriable "
+                            f"{type(error).__name__} under faults"
+                        ) from error
+                else:
+                    if status == 200 and payload != reference:
+                        raise OracleFailure(
+                            "routed bundle under faults differs from "
+                            "the fault-free reference")
+                # injected crashes mark shards down, but the workers
+                # never actually died — re-admit them so each attempt
+                # exercises failover from a full ring
+                for name in router.worker_names:
+                    router.mark_up(name)
+    finally:
+        for shard in shards:
+            shard.close()
 
 
 # -- semantic invariants -----------------------------------------------------
@@ -455,10 +560,17 @@ ORACLES: dict[str, Oracle] = {
                "runs, jobs=1/N and thread/process pools; reports "
                "independent of job input order",
                _check_sim),
+        Oracle("sharded",
+               "consistent-hash routed bundles (1 and N workers) "
+               "byte-identical to direct runs, with stable shard "
+               "affinity and a parse-free routing key equal to the "
+               "worker single-flight key",
+               _check_sharded),
         Oracle("chaos",
                "under a seeded fault plan (cache corruption/IO errors, "
-               "worker crashes, injected 503s) bundles stay "
-               "byte-identical or fail with typed retriable errors",
+               "worker crashes, router-dispatch crashes, injected 503s) "
+               "bundles stay byte-identical or fail with typed "
+               "retriable errors",
                _check_chaos, opt_in=True),
     )
 }

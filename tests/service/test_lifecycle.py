@@ -105,3 +105,44 @@ class TestLifecycle:
         assert summary["completed"] is True
         assert set(summary) == {"completed", "waited_seconds",
                                 "remaining", "flushed"}
+
+    def test_report_round_trips_through_summary_json(self):
+        # the sharded supervisor ships worker reports across process
+        # boundaries as --drain-report-file JSON; from_summary is the
+        # receiving end and must invert summary() exactly
+        import json
+
+        from repro.service.lifecycle import DrainReport
+
+        lifecycle = ServiceLifecycle()
+        lifecycle.register_flush(lambda: None)
+        lifecycle.request_started()
+        report = lifecycle.drain(deadline=0.05)
+        wire = json.loads(json.dumps(report.summary()))
+        clone = DrainReport.from_summary(wire)
+        assert clone.completed == report.completed
+        assert clone.remaining == report.remaining
+        assert clone.flushed == report.flushed
+        assert clone.waited_seconds == pytest.approx(
+            report.waited_seconds, abs=1e-3)
+        assert clone.summary() == report.summary()
+
+
+class TestDeflakePolicy:
+    def test_no_raw_sleeps_in_the_service_suite(self):
+        # timing-sensitive service tests must synchronize on events or
+        # poll with testkit.wait_until; a bare time.sleep is a latent
+        # flake (too short on a loaded CI box, wasted wall-clock
+        # otherwise), so the suite bans it outright
+        from pathlib import Path
+
+        banned = "time." + "sleep("  # split so this file passes its own scan
+        offenders = []
+        for module in sorted(Path(__file__).parent.glob("test_*.py")):
+            for number, line in enumerate(
+                    module.read_text().splitlines(), start=1):
+                if banned in line.split("#")[0]:
+                    offenders.append(f"{module.name}:{number}")
+        assert not offenders, (
+            "raw time.sleep in service tests (use wait_until / "
+            f"wait_for_event from repro.testkit): {offenders}")
