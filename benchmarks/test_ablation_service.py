@@ -25,7 +25,10 @@ behind a :class:`RouterService`) at 1 / 2 / 4 workers, with a request
 pool of *distinct* models so every request is real pipeline work. It
 publishes the throughput trajectory to ``BENCH_sharded.json`` — the
 >= 2.5x @ 4 workers gate only applies on multi-core runners (the
-trajectory is recorded, honestly flat, on single-core boxes).
+trajectory is recorded, honestly flat, on single-core boxes). The same
+test then probes the warm-path p95 at 1x and 10x request volume; that
+gate is a *ratio* bound (plus an absolute floor), so it binds on every
+runner regardless of hardware speed.
 """
 
 import json
@@ -218,6 +221,88 @@ def _measure_sharded_tier(count: int, workdir: Path) -> dict:
             worker.close()
 
 
+P95_VOLUME_WORKERS = 2
+P95_BASE_REQUESTS = 50     # 1x volume
+P95_VOLUME_FACTOR = 10     # the 10x probe
+P95_RATIO_BOUND = 3.0      # hardware-robust: ratio of p95s, not absolutes
+P95_FLOOR_SECONDS = 0.025  # ignore ratio noise below 25ms p95
+
+
+def _measure_p95_volume(workdir: Path) -> dict:
+    """Warm-path p95 at 1x and 10x request volume on a 2-worker tier.
+
+    All requests share one model, so after the first execution every
+    dispatch is a memo hit — the probe isolates the *serving* path
+    (router, HTTP, queueing) from pipeline compute. A healthy tier's
+    p95 must not balloon with volume; the gate is a ratio (plus an
+    absolute floor), so it binds identically on fast and slow runners.
+    """
+    cache_dir = workdir / "cache-p95"
+    serve_args = ["--namespace", "bench", "--cache-dir", str(cache_dir)]
+    workers = [WorkerProcess(f"p95w{i}", serve_args=serve_args,
+                             workdir=str(workdir))
+               for i in range(P95_VOLUME_WORKERS)]
+    sources = _sweep_variant(0)
+    try:
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.wait_ready(60.0)
+        router = RouterService(
+            workers, PipelineOptions(namespace="bench",
+                                     cache_dir=str(cache_dir)))
+        try:
+            router.dispatch(sources)  # prime the memo
+
+            def measure(total: int) -> float:
+                latencies = []
+                failures = []
+                lock = threading.Lock()
+                remaining = [total]
+
+                def client_loop():
+                    while True:
+                        with lock:
+                            if remaining[0] <= 0:
+                                return
+                            remaining[0] -= 1
+                        started = time.perf_counter()
+                        status, _, _, _ = router.dispatch(sources)
+                        elapsed = time.perf_counter() - started
+                        with lock:
+                            latencies.append(elapsed)
+                            if status != 200:
+                                failures.append(status)
+
+                threads = [threading.Thread(target=client_loop)
+                           for _ in range(SWEEP_CLIENTS)]
+                for thread in threads:
+                    thread.start()
+                for thread in threads:
+                    thread.join(300)
+                assert failures == [], failures
+                assert len(latencies) == total
+                return percentile(latencies, 0.95)
+
+            p95_1x = measure(P95_BASE_REQUESTS)
+            p95_10x = measure(P95_BASE_REQUESTS * P95_VOLUME_FACTOR)
+        finally:
+            router.close()
+    finally:
+        for worker in workers:
+            worker.close()
+    return {
+        "workers": P95_VOLUME_WORKERS,
+        "requests_1x": P95_BASE_REQUESTS,
+        "requests_10x": P95_BASE_REQUESTS * P95_VOLUME_FACTOR,
+        "p95_1x_s": round(p95_1x, 6),
+        "p95_10x_s": round(p95_10x, 6),
+        "ratio": round(p95_10x / p95_1x, 2) if p95_1x > 0 else None,
+        "ratio_bound": P95_RATIO_BOUND,
+        "floor_s": P95_FLOOR_SECONDS,
+    }
+
+
 def test_sharded_worker_sweep(tmp_path):
     """Sweep 1/2/4 workers, publish BENCH_sharded.json, gate on >=4 cores."""
     tiers = [_measure_sharded_tier(count, tmp_path)
@@ -236,6 +321,9 @@ def test_sharded_worker_sweep(tmp_path):
         tier["speedup_vs_1"] = round(
             base["wall_seconds"] / tier["wall_seconds"], 2)
 
+    # volume robustness: warm-path p95 must not balloon 1x -> 10x
+    p95_volume = _measure_p95_volume(tmp_path)
+
     cpu_count = os.cpu_count() or 1
     gate_applies = cpu_count >= 4
     Path("BENCH_sharded.json").write_text(json.dumps({
@@ -247,6 +335,7 @@ def test_sharded_worker_sweep(tmp_path):
         "speedup_target_at_4": SHARDED_SPEEDUP_TARGET,
         "gate_applied": gate_applies,
         "tiers": tiers,
+        "p95_volume": p95_volume,
     }, indent=2) + "\n")
 
     rows = [(f"{t['workers']} worker(s)",
@@ -256,8 +345,29 @@ def test_sharded_worker_sweep(tmp_path):
              f"{t['wall_seconds'] * 1e3:.0f} ms",
              f"{t['speedup_vs_1']:.2f}x, {t['throughput_rps']:.1f} req/s")
             for t in tiers]
+    rows.append((f"p95 @{P95_BASE_REQUESTS} req",
+                 "baseline", f"{p95_volume['p95_1x_s'] * 1e3:.1f} ms",
+                 f"{P95_VOLUME_WORKERS} workers, warm path"))
+    rows.append((
+        f"p95 @{P95_BASE_REQUESTS * P95_VOLUME_FACTOR} req",
+        f"<= {P95_RATIO_BOUND}x",
+        f"{p95_volume['p95_10x_s'] * 1e3:.1f} ms",
+        f"ratio {p95_volume['ratio']}x"))
     print_comparison(
         f"A2d — sharded serving sweep ({cpu_count} cpu)", rows)
+
+    # the p95 volume gate is ratio-based (with an absolute floor), so
+    # it binds on every runner: a tier that queues unboundedly or leaks
+    # per-request state shows up as p95 growth long before a timeout
+    allowed = max(P95_RATIO_BOUND * p95_volume["p95_1x_s"],
+                  P95_FLOOR_SECONDS)
+    assert p95_volume["p95_10x_s"] <= allowed, (
+        f"warm-path p95 grew from {p95_volume['p95_1x_s'] * 1e3:.1f}ms "
+        f"at {P95_BASE_REQUESTS} requests to "
+        f"{p95_volume['p95_10x_s'] * 1e3:.1f}ms at "
+        f"{P95_BASE_REQUESTS * P95_VOLUME_FACTOR} — beyond the "
+        f"{P95_RATIO_BOUND}x ratio bound "
+        f"(floor {P95_FLOOR_SECONDS * 1e3:.0f}ms)")
 
     # scaling is a property of the hardware: worker processes can only
     # run concurrently when there are cores to run them on, so the

@@ -14,6 +14,11 @@ Subcommands
               workcell outages) through the discrete-event scenario
               engine and print the briefing — byte-identical output
               for a seed, whatever ``--jobs``
+``plan``      emit the third codegen backend: a PDDL operations-planning
+              domain (machine capabilities as actions) plus per-workload
+              problem files, solved by the deterministic from-scratch
+              planner and replayed on the behavioural simulators —
+              byte-identical emission for a seed, whatever ``--jobs``
 ``serve``     run the configuration service: a concurrent HTTP front end
               over the pipeline with single-flight dedup, admission
               control and graceful drain on SIGTERM
@@ -280,6 +285,81 @@ def _cmd_simulate(args) -> int:
         print("\n=== phases ===")
         for name, seconds in tracer.trace().phase_seconds().items():
             print(f"{name:>12}: {seconds * 1e3:9.2f}ms")
+    return 0
+
+
+def _cmd_plan(args) -> int:
+    """Emit PDDL + plan operations for the configured factory."""
+    import json as _json
+    from contextlib import nullcontext
+
+    from .isa95 import extract_topology
+    from .obs import Tracer
+    from .planning import PlanningError, PlanningOptions, plan_operations
+    from .sysml.errors import SysMLError
+
+    if args.file:
+        with open(args.file) as handle:
+            sources = [handle.read()]
+        filenames = [args.file]
+    else:
+        from .icelab import icelab_sources
+        sources = icelab_sources()
+        filenames = None
+    cache = _resolve_cache(args)
+    options = PlanningOptions(
+        seed=args.seed, problems=args.problems, orders=args.orders,
+        strategy=args.strategy, planner_seed=args.planner_seed,
+        validate=not args.no_validate, jobs=args.jobs, mode=args.mode)
+    tracer = Tracer() if args.trace else None
+    try:
+        with tracer.activate() if tracer else nullcontext():
+            model = _load_sources(sources, filenames, args, cache)
+            topology = extract_topology(model)
+            result = plan_operations(
+                topology, options,
+                model_fingerprint=model.content_fingerprint, cache=cache)
+    except SysMLError as exc:
+        print(f"ERROR: {exc}", file=sys.stderr)
+        return 1
+    except PlanningError as exc:
+        print(f"PLANNING ERROR: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        document = result.summary()
+        document["problems_detail"] = [
+            {"name": problem.name, "parts": problem.parts,
+             "steps": problem.steps, "cost": problem.cost,
+             "expanded": problem.expanded,
+             "workload_fingerprint": problem.workload_fingerprint,
+             "validation": (problem.validation.to_dict()
+                            if problem.validation else None)}
+            for problem in result.problems]
+        document["digest"] = result.digest
+        print(_json.dumps(document, indent=2))
+    else:
+        for key, value in result.summary().items():
+            print(f"{key:>16}: {value}")
+        for problem in result.problems:
+            verdict = ("n/a" if problem.validation is None
+                       else "valid" if problem.validation.ok
+                       else "INVALID")
+            print(f"  {problem.name}: {problem.parts} part(s), "
+                  f"{problem.steps} step(s) -> plan cost {problem.cost} "
+                  f"({problem.expanded} expanded) [{verdict}]")
+            if problem.validation and not problem.validation.ok:
+                for line in problem.validation.problems:
+                    print(f"    ! {line}")
+        print(f"digest {result.digest}")
+    if args.out:
+        written = result.write_to(args.out)
+        print(f"wrote {len(written)} files under {args.out}")
+    if tracer is not None:
+        print("\n=== phases ===")
+        for name, seconds in tracer.trace().phase_seconds().items():
+            print(f"{name:>12}: {seconds * 1e3:9.2f}ms")
+    if not result.all_valid:
+        return 1
     return 0
 
 
@@ -741,6 +821,47 @@ def build_parser() -> argparse.ArgumentParser:
                             help="print phase timings (wall clock — "
                                  "not part of the deterministic output)")
     p_simulate.set_defaults(func=_cmd_simulate)
+
+    p_plan = subparsers.add_parser(
+        "plan",
+        help="emit a PDDL operations-planning domain/problems and "
+             "solve them with the deterministic planner")
+    p_plan.add_argument("file", nargs="?",
+                        help=".sysml file (default: built-in ICE lab)")
+    p_plan.add_argument("--seed", type=int, default=7,
+                        help="workload seed: fully determines every "
+                             "order book (and hence every problem)")
+    p_plan.add_argument("--problems", type=int, default=1, metavar="N",
+                        help="number of problem files to derive "
+                             "(each gets its own seeded workload)")
+    p_plan.add_argument("--orders", type=int, default=None, metavar="N",
+                        help="orders per problem (default: the "
+                             "workload generator's sizing rule)")
+    p_plan.add_argument("--strategy", choices=("greedy", "uniform"),
+                        default="greedy",
+                        help="search strategy: heuristic greedy "
+                             "(default) or cost-optimal uniform-cost")
+    p_plan.add_argument("--planner-seed", type=int, default=None,
+                        metavar="N",
+                        help="tie-break seed for the search (default: "
+                             "the workload seed); emission is "
+                             "byte-identical across planner seeds")
+    p_plan.add_argument("--no-validate", action="store_true",
+                        help="skip replaying plans on the machine "
+                             "behavioural simulators")
+    p_plan.add_argument("--mode", choices=("thread", "process", "serial"),
+                        default="thread",
+                        help="pool flavor for --jobs > 1")
+    p_plan.add_argument("--json", action="store_true",
+                        help="emit the planning summary as JSON")
+    p_plan.add_argument("--out", metavar="DIR",
+                        help="write domain.pddl plus per-problem "
+                             ".pddl/.plan files under DIR")
+    p_plan.add_argument("--trace", action="store_true",
+                        help="print phase timings (wall clock — "
+                             "not part of the deterministic output)")
+    _add_perf_arguments(p_plan)
+    p_plan.set_defaults(func=_cmd_plan)
 
     p_serve = subparsers.add_parser(
         "serve", help="run the concurrent configuration service")

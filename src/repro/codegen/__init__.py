@@ -1,4 +1,15 @@
-"""Step 1+2 of the paper's pipeline: model -> JSON -> Kubernetes YAML."""
+"""Step 1+2 of the paper's pipeline: model -> JSON -> Kubernetes YAML.
+
+Three backends consume the extracted ISA-95 topology:
+
+* ``json``  — the per-client intermediate configuration files
+  (:func:`machine_config` and friends, step 1 of the paper);
+* ``yaml``  — the rendered Kubernetes manifests (step 2);
+* ``pddl``  — the operations-planning domain/problem emission of
+  :mod:`repro.planning` (kept in its own package — it pulls in the
+  planner and the simulators — but registered here so the backend
+  axis is visible in one place).
+"""
 
 from .client_config import client_config, topic_root
 from .docs_gen import generate_handbook
@@ -14,7 +25,13 @@ from .pipeline import (COMPONENT_IMAGES, GenerationPipeline,
                        GenerationResult, generate_configuration)
 from .storage_config import storage_config
 
+#: The backend axis of the north star: every name here is one way the
+#: extracted topology leaves the system. ``json``/``yaml`` live in
+#: this package; ``pddl`` is :func:`repro.planning.plan_operations`.
+CODEGEN_BACKENDS = ("json", "yaml", "pddl")
+
 __all__ = [
+    "CODEGEN_BACKENDS",
     "COMPONENT_IMAGES", "ClientGroup", "DEFAULT_CLIENT_CAPACITY",
     "GROUPING_ALGORITHMS",
     "IncrementalEngine", "IncrementalResult", "changed_machine_names",

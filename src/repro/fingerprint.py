@@ -91,6 +91,17 @@ ROUTER_RING_SALT = "router-ring/1"
 SIM_REPORT_SALT = "sim-report/1"
 SIM_BRIEFING_SALT = "sim-briefing/1"
 
+#: A canonicalized :class:`repro.sim.workload.Workload` (job set,
+#: routes, releases). Shared by the scenario engine and the planning
+#: backend to state "these two runs planned/simulated the same work".
+WORKLOAD_SALT = "sim-workload/1"
+
+#: Operations-planning artifacts (:mod:`repro.planning`): the PDDL
+#: domain/problem emission plus the plans and validation reports of
+#: one run. Bump when the PDDL mapping, the planner semantics or the
+#: cached bundle schema change.
+PLAN_SALT = "planning/1"
+
 
 def canonical_json(value: object) -> str:
     """Deterministic JSON: sorted keys, compact, ``str()`` fallback."""
@@ -147,9 +158,11 @@ def fingerprint_of(value: object, *, salt: str = "") -> str:
 
 __all__ = [
     "CACHE_SCHEMA_VERSION", "DEPS_SALT", "Fingerprintable", "MODEL_SALT",
-    "NODE_SALT", "PARSE_TREE_SALT", "RESULT_SALT", "ROUTER_RING_SALT",
+    "NODE_SALT", "PARSE_TREE_SALT", "PLAN_SALT", "RESULT_SALT",
+    "ROUTER_RING_SALT",
     "SERVICE_GENERATE_SALT",
     "SERVICE_MEMO_SALT", "SERVICE_PARSE_SALT", "SIM_BRIEFING_SALT",
     "SIM_REPORT_SALT", "STEP1_NODE_SALT", "STEP1_SALT", "STEP2_SALT",
-    "TOPOLOGY_SALT", "canonical_json", "fingerprint", "fingerprint_of",
+    "TOPOLOGY_SALT", "WORKLOAD_SALT", "canonical_json", "fingerprint",
+    "fingerprint_of",
 ]

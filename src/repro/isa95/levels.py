@@ -128,6 +128,24 @@ class FactoryTopology:
                 return machine
         raise KeyError(f"no machine named {name!r}")
 
+    def service_inventory(self) -> dict[str, list[str]]:
+        """Service name -> providing machines, in topology order.
+
+        The capability view of the factory: which machines can perform
+        each modeled service. The planning backend grounds its action
+        schemas from exactly this mapping (several machines modeling
+        the same service name are interchangeable providers), and the
+        insertion order is the deterministic topology walk, so the
+        mapping is stable for a given model.
+        """
+        inventory: dict[str, list[str]] = {}
+        for machine in self.machines:
+            for service in machine.services:
+                providers = inventory.setdefault(service.name, [])
+                if machine.name not in providers:
+                    providers.append(machine.name)
+        return inventory
+
     def summary(self) -> dict[str, int]:
         return {
             "workcells": len(self.workcells),

@@ -1,10 +1,10 @@
 """Machine catalog and behavioural simulators."""
 
 from .catalog import (Catalog, DriverSpec, MachineSpec, numbered_variables,
-                      simple_service)
+                      simple_service, spec_from_machine_info)
 from .simulator import MachineSimulator, SimulationError
 from .specs import ICE_LAB_SPECS
 
 __all__ = ["Catalog", "DriverSpec", "ICE_LAB_SPECS", "MachineSimulator",
            "MachineSpec", "SimulationError", "numbered_variables",
-           "simple_service"]
+           "simple_service", "spec_from_machine_info"]

@@ -9,9 +9,10 @@ of the paper.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 
-from ..isa95.levels import ArgumentSpec, ServiceSpec, VariableSpec
+from ..isa95.levels import ArgumentSpec, MachineInfo, ServiceSpec, VariableSpec
 
 
 @dataclass
@@ -88,6 +89,43 @@ def simple_service(name: str, *, inputs: list[tuple[str, str]] | None = None,
                  (outputs or [("ok", "Boolean")])],
         description=description,
     )
+
+
+def spec_from_machine_info(machine: MachineInfo) -> MachineSpec:
+    """A simulator-ready spec synthesized from an extracted machine.
+
+    The catalog is the ground truth for the built-in ICE lab, but the
+    conformance corpus and user models only exist as *extracted*
+    :class:`~repro.isa95.levels.MachineInfo` records; this bridges
+    them so plans (and any other behaviour-level check) can execute
+    against :class:`~repro.machines.simulator.MachineSimulator`
+    instances for an arbitrary topology. Variable and service records
+    are copied — ``MachineSpec`` normalizes categories in place and
+    must never mutate the topology it was derived from.
+    """
+    variables = [dataclasses.replace(variable)
+                 for variable in machine.variables]
+    services = [dataclasses.replace(
+                    service,
+                    inputs=[dataclasses.replace(arg)
+                            for arg in service.inputs],
+                    outputs=[dataclasses.replace(arg)
+                             for arg in service.outputs])
+                for service in machine.services]
+    driver = DriverSpec(
+        protocol=machine.driver.protocol if machine.driver
+        else "OPCUAGenericDriver",
+        is_generic=machine.driver.is_generic if machine.driver else True,
+        parameters=dict(machine.driver.parameters)
+        if machine.driver else {})
+    return MachineSpec(
+        name=machine.name,
+        display_name=machine.name,
+        type_name=machine.type_name or "Machine",
+        workcell=machine.workcell,
+        driver=driver,
+        categories={"data": variables} if variables else {},
+        services=services)
 
 
 class Catalog:

@@ -23,7 +23,8 @@ from ..codegen import (DEFAULT_CLIENT_CAPACITY, GenerationResult,
 from ..isa95.levels import FactoryTopology
 from ..k8s import Cluster, deploy_manifests, make_component_factory
 from ..machines.catalog import MachineSpec
-from ..som import FactoryWorld, Orchestrator, ServiceRegistry
+from ..som import (FactoryWorld, OrchestrationError, Orchestrator,
+                   ServiceLookupError, ServiceRegistry)
 from ..sysml.elements import Model
 
 
@@ -131,7 +132,9 @@ def smoke_test(result: EndToEndResult, *, steps: int = 5) -> SmokeReport:
         try:
             result.orchestrator.invoke(machine.name, service.name, *args)
             report.services_invoked += 1
-        except Exception:
+        except (OrchestrationError, ServiceLookupError):
+            # a failing service is a smoke *finding*, not a crash; any
+            # other exception is a harness bug and must propagate
             report.services_failed += 1
     return report
 

@@ -26,7 +26,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..opcua import MethodNode, VariableNode
+from ..opcua import AddressSpaceError, MethodNode, VariableNode
 from .run import EndToEndResult
 
 
@@ -99,7 +99,7 @@ def _check_address_spaces(result: EndToEndResult,
             try:
                 node = server.space.browse_path(
                     f"{machine.name}/data/{name}")
-            except Exception:
+            except AddressSpaceError:
                 report.add("variable-node", f"{machine.name}.{name}",
                            "modeled variable has no UA node")
                 continue
@@ -115,7 +115,7 @@ def _check_address_spaces(result: EndToEndResult,
             try:
                 node = server.space.browse_path(
                     f"{machine.name}/services/{service.name}")
-            except Exception:
+            except AddressSpaceError:
                 report.add("method-node",
                            f"{machine.name}.{service.name}",
                            "modeled service has no UA method")
@@ -132,7 +132,7 @@ def _check_address_spaces(result: EndToEndResult,
         # drift in the other direction: deployed-but-unmodeled variables
         try:
             data_folder = server.space.browse_path(f"{machine.name}/data")
-        except Exception:
+        except AddressSpaceError:
             continue
         for node in data_folder.children:
             if node.browse_name.name not in modeled_variables:

@@ -30,10 +30,10 @@ import subprocess
 import sys
 import tempfile
 import threading
-import time
 from dataclasses import dataclass
 
 from ..codegen.options import PipelineOptions
+from ..testkit.waiting import Deadline, wait_until
 from .client import ServiceClient
 from .lifecycle import DrainReport
 from .server import ConfigurationService, ServiceHTTPServer
@@ -138,10 +138,15 @@ class WorkerProcess:
 
     def __init__(self, name: str, *, host: str = "127.0.0.1",
                  serve_args: tuple[str, ...] | list[str] = (),
-                 workdir: str | None = None):
+                 workdir: str | None = None,
+                 clock=None, sleep=None):
         self.name = name
         self.host = host
         self.serve_args = tuple(serve_args)
+        # injectable for scripted-clock tests; production uses the
+        # monotonic clock and real sleeps via the waiting helpers
+        self.clock = clock
+        self.sleep = sleep
         self._owndir = None
         if workdir is None:
             self._owndir = tempfile.TemporaryDirectory(
@@ -173,42 +178,53 @@ class WorkerProcess:
             stderr=subprocess.STDOUT, text=True)
         return self
 
+    def _read_port_file(self) -> bool:
+        """One poll step: port file present, or child died trying."""
+        if self.process.poll() is not None:
+            output = (self.process.stdout.read()
+                      if self.process.stdout else "")
+            raise RuntimeError(
+                f"worker {self.name} exited during startup "
+                f"(rc={self.process.returncode}):\n{output}")
+        try:
+            with open(self.port_file) as handle:
+                text = handle.read().strip()
+        except OSError:
+            return False
+        if not text:
+            return False
+        self._port = int(text)
+        return True
+
+    def _probe_health(self) -> bool:
+        """One ``/healthz`` probe (overridable in scripted tests)."""
+        try:
+            with ServiceClient(self.port, self.host,
+                               timeout=2.0) as client:
+                return client.health().get("status") == "serving"
+        except OSError:
+            return False
+
     def wait_ready(self, timeout: float = 30.0) -> None:
-        """Block until the child serves ``/healthz`` 200."""
+        """Block until the child serves ``/healthz`` 200.
+
+        Both phases — the port-file poll and the health probe — draw
+        down one shared :class:`~repro.testkit.waiting.Deadline`, so
+        the call is bounded by *timeout* end to end (the raw-sleep
+        loops this replaces each restarted the clock implicitly).
+        """
         if self.process is None:
             raise RuntimeError(f"worker {self.name} not started")
-        deadline = time.monotonic() + timeout
-        while self._port is None:
-            if self.process.poll() is not None:
-                output = (self.process.stdout.read()
-                          if self.process.stdout else "")
-                raise RuntimeError(
-                    f"worker {self.name} exited during startup "
-                    f"(rc={self.process.returncode}):\n{output}")
-            try:
-                with open(self.port_file) as handle:
-                    text = handle.read().strip()
-                if text:
-                    self._port = int(text)
-                    break
-            except OSError:
-                pass
-            if time.monotonic() > deadline:
-                raise TimeoutError(
-                    f"worker {self.name}: no port file after {timeout}s")
-            time.sleep(0.02)
-        while True:
-            try:
-                with ServiceClient(self.port, self.host,
-                                   timeout=2.0) as client:
-                    if client.health().get("status") == "serving":
-                        return
-            except OSError:
-                pass
-            if time.monotonic() > deadline:
-                raise TimeoutError(
-                    f"worker {self.name}: not healthy after {timeout}s")
-            time.sleep(0.05)
+        deadline = Deadline(timeout, clock=self.clock)
+        if self._port is None:
+            wait_until(
+                self._read_port_file, deadline=deadline, interval=0.02,
+                sleep=self.sleep,
+                message=f"worker {self.name}: port file")
+        wait_until(
+            self._probe_health, deadline=deadline, interval=0.05,
+            sleep=self.sleep,
+            message=f"worker {self.name}: healthy /healthz")
 
     @property
     def port(self) -> int:

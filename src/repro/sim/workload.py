@@ -28,6 +28,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..faults.schedule import occurrence_fraction
+from ..fingerprint import WORKLOAD_SALT, fingerprint
 from ..isa95.levels import FactoryTopology, MachineInfo, ServiceSpec
 from .kernel import TICKS_PER_UNIT
 
@@ -122,6 +123,17 @@ class Workload:
     def to_dict(self) -> dict[str, object]:
         return {"machines": list(self.machines),
                 "jobs": [job.to_dict() for job in self.jobs]}
+
+    def fingerprint_key(self) -> str:
+        """Content hash of the canonicalized job set.
+
+        Because the constructor sorts jobs by ``(release, name)``, two
+        equal job *sets* handed over in different input orders share
+        one key — the scenario engine and the planning backend both
+        lean on this for their "equivalent workload" statements
+        (:class:`repro.fingerprint.Fingerprintable`).
+        """
+        return fingerprint(self.to_dict(), salt=WORKLOAD_SALT)
 
 
 class ServiceTimeModel:

@@ -16,8 +16,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from .orchestrator import Orchestrator
+from .orchestrator import OrchestrationError, Orchestrator
 from .process import ProcessStep, ProductionProcess
+from .services import ServiceLookupError
 
 
 class SchedulingError(RuntimeError):
@@ -154,7 +155,9 @@ class Scheduler:
                 orchestrator.invoke(entry.step.machine, entry.step.service,
                                     *entry.step.args)
                 executed += 1
-            except Exception:
+            except (OrchestrationError, ServiceLookupError):
+                # unreachable/unknown services count as failed steps;
+                # anything else is a real bug and must propagate
                 failed += 1
         return {"schedule": schedule, "executed": executed,
                 "failed": failed, "makespan": schedule.makespan}

@@ -21,6 +21,12 @@ Each oracle states one differential property:
   byte-identical across repeat runs, ``jobs=1`` vs ``jobs=N`` and
   thread vs process pools, and reports do not depend on job input
   order.
+* ``plan``         — the PDDL operations-planning backend is held to the
+  :mod:`repro.sim` determinism contract: domain/problem/plan emission
+  for one seed is byte-identical across repeat runs and ``jobs=1`` vs
+  ``jobs=N``, every plan replays cleanly on the behavioural machine
+  simulators, changing the *planner* seed never changes the emitted
+  PDDL text nor the (optimal) plan cost — only the tie-break path;
 * ``sharded``      — the sharded serving tier is transparent: a
   request routed through the consistent-hash router (1 worker or N
   workers) returns exactly the direct-pipeline bytes, the router's
@@ -528,6 +534,73 @@ def _check_sim(ctx: TrialContext) -> None:
             "report digest depends on job input order")
 
 
+def _check_plan(ctx: TrialContext) -> None:
+    """The planning backend's determinism contract, by digest.
+
+    Emission (domain + problems) and the chosen plans must be
+    byte-identical across repeat runs, ``jobs=1`` vs ``jobs=4`` thread
+    pools and ``mode="process"`` pools;
+    every plan must replay cleanly on the machine simulators; and the
+    planner seed may only steer tie-breaks — the PDDL text is
+    byte-stable across planner seeds and the plan *cost* matches the
+    cost-optimal ``uniform`` strategy's.
+    """
+    from ..planning import PlanningOptions, plan_operations
+    topology = extract_topology(ctx.model)
+    inventory = topology.service_inventory()
+    if not inventory:
+        return  # no services to plan over — trivially deterministic
+    seed = ctx.scenario.seed if ctx.scenario is not None else 0
+    options = PlanningOptions(seed=seed, problems=2, orders=2)
+    serial = plan_operations(topology, options)
+    if not serial.all_valid:
+        failures = [problem for result_problem in serial.problems
+                    if result_problem.validation is not None
+                    for problem in result_problem.validation.problems]
+        raise OracleFailure(
+            f"plan failed simulator replay: {failures[:3]}")
+    again = plan_operations(topology, options)
+    if again.digest != serial.digest or again.files() != serial.files():
+        raise OracleFailure("repeated planning run changed emitted bytes")
+    pooled = plan_operations(
+        topology, options.replace(jobs=4))
+    if pooled.digest != serial.digest or pooled.files() != serial.files():
+        raise OracleFailure("jobs=4 planning emission differs from serial")
+    forked = plan_operations(
+        topology, options.replace(jobs=2, mode="process"))
+    if forked.digest != serial.digest or forked.files() != serial.files():
+        raise OracleFailure(
+            "process-pool planning emission differs from serial")
+    # a different planner seed reroutes tie-breaks only: the emitted
+    # PDDL text is untouched and the greedy plan cost still equals the
+    # optimum (the heuristic descends by exactly 1 per action)
+    reseeded = plan_operations(
+        topology, options.replace(planner_seed=seed + 1000))
+    serial_emission = {name: text for name, text in serial.files().items()
+                      if not name.endswith(".plan")}
+    reseeded_emission = {name: text
+                        for name, text in reseeded.files().items()
+                        if not name.endswith(".plan")}
+    if reseeded_emission != serial_emission:
+        raise OracleFailure(
+            "planner seed leaked into the emitted PDDL text")
+    if not reseeded.all_valid:
+        raise OracleFailure("reseeded plan failed simulator replay")
+    optimal = plan_operations(
+        topology, options.replace(strategy="uniform"))
+    costs = [problem.cost for problem in serial.problems]
+    reseeded_costs = [problem.cost for problem in reseeded.problems]
+    optimal_costs = [problem.cost for problem in optimal.problems]
+    if costs != optimal_costs:
+        raise OracleFailure(
+            f"greedy plan costs {costs} differ from the cost-optimal "
+            f"uniform strategy's {optimal_costs}")
+    if reseeded_costs != optimal_costs:
+        raise OracleFailure(
+            f"reseeded plan costs {reseeded_costs} differ from the "
+            f"cost-optimal {optimal_costs}")
+
+
 #: The registry, in canonical execution order (front end first, then
 #: pipeline equivalences, then semantic invariants).
 ORACLES: dict[str, Oracle] = {
@@ -560,6 +633,12 @@ ORACLES: dict[str, Oracle] = {
                "runs, jobs=1/N and thread/process pools; reports "
                "independent of job input order",
                _check_sim),
+        Oracle("plan",
+               "PDDL emission byte-identical across repeat runs and "
+               "jobs=1/N; plans replay cleanly on simulators; planner "
+               "seed changes only tie-breaks, never emitted text or "
+               "plan cost",
+               _check_plan),
         Oracle("sharded",
                "consistent-hash routed bundles (1 and N workers) "
                "byte-identical to direct runs, with stable shard "

@@ -21,32 +21,48 @@ DEFAULT_INTERVAL = 0.005
 
 
 class Deadline:
-    """A fixed point in (monotonic) time that waits can share."""
+    """A fixed point in (monotonic) time that waits can share.
 
-    def __init__(self, seconds: float = DEFAULT_TIMEOUT):
+    *clock* defaults to ``time.monotonic``; tests inject a scripted
+    clock to drive waits without real elapsed time.
+    """
+
+    def __init__(self, seconds: float = DEFAULT_TIMEOUT, *,
+                 clock: Callable[[], float] | None = None):
         self.seconds = seconds
-        self._expires = time.monotonic() + seconds
+        self.clock = clock or time.monotonic
+        self._expires = self.clock() + seconds
 
     @property
     def expired(self) -> bool:
-        return time.monotonic() >= self._expires
+        return self.clock() >= self._expires
 
     def remaining(self) -> float:
-        return max(0.0, self._expires - time.monotonic())
+        return max(0.0, self._expires - self.clock())
 
 
 def wait_until(predicate: Callable[[], _T], *,
                timeout: float = DEFAULT_TIMEOUT,
                interval: float = DEFAULT_INTERVAL,
-               message: str = "") -> _T:
+               message: str = "",
+               deadline: Deadline | None = None,
+               clock: Callable[[], float] | None = None,
+               sleep: Callable[[float], None] | None = None) -> _T:
     """Poll *predicate* until it returns a truthy value, and return it.
 
     Raises :class:`TimeoutError` (carrying *message* and the timeout)
     if the deadline passes first. The predicate is always evaluated at
     least once and once more right at the deadline, so a condition that
     becomes true exactly at the boundary is still observed.
+
+    Pass a shared *deadline* so several consecutive waits draw down one
+    budget (a worker's port file *and* its health probe share a single
+    startup timeout). *clock*/*sleep* are injectable for scripted-clock
+    tests; when a *deadline* is given its clock wins.
     """
-    deadline = Deadline(timeout)
+    if deadline is None:
+        deadline = Deadline(timeout, clock=clock)
+    do_sleep = sleep or time.sleep
     while True:
         value = predicate()
         if value:
@@ -57,11 +73,11 @@ def wait_until(predicate: Callable[[], _T], *,
                 return value
             what = message or getattr(predicate, "__name__", "condition")
             raise TimeoutError(
-                f"timed out after {timeout:.1f}s waiting for {what}")
+                f"timed out after {deadline.seconds:.1f}s waiting for {what}")
         # clamp to the remaining budget: the old `remaining() or
         # interval` slept a *full* interval past an exactly-expired
         # deadline before re-checking; sleep(0) re-checks promptly
-        time.sleep(min(interval, deadline.remaining()))
+        do_sleep(min(interval, deadline.remaining()))
 
 
 def wait_for_event(event: threading.Event, *,

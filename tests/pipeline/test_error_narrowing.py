@@ -1,0 +1,109 @@
+"""The pipeline's recovery handlers catch *expected* failures only.
+
+``smoke_test`` and the conformance checks used to wrap their probes in
+bare ``except Exception`` — which also swallowed genuine bugs
+(AttributeError from an API drift, MemoryError from a leak) and
+reported them as routine findings. These tests pin the narrowed
+contract: typed domain errors are counted, everything else propagates.
+"""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.opcua import AddressSpaceError
+from repro.pipeline.run import SmokeReport, smoke_test
+from repro.pipeline.verify import ConformanceReport, _check_address_spaces
+from repro.som import OrchestrationError, ServiceLookupError
+
+
+def _machine(name="mill01", workcell="cellA"):
+    service = SimpleNamespace(
+        name="drill", inputs=[SimpleNamespace(data_type="Integer")])
+    return SimpleNamespace(name=name, workcell=workcell,
+                           variables=[], services=[service])
+
+
+def _smoke_result(invoke):
+    """The minimal duck-typed EndToEndResult smoke_test consumes."""
+    store = SimpleNamespace(series=lambda *_a, **_k: [],
+                            stats=lambda: {"points": 0})
+    return SimpleNamespace(
+        cluster=SimpleNamespace(stats=lambda: {
+            "pods_running": 0, "pods_failed": 0, "pods_pending": 0}),
+        topology=SimpleNamespace(machines=[_machine()]),
+        world=SimpleNamespace(step=lambda: None, store=store),
+        orchestrator=SimpleNamespace(invoke=invoke))
+
+
+class TestSmokeTestNarrowing:
+    def test_orchestration_error_counts_as_failed(self):
+        def invoke(*_args):
+            raise OrchestrationError("service unreachable")
+        report = smoke_test(_smoke_result(invoke), steps=0)
+        assert isinstance(report, SmokeReport)
+        assert report.services_failed == 1
+        assert report.services_invoked == 0
+
+    def test_service_lookup_error_counts_as_failed(self):
+        def invoke(*_args):
+            raise ServiceLookupError("no such service")
+        report = smoke_test(_smoke_result(invoke), steps=0)
+        assert report.services_failed == 1
+
+    def test_memory_error_propagates(self):
+        def invoke(*_args):
+            raise MemoryError("allocator exhausted")
+        with pytest.raises(MemoryError):
+            smoke_test(_smoke_result(invoke), steps=0)
+
+    def test_keyboard_interrupt_propagates(self):
+        def invoke(*_args):
+            raise KeyboardInterrupt()
+        with pytest.raises(KeyboardInterrupt):
+            smoke_test(_smoke_result(invoke), steps=0)
+
+    def test_harness_bugs_propagate(self):
+        # an AttributeError is an API drift in *our* code, not a
+        # failing factory service — it must surface, not be counted
+        def invoke(*_args):
+            raise AttributeError("Orchestrator.invoke renamed")
+        with pytest.raises(AttributeError):
+            smoke_test(_smoke_result(invoke), steps=0)
+
+
+def _verify_result(browse_path):
+    space = SimpleNamespace(browse_path=browse_path)
+    server = SimpleNamespace(space=space)
+    network = SimpleNamespace(lookup=lambda _endpoint: server)
+    machine = _machine()
+    machine.variables = [SimpleNamespace(name="temp",
+                                         data_type="Double")]
+    return SimpleNamespace(
+        topology=SimpleNamespace(machines=[machine]),
+        world=SimpleNamespace(network=network))
+
+
+class TestVerifyNarrowing:
+    def test_missing_node_is_a_finding(self):
+        def browse_path(_path):
+            raise AddressSpaceError("no such browse path")
+        report = ConformanceReport()
+        _check_address_spaces(_verify_result(browse_path), report)
+        assert not report.ok
+        assert {finding.check for finding in report.findings} \
+            == {"variable-node", "method-node"}
+
+    def test_memory_error_propagates(self):
+        def browse_path(_path):
+            raise MemoryError("address space mmap failed")
+        with pytest.raises(MemoryError):
+            _check_address_spaces(_verify_result(browse_path),
+                                  ConformanceReport())
+
+    def test_keyboard_interrupt_propagates(self):
+        def browse_path(_path):
+            raise KeyboardInterrupt()
+        with pytest.raises(KeyboardInterrupt):
+            _check_address_spaces(_verify_result(browse_path),
+                                  ConformanceReport())

@@ -133,16 +133,22 @@ class TestDeflakePolicy:
         # timing-sensitive service tests must synchronize on events or
         # poll with testkit.wait_until; a bare time.sleep is a latent
         # flake (too short on a loaded CI box, wasted wall-clock
-        # otherwise), so the suite bans it outright
+        # otherwise), so the suite bans it outright — and the serving
+        # tier itself is held to the same bar: every wait in
+        # src/repro/service goes through the deadline helpers so it is
+        # bounded and scripted-clock testable
+        import repro.service
         from pathlib import Path
 
         banned = "time." + "sleep("  # split so this file passes its own scan
+        scanned = sorted(Path(__file__).parent.glob("test_*.py"))
+        scanned += sorted(Path(repro.service.__file__).parent.glob("*.py"))
         offenders = []
-        for module in sorted(Path(__file__).parent.glob("test_*.py")):
+        for module in scanned:
             for number, line in enumerate(
                     module.read_text().splitlines(), start=1):
                 if banned in line.split("#")[0]:
                     offenders.append(f"{module.name}:{number}")
         assert not offenders, (
-            "raw time.sleep in service tests (use wait_until / "
-            f"wait_for_event from repro.testkit): {offenders}")
+            "raw time.sleep in service tests or the serving tier (use "
+            f"wait_until / Deadline from repro.testkit): {offenders}")

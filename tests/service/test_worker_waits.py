@@ -1,0 +1,163 @@
+"""WorkerProcess startup waits: deadline-bounded, scripted-clock tested.
+
+``wait_ready`` used to spin on raw ``time.sleep`` loops; it now runs on
+the :mod:`repro.testkit.waiting` helpers with an injectable clock and
+sleep, so these tests drive entire 30-second startup timelines in
+microseconds of real time and assert the one property the raw loops
+could not guarantee: the port-file poll and the health probe draw down
+one *shared* deadline.
+"""
+
+import pytest
+
+from repro.service.worker import WorkerProcess
+from repro.testkit import Deadline, wait_until
+
+
+class ScriptedClock:
+    """A monotonic clock that only advances when something sleeps."""
+
+    def __init__(self):
+        self.now = 0.0
+        self.sleeps = []
+
+    def __call__(self):
+        return self.now
+
+    def sleep(self, seconds):
+        assert seconds >= 0.0
+        self.sleeps.append(seconds)
+        self.now += seconds
+
+
+class FakeChild:
+    """Stands in for the subprocess: alive unless told otherwise."""
+
+    def __init__(self, returncode=None):
+        self.returncode = returncode
+        self.stdout = None
+
+    def poll(self):
+        return self.returncode
+
+
+def scripted_worker(tmp_path, clock):
+    worker = WorkerProcess("w0", workdir=str(tmp_path),
+                           clock=clock, sleep=clock.sleep)
+    worker.process = FakeChild()
+    return worker
+
+
+class TestWaitUntilInjection:
+    def test_scripted_clock_never_touches_wall_time(self):
+        clock = ScriptedClock()
+        hits = []
+
+        def late():
+            hits.append(clock())
+            return clock() >= 1.0
+
+        value = wait_until(late, timeout=5.0, interval=0.5,
+                           clock=clock, sleep=clock.sleep)
+        assert value is True
+        assert clock.sleeps == [0.5, 0.5]
+        assert hits == [0.0, 0.5, 1.0]
+
+    def test_shared_deadline_spans_consecutive_waits(self):
+        clock = ScriptedClock()
+        deadline = Deadline(1.0, clock=clock)
+        wait_until(lambda: clock() >= 0.6, deadline=deadline,
+                   interval=0.2, sleep=clock.sleep)
+        # the second wait inherits only the 0.4s remainder
+        with pytest.raises(TimeoutError) as info:
+            wait_until(lambda: False, deadline=deadline, interval=0.2,
+                       sleep=clock.sleep, message="second phase")
+        assert "second phase" in str(info.value)
+        assert clock() == pytest.approx(1.0)
+
+    def test_sleep_clamps_to_remaining_budget(self):
+        clock = ScriptedClock()
+        with pytest.raises(TimeoutError):
+            wait_until(lambda: False, timeout=0.25, interval=0.2,
+                       clock=clock, sleep=clock.sleep)
+        # 0.2 then the 0.05 remainder — never a full interval past expiry
+        assert clock.sleeps == [0.2, pytest.approx(0.05)]
+
+
+class TestWorkerProcessWaits:
+    def test_ready_when_port_file_and_health_arrive(self, tmp_path):
+        clock = ScriptedClock()
+        worker = scripted_worker(tmp_path, clock)
+
+        healthy_after = 0.4
+
+        def port_file_at(path, when):
+            if clock() >= when and not path.exists():
+                path.write_text("4711")
+
+        real_read = worker._read_port_file
+
+        def read_with_script():
+            port_file_at(tmp_path / "w0.port", 0.1)
+            return real_read()
+
+        worker._read_port_file = read_with_script
+        worker._probe_health = lambda: clock() >= healthy_after
+        worker.wait_ready(timeout=30.0)
+        assert worker.port == 4711
+        # scripted timeline, zero real waiting: a handful of short polls
+        assert clock() < 1.0
+        assert all(step <= 0.05 for step in clock.sleeps)
+
+    def test_timeout_is_shared_across_both_phases(self, tmp_path):
+        # the port file arrives late; the health probe must inherit the
+        # *remainder*, not a fresh timeout — total wait stays bounded
+        clock = ScriptedClock()
+        worker = scripted_worker(tmp_path, clock)
+        real_read = WorkerProcess._read_port_file
+
+        def read():
+            if clock() >= 9.0 and not (tmp_path / "w0.port").exists():
+                (tmp_path / "w0.port").write_text("4711")
+            return real_read(worker)
+
+        worker._read_port_file = read
+        worker._probe_health = lambda: False
+        with pytest.raises(TimeoutError) as info:
+            worker.wait_ready(timeout=10.0)
+        assert "healthy" in str(info.value)
+        assert clock() == pytest.approx(10.0, abs=0.1)
+
+    def test_no_port_file_times_out_at_the_deadline(self, tmp_path):
+        clock = ScriptedClock()
+        worker = scripted_worker(tmp_path, clock)
+        with pytest.raises(TimeoutError) as info:
+            worker.wait_ready(timeout=2.0)
+        assert "port file" in str(info.value)
+        # bounded: the scripted clock stops right at the deadline
+        assert clock() == pytest.approx(2.0, abs=0.05)
+
+    def test_child_death_fails_fast_with_captured_output(self, tmp_path):
+        clock = ScriptedClock()
+        worker = scripted_worker(tmp_path, clock)
+
+        class DeadChild(FakeChild):
+            def __init__(self):
+                super().__init__(returncode=3)
+
+                class Stdout:
+                    def read(self):
+                        return "boom: no such namespace"
+                self.stdout = Stdout()
+
+        worker.process = DeadChild()
+        with pytest.raises(RuntimeError) as info:
+            worker.wait_ready(timeout=30.0)
+        assert "rc=3" in str(info.value)
+        assert "boom: no such namespace" in str(info.value)
+        assert clock.sleeps == []  # fails on the first poll, no waiting
+
+    def test_not_started_worker_refuses_to_wait(self, tmp_path):
+        worker = WorkerProcess("w1", workdir=str(tmp_path))
+        with pytest.raises(RuntimeError):
+            worker.wait_ready(timeout=0.1)

@@ -3,8 +3,8 @@
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.som import (ProductionProcess, Schedule, Scheduler,
-                       SchedulingError)
+from repro.som import (OrchestrationError, ProductionProcess, Schedule,
+                       Scheduler, SchedulingError, ServiceLookupError)
 
 
 def process(name, steps):
@@ -121,3 +121,46 @@ class TestExecutionOnIceLab:
         # warehouse and emco are contended across the two mill jobs
         warehouse_slots = schedule.for_machine("warehouse")
         assert warehouse_slots[0].end <= warehouse_slots[1].start
+
+
+class TestExecuteErrorNarrowing:
+    """execute() counts typed service failures; real bugs propagate."""
+
+    def _jobs(self):
+        return [process("job", [("mill", "cut")])]
+
+    def test_orchestration_error_counts_as_failed(self):
+        class Failing:
+            def invoke(self, *_args):
+                raise OrchestrationError("unreachable")
+        outcome = Scheduler().execute(self._jobs(), Failing())
+        assert outcome["failed"] == 1
+        assert outcome["executed"] == 0
+
+    def test_service_lookup_error_counts_as_failed(self):
+        class Unknown:
+            def invoke(self, *_args):
+                raise ServiceLookupError("mill.cut")
+        outcome = Scheduler().execute(self._jobs(), Unknown())
+        assert outcome["failed"] == 1
+
+    def test_memory_error_propagates(self):
+        class Leaky:
+            def invoke(self, *_args):
+                raise MemoryError()
+        with pytest.raises(MemoryError):
+            Scheduler().execute(self._jobs(), Leaky())
+
+    def test_keyboard_interrupt_propagates(self):
+        class Interrupted:
+            def invoke(self, *_args):
+                raise KeyboardInterrupt()
+        with pytest.raises(KeyboardInterrupt):
+            Scheduler().execute(self._jobs(), Interrupted())
+
+    def test_harness_bugs_propagate(self):
+        class Drifted:
+            def invoke(self, *_args):
+                raise TypeError("invoke() signature changed")
+        with pytest.raises(TypeError):
+            Scheduler().execute(self._jobs(), Drifted())

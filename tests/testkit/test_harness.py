@@ -18,7 +18,7 @@ class TestRunTrial:
         assert result.ok
         assert [outcome.name for outcome in result.outcomes] == [
             "roundtrip", "interchange", "cache", "jobs", "serve",
-            "incremental", "grouping", "sim", "sharded"]
+            "incremental", "grouping", "sim", "plan", "sharded"]
 
     def test_unknown_oracle_rejected(self):
         with pytest.raises(KeyError, match="unknown oracle"):

@@ -9,7 +9,7 @@ from repro.testkit import (ORACLES, CorpusConfig, OracleFailure,
                            run_oracle)
 
 EXPECTED = ["roundtrip", "interchange", "cache", "jobs", "serve",
-            "incremental", "grouping", "sim", "sharded"]
+            "incremental", "grouping", "sim", "plan", "sharded"]
 
 
 class TestRegistry:
